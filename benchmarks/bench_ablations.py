@@ -1,0 +1,130 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+One benchmark per ablation; each asserts the qualitative effect the
+corresponding paper section predicts.
+"""
+
+from conftest import once
+
+from repro.bench import (
+    algorithms_on_skew,
+    block_size_sweep,
+    canonical_vs_striped,
+    overlap_ablation,
+    pipeline_ablation,
+    prefetch_ablation,
+    randomization_ablation,
+    run_length_ablation,
+    selection_strategies,
+    straggler_ablation,
+    write_report,
+)
+
+
+def test_selection_strategies(benchmark):
+    """§IV-A: sampling + caching make selection negligible."""
+    result = once(benchmark, lambda: selection_strategies(quick=True))
+    write_report(result)
+    by_name = {row["strategy"]: row for row in result.rows}
+    # Warm start reads far fewer blocks than the cold start.
+    assert by_name["sampled"]["block reads"] * 3 < by_name["basic"]["block reads"]
+    # The provable bisection stays within a modest constant of sampled.
+    assert by_name["bisect"]["block reads"] < 8 * by_name["sampled"]["block reads"]
+    for row in result.rows:
+        assert row["selection wall [s]"] < 60.0  # negligible at paper scale
+
+
+def test_block_size_tradeoff(benchmark):
+    """Appendix C: movement shrinks with B; streaming favours larger B."""
+    result = once(benchmark, lambda: block_size_sweep(quick=True))
+    write_report(result)
+    ratios = [row["all-to-all volume / N"] for row in result.rows]
+    assert ratios[0] < ratios[-1]  # 2 MiB moves less than 16 MiB
+    rf = [row["run formation [s]"] for row in result.rows]
+    assert rf[0] > rf[-1]  # smaller blocks pay more seeks
+
+
+def test_overlap(benchmark):
+    """§IV-E: overlapping I/O with computation/communication helps."""
+    result = once(benchmark, lambda: overlap_ablation(quick=True))
+    write_report(result)
+    on, off = result.rows[0], result.rows[1]
+    assert off["total [s]"] > 1.1 * on["total [s]"]
+
+
+def test_prefetch_schedule(benchmark):
+    """Appendix A: the optimal schedule never loses to the naive order."""
+    result = once(benchmark, lambda: prefetch_ablation(quick=True))
+    write_report(result)
+    by_key = {(row["schedule"], row["buffers"]): row["merge [s]"] for row in result.rows}
+    for buffers in (8, 16, 32):
+        assert by_key[("optimal", buffers)] <= 1.05 * by_key[("naive", buffers)]
+
+
+def test_randomization_per_workload(benchmark):
+    """§IV: only adversarial inputs need the randomization insurance."""
+    result = once(benchmark, lambda: randomization_ablation(quick=True))
+    write_report(result)
+    table = {
+        (row["workload"], row["randomized"]): row["all-to-all volume / N"]
+        for row in result.rows
+    }
+    assert table[("worstcase", "no")] > 3 * table[("worstcase", "yes")]
+    # Random input is immune either way.
+    assert abs(table[("random", "no")] - table[("random", "yes")]) < 0.3
+
+
+def test_exact_splitting_beats_guessing_on_skew(benchmark):
+    """§II: NOW-Sort deteriorates toward sequential on skew."""
+    result = once(benchmark, lambda: algorithms_on_skew(quick=True))
+    write_report(result)
+    rows = {(r["workload"], r["algorithm"]): r for r in result.rows}
+    canon = rows[("skewed", "CanonicalMergeSort")]
+    now = rows[("skewed", "NowSort (uniform splitters)")]
+    assert canon["imbalance (max/ideal)"] == 1.0
+    assert now["imbalance (max/ideal)"] > 3.0
+    assert now["total [s]"] > 1.5 * canon["total [s]"]
+    # The sampled repair costs an extra pass of I/O.
+    sampled = rows[("skewed", "NowSort (sampled splitters)")]
+    assert sampled["io / N"] > now["io / N"] + 0.8
+
+
+def test_canonical_vs_striped_communication(benchmark):
+    """§III vs §IV: striping ships the data ~4x, canonical ~1x."""
+    result = once(benchmark, lambda: canonical_vs_striped(quick=True))
+    write_report(result)
+    canon, striped = result.rows[0], result.rows[1]
+    assert canon["communication / N"] < 1.5
+    assert striped["communication / N"] > 2.0 * canon["communication / N"]
+    # Both stay around two passes of I/O.
+    assert canon["io / N"] < 5.0 and striped["io / N"] < 5.0
+
+
+def test_replacement_selection_run_lengths(benchmark):
+    """§VII / Knuth 5.4.1: runs of ~2M on random input."""
+    result = once(benchmark, lambda: run_length_ablation(quick=True))
+    write_report(result)
+    by_input = {row["input"]: row for row in result.rows}
+    assert 1.6 <= by_input["random"]["mean run / M"] <= 2.4
+    assert by_input["sorted"]["runs (replacement sel.)"] == 1
+    rs = by_input["random"]["runs (replacement sel.)"]
+    ls = by_input["random"]["runs (memory-load sort)"]
+    assert rs <= 0.65 * ls  # roughly halves R
+
+
+def test_pipelined_sorting_saves_passes(benchmark):
+    """§VII: source-to-sink operation drops the input and output passes."""
+    result = once(benchmark, lambda: pipeline_ablation(quick=True))
+    write_report(result)
+    batch, piped = result.rows[0], result.rows[1]
+    assert piped["io passes"] <= 0.65 * batch["io passes"]
+    assert piped["total [s]"] < batch["total [s]"]
+
+
+def test_straggler_gates_the_machine(benchmark):
+    """§VII fault-tolerance question: one slow disk slows everyone."""
+    result = once(benchmark, lambda: straggler_ablation(quick=True))
+    write_report(result)
+    rows = {row["fault"]: row for row in result.rows}
+    assert rows["one disk 8x slower"]["slowdown"] > rows["one disk 2x slower"]["slowdown"] > 1.2
+    assert rows["one disk 8x slower"]["merge imbalance (max/mean)"] > 2.0

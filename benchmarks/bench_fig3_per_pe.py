@@ -1,0 +1,31 @@
+"""Figure 3: per-PE wall-clock and I/O times per phase (one cluster).
+
+Paper claims checked:
+* the work is well balanced across PEs (with some disk-speed variance);
+* run formation is not fully I/O-bound (wall > max-disk busy time);
+* the final merge is I/O-bound (wall close to max-disk busy time).
+"""
+
+from conftest import once
+
+from repro.bench import fig3, write_report
+
+
+def test_fig3_per_pe_balance(benchmark):
+    result = once(benchmark, lambda: fig3(quick=True))
+    write_report(result)
+
+    merge_walls = [row["merge wall [s]"] for row in result.rows]
+    mean_wall = sum(merge_walls) / len(merge_walls)
+    # Balanced work: no PE more than 25% off the mean merge time.
+    assert max(merge_walls) <= 1.25 * mean_wall
+    assert min(merge_walls) >= 0.75 * mean_wall
+
+    # Disk-speed variance exists: not all merge I/O times identical.
+    merge_ios = [row["merge io [s]"] for row in result.rows]
+    assert max(merge_ios) > min(merge_ios)
+
+    for row in result.rows:
+        # Run formation has a compute gap; the merge is I/O-bound.
+        assert row["run_formation wall [s]"] >= row["run_formation io [s]"]
+        assert row["merge wall [s]"] <= 1.35 * row["merge io [s]"]

@@ -1,0 +1,20 @@
+"""Figure 4: worst-case input *with* randomization, P = 1..8 (quick).
+
+Paper claim checked: randomization diminishes the worst-case overhead —
+totals land close to the random-input case of Figure 2 (well below the
+non-randomized Figure 6).
+"""
+
+from conftest import once
+
+from repro.bench import fig2, fig4, write_report
+
+
+def test_fig4_worstcase_randomized(benchmark):
+    result = once(benchmark, lambda: fig4(quick=True))
+    write_report(result)
+    reference = fig2(quick=True)
+
+    for row, ref in zip(result.rows, reference.rows):
+        # Within 40% of the random-input totals at the same P.
+        assert row["total [s]"] <= 1.4 * ref["total [s]"]

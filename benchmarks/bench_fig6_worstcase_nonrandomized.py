@@ -1,0 +1,24 @@
+"""Figure 6: worst-case input *without* randomization, P = 1..8 (quick).
+
+Paper claims checked:
+* a substantial running-time penalty versus random input appears at
+  P > 1, "caused by the additional I/O of the all-to-all phase";
+* the algorithm still finishes within three passes (never collapses).
+"""
+
+from conftest import once
+
+from repro.bench import fig2, fig6, write_report
+
+
+def test_fig6_worstcase_nonrandomized(benchmark):
+    result = once(benchmark, lambda: fig6(quick=True))
+    write_report(result)
+    reference = fig2(quick=True)
+
+    # At P = 1 there is nothing to redistribute; at the largest P the
+    # paper-style penalty appears and the all-to-all dominates it.
+    last, ref_last = result.rows[-1], reference.rows[-1]
+    penalty = last["total [s]"] / ref_last["total [s]"]
+    assert 1.25 <= penalty <= 2.2
+    assert last["all-to-all [s]"] > 5 * ref_last["all-to-all [s]"]

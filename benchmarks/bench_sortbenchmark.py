@@ -1,0 +1,60 @@
+"""SortBenchmark categories: GraySort, MinuteSort, TerabyteSort (quick).
+
+Paper results checked (shape, not absolute seconds):
+* GraySort: within a factor 2 of the paper's 564 GB/min and far above
+  the per-node efficiency of the Hadoop entry;
+* MinuteSort: hundreds of GB inside a minute (same order as 955 GB);
+* TerabyteSort: the same order as the paper's < 64 s.
+"""
+
+from conftest import once
+
+from repro.bench import graysort, minutesort, terabytesort, write_report
+from repro.bench.sortbench import PAPER_NODES
+
+
+def test_graysort(benchmark):
+    result = once(benchmark, lambda: graysort(quick=True))
+    write_report(result)
+    ours = result.rows[0]
+    paper = result.rows[1]
+    yahoo = result.rows[2]
+    assert paper["GB/min"] == 564.0
+    # Shape: within 2x of the paper's machine, and per-node throughput
+    # far above the Hadoop entry's (which used 17x the nodes).
+    assert 0.5 <= ours["GB/min"] / paper["GB/min"] <= 2.0
+    ours_per_node = ours["GB/min"] / PAPER_NODES
+    yahoo_per_node = yahoo["GB/min"] / yahoo["nodes"]
+    assert ours_per_node > 5 * yahoo_per_node
+
+
+def test_minutesort(benchmark):
+    result = once(benchmark, lambda: minutesort(quick=True))
+    write_report(result)
+    ours = result.rows[0]["data [GB]"]
+    paper = result.rows[1]["data [GB]"]
+    toku = result.rows[2]["data [GB]"]
+    assert 0.4 <= ours / paper <= 2.5
+    assert ours > toku  # beats the 2007 record, as the paper did
+
+
+def test_terabytesort(benchmark):
+    result = once(benchmark, lambda: terabytesort(quick=True))
+    write_report(result)
+    ours = result.rows[0]["time [s]"]
+    paper = result.rows[1]["time [s]"]
+    toku = result.rows[2]["time [s]"]
+    assert 0.5 <= ours / paper <= 2.0
+    assert ours < toku / 2  # at least twice as fast as the 2007 winner
+
+
+def test_daytona_robustness(benchmark):
+    """Daytona-style skew: exact splitting stays balanced, NOW-Sort dies."""
+    from repro.bench import daytona
+
+    result = once(benchmark, lambda: daytona(quick=True))
+    write_report(result)
+    canon, now = result.rows[0], result.rows[1]
+    assert canon["imbalance (max/ideal)"] == 1.0
+    assert now["imbalance (max/ideal)"] > 4.0
+    assert now["total [s]"] > 2 * canon["total [s]"]

@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures (quick
+mode: P = 1..8 and a 16-node SortBenchmark slice) and asserts the *shape*
+claims — who wins, by roughly what factor, where crossovers fall — never
+absolute seconds.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Rendered reports land in ``bench_results/`` (override with the
+``REPRO_BENCH_DIR`` environment variable).
+"""
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value.
+
+    The simulations are deterministic, so repeated timing rounds would
+    only re-measure the Python interpreter.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Capacity planning with the paper's analysis (§IV-D).
+
+"Can this machine sort that much data in two passes, and how long will
+it take?" — the question a cluster owner asks before submitting a
+SortBenchmark entry.  The planner checks every constraint of the paper's
+analysis (the N = O(M²/(P·B)) two-pass limit, the m ≫ P·B·log P
+redistribution bound, the all-to-all buffer requirement) and, when the
+job is feasible, estimates per-phase times by running the actual
+simulator downscaled.
+
+Scenarios below: the paper's own GraySort job, the same job on a quarter
+of the machine, a petabyte that needs more memory, and the fix.
+
+Usage::
+
+    python examples/capacity_planning.py
+    REPRO_EXAMPLE_SCALE=tiny python examples/capacity_planning.py
+"""
+
+import os
+
+from repro import GiB
+from repro.bench import plan_sort
+
+
+def main() -> None:
+    tiny = os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny"
+    measure = not tiny
+    scenarios = [
+        ("The paper's Indy GraySort entry (10^14 B, 195 nodes)",
+         dict(total_bytes=1e14, n_nodes=195, memory_bytes=12 * GiB)),
+        ("Same data on a quarter of the machine",
+         dict(total_bytes=1e14, n_nodes=48, memory_bytes=12 * GiB)),
+        ("A petabyte on 16 small-memory nodes (too many runs!)",
+         dict(total_bytes=1e15, n_nodes=16, memory_bytes=4 * GiB)),
+        ("The petabyte fixed: 195 nodes, 48 GiB run memory, 16 MiB blocks",
+         dict(total_bytes=1e15, n_nodes=195, memory_bytes=48 * GiB,
+              block_bytes=16 * 2 ** 20)),
+    ]
+    for title, job in scenarios:
+        print(f"=== {title} ===")
+        plan = plan_sort(measure=measure, **job)
+        print(plan.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

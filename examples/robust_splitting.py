@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Exact multiway selection vs splitter guessing on hostile inputs.
+
+The paper's Section II criticizes NOW-Sort: "it only works efficiently
+for random inputs.  In the worst case, it deteriorates to a sequential
+algorithm since all the data ends up in a single processor."  This demo
+sorts random and heavily skewed inputs with
+
+* CanonicalMergeSort (exact multiway selection — this paper),
+* NOW-Sort with uniform (Indy-style) splitters,
+* NOW-Sort with sampled splitters (the extra-scan repair),
+* the five-pass external sample sort,
+
+and prints each algorithm's load imbalance, I/O passes and running time.
+
+Usage::
+
+    python examples/robust_splitting.py
+    REPRO_EXAMPLE_SCALE=tiny python examples/robust_splitting.py
+"""
+
+import os
+
+from repro import (
+    CanonicalMergeSort,
+    Cluster,
+    ExternalSampleSort,
+    GiB,
+    MiB,
+    NowSort,
+    SortConfig,
+    generate_input,
+    input_keys,
+    validate_output,
+)
+
+ALGORITHMS = [
+    ("CanonicalMergeSort", lambda c, cfg: CanonicalMergeSort(c, cfg)),
+    ("NowSort/uniform", lambda c, cfg: NowSort(c, cfg, "uniform")),
+    ("NowSort/sampled", lambda c, cfg: NowSort(c, cfg, "sampled")),
+    ("ExternalSampleSort", lambda c, cfg: ExternalSampleSort(c, cfg)),
+]
+
+
+def main() -> None:
+    tiny = os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny"
+    n_nodes = 4 if tiny else 8
+    config = SortConfig(
+        data_per_node_bytes=(48 * MiB) if tiny else 24 * GiB,
+        memory_bytes=(16 * MiB) if tiny else 6 * GiB,
+        block_bytes=1 * MiB if tiny else 8 * MiB,
+        block_elems=16,
+        downscale=1 if tiny else 48,
+    )
+    print(f"{'workload':<8} {'algorithm':<20} {'imbalance':>10} "
+          f"{'I/O passes':>11} {'total [s]':>10}")
+    for workload in ["random", "skewed"]:
+        for name, factory in ALGORITHMS:
+            cluster = Cluster(n_nodes)
+            em, inputs = generate_input(cluster, config, workload)
+            before = input_keys(em, inputs)
+            result = factory(cluster, config).sort(em, inputs)
+            balanced = name == "CanonicalMergeSort"
+            validate_output(
+                before, result.output_keys(em), balanced=balanced
+            ).raise_if_failed()
+            imbalance = getattr(result, "imbalance", 1.0)
+            passes = result.stats.total_io_bytes / config.total_bytes(n_nodes) / 2
+            print(
+                f"{workload:<8} {name:<20} {imbalance:>10.2f} "
+                f"{passes:>11.2f} {result.stats.scaled_total_time:>10.1f}"
+            )
+    print()
+    print("Exact splitting keeps imbalance at 1.00 regardless of the input;")
+    print("uniform splitters collapse on skew, sampling costs an extra pass.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Reproduce the paper's SortBenchmark headline results.
+
+The 2009 DEMSort entries that this paper describes: Indy GraySort
+(564 GB/min over 10^14 bytes), MinuteSort (955 GB inside a minute) and
+TerabyteSort (10^12 bytes in under 64 s).  Each table contrasts the
+simulated reproduction with the published numbers the paper cites.
+
+Usage::
+
+    python examples/sortbenchmark.py                 # quick (16-node slice)
+    REPRO_EXAMPLE_SCALE=tiny python examples/sortbenchmark.py  # terabyte only
+    REPRO_EXAMPLE_SCALE=full python examples/sortbenchmark.py  # all 195 nodes
+"""
+
+import os
+
+from repro.bench import graysort, minutesort, terabytesort
+
+
+def main() -> None:
+    scale = os.environ.get("REPRO_EXAMPLE_SCALE", "quick")
+    quick = scale != "full"
+    experiments = (
+        [terabytesort]
+        if scale == "tiny"
+        else [terabytesort, graysort, minutesort]
+    )
+    for experiment in experiments:
+        result = experiment(quick=quick)
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim (the offline environment lacks the `wheel` package
+needed for PEP 660 editable installs, so `python setup.py develop` is the
+editable-install path here)."""
+
+from setuptools import setup
+
+setup()

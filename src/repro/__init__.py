@@ -1,0 +1,112 @@
+"""repro — reproduction of *Scalable Distributed-Memory External Sorting*
+(Rahn, Sanders, Singler; ICDE 2010 / arXiv:0910.2582).
+
+The package implements the paper's CANONICALMERGESORT (the DEMSort
+algorithm that led the 2009 Indy GraySort), the globally striped
+mergesort of its Section III, the exact multiway-selection machinery,
+and the NOW-Sort / sample-sort baselines — all running on a simulated
+distributed-memory cluster calibrated to the paper's 200-node Xeon
+machine (see DESIGN.md for the substitution rationale).
+
+Quickstart::
+
+    from repro import (
+        Cluster, SortConfig, CanonicalMergeSort,
+        generate_input, input_keys, validate_output, MiB,
+    )
+
+    config = SortConfig(
+        data_per_node_bytes=64 * MiB,
+        memory_bytes=16 * MiB,
+        block_bytes=1 * MiB,
+    )
+    cluster = Cluster(n_nodes=8)
+    em, inputs = generate_input(cluster, config, kind="random")
+    result = CanonicalMergeSort(cluster, config).sort(em, inputs)
+    print(result.stats.summary())
+    validate_output(input_keys(em, inputs), result.output_keys(em)).raise_if_failed()
+"""
+
+from .baselines import ExternalSampleSort, NowSort, NowSortResult
+from .cluster import GB, GiB, MB, MachineSpec, MiB, PAPER_MACHINE, Cluster
+from .core import (
+    CanonicalMergeSort,
+    ConfigError,
+    PHASES,
+    SortConfig,
+    SortResult,
+    SortStats,
+)
+from .cluster.faults import (
+    inject_disk_slowdown,
+    inject_disk_stall,
+    inject_node_slowdown,
+)
+from .core.pipeline import (
+    ArraySource,
+    BlockSource,
+    CollectingSink,
+    PipelinedMergeSort,
+    PipelineResult,
+    Sink,
+)
+from .core.striped import GlobalStripedMergeSort, StripedSortResult
+from .em import ExternalMemory
+from .records import ELEM_PAPER_16B, ELEM_SORTBENCH_100B, ElementType
+from .workloads import (
+    WORKLOADS,
+    ValidationReport,
+    generate_input,
+    input_keys,
+    validate_output,
+)
+from .workloads.gensort import generate_gensort_input
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machine / cluster
+    "Cluster",
+    "MachineSpec",
+    "PAPER_MACHINE",
+    "MiB",
+    "GiB",
+    "MB",
+    "GB",
+    # core algorithms
+    "CanonicalMergeSort",
+    "GlobalStripedMergeSort",
+    "PipelinedMergeSort",
+    "PipelineResult",
+    "BlockSource",
+    "ArraySource",
+    "Sink",
+    "CollectingSink",
+    "inject_disk_slowdown",
+    "inject_disk_stall",
+    "inject_node_slowdown",
+    "SortConfig",
+    "SortResult",
+    "StripedSortResult",
+    "SortStats",
+    "ConfigError",
+    "PHASES",
+    # substrate
+    "ExternalMemory",
+    # record types
+    "ElementType",
+    "ELEM_PAPER_16B",
+    "ELEM_SORTBENCH_100B",
+    # baselines
+    "NowSort",
+    "NowSortResult",
+    "ExternalSampleSort",
+    # workloads
+    "WORKLOADS",
+    "generate_input",
+    "generate_gensort_input",
+    "input_keys",
+    "validate_output",
+    "ValidationReport",
+]

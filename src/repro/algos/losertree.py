@@ -1,0 +1,135 @@
+"""Loser-tree priority structure for k-way merging.
+
+The classic tournament tree used by multiway mergesort (Knuth TAOCP vol. 3,
+and the MCSTL multiway merge the paper builds on): internal nodes store the
+*loser* of the comparison between their subtrees, the overall winner sits
+at the root.  Replacing the winner and replaying its path costs
+``ceil(log2 k)`` comparisons.
+
+Items are compared as ``(key, source)`` so the merge is stable across
+sources — the same (key, sequence) tie-breaking the exact splitting uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["LoserTree"]
+
+#: Sentinel larger than every real key tuple.
+_INF = (float("inf"), float("inf"))
+
+
+class LoserTree:
+    """Tournament tree over ``k`` sources.
+
+    Use :meth:`push` to provide the next item of a source (or mark it done
+    with :meth:`exhaust`) and :meth:`pop_winner` to extract the minimum.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"need at least one source, got {k}")
+        self.k = k
+        size = 1
+        while size < k:
+            size *= 2
+        self._size = size
+        self._keys: List[Tuple] = [_INF] * size
+        self._values: List[Any] = [None] * size
+        self._exhausted = [i >= k for i in range(size)]
+        self._loser: List[int] = [0] * size  # internal node -> losing leaf
+        self._winner: Optional[int] = None
+        self._initialized = False
+        self._armed = [False] * size
+
+    def push(self, source: int, key: Any, value: Any = None) -> None:
+        """Provide the next item of ``source`` (must currently be empty)."""
+        self._check_source(source)
+        if self._armed[source]:
+            raise RuntimeError(f"source {source} already holds an item")
+        self._keys[source] = (key, source)
+        self._values[source] = value
+        self._armed[source] = True
+        if self._initialized:
+            self._replay(source)
+
+    def exhaust(self, source: int) -> None:
+        """Mark ``source`` as permanently empty."""
+        self._check_source(source)
+        if self._armed[source]:
+            raise RuntimeError(f"source {source} still holds an item")
+        self._exhausted[source] = True
+        self._keys[source] = _INF
+        if self._initialized:
+            self._replay(source)
+
+    @property
+    def winner_source(self) -> Optional[int]:
+        """Source of the current minimum, or None when all are exhausted."""
+        self._ensure_ready()
+        w = self._winner
+        assert w is not None
+        return None if self._keys[w] is _INF else w
+
+    def pop_winner(self) -> Optional[Tuple[int, Any, Any]]:
+        """Remove and return ``(source, key, value)`` of the minimum.
+
+        The caller must then :meth:`push` the source's next item (or
+        :meth:`exhaust` it) before the next pop.  Returns None when every
+        source is exhausted.
+        """
+        self._ensure_ready()
+        w = self._winner
+        assert w is not None
+        if self._keys[w] is _INF:
+            return None
+        key, _src = self._keys[w]
+        value = self._values[w]
+        self._keys[w] = _INF
+        self._values[w] = None
+        self._armed[w] = False
+        return (w, key, value)
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_source(self, source: int) -> None:
+        if not 0 <= source < self.k:
+            raise IndexError(f"source {source} out of range 0..{self.k - 1}")
+
+    def _ensure_ready(self) -> None:
+        for i in range(self.k):
+            if not self._armed[i] and not self._exhausted[i]:
+                raise RuntimeError(f"source {i} has no item and is not exhausted")
+        if not self._initialized:
+            self._full_rebuild()
+            self._initialized = True
+
+    def _full_rebuild(self) -> None:
+        """Recompute all internal nodes from the leaves (O(k))."""
+        size = self._size
+        winner_of: List[int] = [0] * (2 * size)
+        for leaf in range(size):
+            winner_of[size + leaf] = leaf
+        for node in range(size - 1, 0, -1):
+            a = winner_of[2 * node]
+            b = winner_of[2 * node + 1]
+            if self._keys[a] <= self._keys[b]:
+                win, lose = a, b
+            else:
+                win, lose = b, a
+            winner_of[node] = win
+            self._loser[node] = lose
+        self._winner = winner_of[1]
+
+    def _replay(self, leaf: int) -> None:
+        """Replay matches from ``leaf`` to the root."""
+        node = (self._size + leaf) // 2
+        winner = leaf
+        while node >= 1:
+            contender = self._loser[node]
+            if self._keys[contender] < self._keys[winner]:
+                self._loser[node] = winner
+                winner = contender
+            node //= 2
+        self._winner = winner

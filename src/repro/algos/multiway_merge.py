@@ -1,0 +1,54 @@
+"""Streaming k-way merge built on the loser tree.
+
+This is the element-wise reference merge (used by tests and by the
+internal merging of small sequences); the bulk data plane uses the
+vectorized batch merge in :mod:`repro.records.arrays`, which the paper
+explicitly allows ("we could even afford to replace batch merging by
+fully-fledged parallel sorting of batches").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from ..records.element import KEY_DTYPE
+from .losertree import LoserTree
+
+__all__ = ["merge_iterables", "merge_arrays"]
+
+
+def merge_iterables(sources: Sequence[Iterable]) -> Iterator:
+    """Lazily merge sorted iterables into one sorted stream.
+
+    Stable across sources: ties are emitted in source order (the package's
+    canonical (key, sequence) tie-breaking).
+    """
+    iterators: List[Iterator] = [iter(s) for s in sources]
+    if not iterators:
+        return
+    tree = LoserTree(len(iterators))
+    for i, it in enumerate(iterators):
+        first = next(it, None)
+        if first is None:
+            tree.exhaust(i)
+        else:
+            tree.push(i, first)
+    while True:
+        popped = tree.pop_winner()
+        if popped is None:
+            return
+        source, key, _value = popped
+        yield key
+        nxt = next(iterators[source], None)
+        if nxt is None:
+            tree.exhaust(source)
+        else:
+            tree.push(source, nxt)
+
+
+def merge_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise loser-tree merge of sorted key arrays (reference)."""
+    merged = list(merge_iterables([a.tolist() for a in arrays]))
+    return np.asarray(merged, dtype=KEY_DTYPE) if merged else np.empty(0, KEY_DTYPE)

@@ -1,0 +1,13 @@
+"""Baseline distributed external sorts the paper compares against."""
+
+from .nowsort import NowSort, NowSortResult
+from .samplesort import ExternalSampleSort
+from .splitters import sampled_splitters, uniform_splitters
+
+__all__ = [
+    "NowSort",
+    "NowSortResult",
+    "ExternalSampleSort",
+    "sampled_splitters",
+    "uniform_splitters",
+]

@@ -1,0 +1,90 @@
+"""Benchmark harness: one entry point per paper table/figure + ablations."""
+
+from .ablations import (
+    algorithms_on_skew,
+    block_size_sweep,
+    canonical_vs_striped,
+    hierarchy_ablation,
+    overlap_ablation,
+    pipeline_ablation,
+    prefetch_ablation,
+    randomization_ablation,
+    run_length_ablation,
+    selection_strategies,
+    straggler_ablation,
+)
+from .figures import fig2, fig3, fig4, fig5, fig6
+from .harness import (
+    PE_COUNTS_FULL,
+    PE_COUNTS_QUICK,
+    RunRecord,
+    paper_config,
+    run_canonical,
+    sortbench_config,
+)
+from .planner import SortPlan, plan_sort
+from .report import FigureResult, format_table, write_report
+from .sweeps import METRICS, save_csv, sweep
+from .sortbench import daytona, graysort, minutesort, terabytesort
+
+#: Every regenerable experiment, by id.
+EXPERIMENTS = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "graysort": graysort,
+    "minutesort": minutesort,
+    "terabytesort": terabytesort,
+    "daytona": daytona,
+    "ablation_selection": selection_strategies,
+    "ablation_blocksize": block_size_sweep,
+    "ablation_overlap": overlap_ablation,
+    "ablation_prefetch": prefetch_ablation,
+    "ablation_randomization": randomization_ablation,
+    "ablation_skew": algorithms_on_skew,
+    "ablation_striped": canonical_vs_striped,
+    "ablation_runlength": run_length_ablation,
+    "ablation_pipeline": pipeline_ablation,
+    "ablation_faults": straggler_ablation,
+    "ablation_hierarchy": hierarchy_ablation,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "FigureResult",
+    "format_table",
+    "write_report",
+    "RunRecord",
+    "paper_config",
+    "sortbench_config",
+    "run_canonical",
+    "PE_COUNTS_FULL",
+    "PE_COUNTS_QUICK",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "graysort",
+    "minutesort",
+    "terabytesort",
+    "daytona",
+    "selection_strategies",
+    "block_size_sweep",
+    "overlap_ablation",
+    "prefetch_ablation",
+    "randomization_ablation",
+    "algorithms_on_skew",
+    "canonical_vs_striped",
+    "run_length_ablation",
+    "pipeline_ablation",
+    "straggler_ablation",
+    "hierarchy_ablation",
+    "SortPlan",
+    "plan_sort",
+    "sweep",
+    "save_csv",
+    "METRICS",
+]

@@ -1,0 +1,150 @@
+"""Benchmark harness: paper-scale configurations and single-run drivers.
+
+The harness expresses every experiment of Section VI in the paper's own
+units.  The default configuration mirrors the scalability experiments:
+100 GiB of 16-byte elements per PE, 16 GiB nodes (12 GiB usable for run
+data), 8 MiB blocks — simulated at ``downscale = 96`` so that one run
+piece spans 16 simulated blocks and R ≈ 9 runs form, the same run count
+the paper's ratios produce (see DESIGN.md §5 for the scaling rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.machine import GiB, MachineSpec, MiB, PAPER_MACHINE
+from ..core.canonical import CanonicalMergeSort, SortResult
+from ..core.config import SortConfig
+from ..records.element import ELEM_PAPER_16B, ELEM_SORTBENCH_100B
+from ..workloads.generators import generate_input, input_keys
+from ..workloads.gensort import generate_gensort_input
+from ..workloads.validation import validate_output
+
+__all__ = [
+    "PE_COUNTS_FULL",
+    "PE_COUNTS_QUICK",
+    "paper_config",
+    "sortbench_config",
+    "run_canonical",
+    "RunRecord",
+]
+
+#: The x-axis of Figures 2 and 4-6.
+PE_COUNTS_FULL = [1, 2, 4, 8, 16, 32, 64]
+#: Reduced sweep for CI-speed benchmark runs.
+PE_COUNTS_QUICK = [1, 2, 4, 8]
+
+
+def paper_config(**overrides) -> SortConfig:
+    """The Section VI scalability setup (100 GiB/PE of 16-byte elements)."""
+    params = dict(
+        element=ELEM_PAPER_16B,
+        data_per_node_bytes=100 * GiB,
+        memory_bytes=12 * GiB,
+        block_bytes=8 * MiB,
+        downscale=96,
+        block_elems=32,
+        randomize=True,
+    )
+    params.update(overrides)
+    return SortConfig(**params)
+
+
+def sortbench_config(
+    data_per_node_bytes: float, downscale: float, **overrides
+) -> SortConfig:
+    """A SortBenchmark setup: 100-byte records, 10-byte keys."""
+    params = dict(
+        element=ELEM_SORTBENCH_100B,
+        data_per_node_bytes=data_per_node_bytes,
+        memory_bytes=12 * GiB,
+        block_bytes=8 * MiB,
+        downscale=downscale,
+        block_elems=32,
+        randomize=True,
+    )
+    params.update(overrides)
+    return SortConfig(**params)
+
+
+@dataclass
+class RunRecord:
+    """One harness execution: result plus derived paper-scale metrics."""
+
+    n_nodes: int
+    workload: str
+    result: SortResult
+    validated: bool
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+    @property
+    def config(self) -> SortConfig:
+        return self.result.config
+
+    @property
+    def total_bytes(self) -> float:
+        """Full paper-scale input bytes over the machine (the paper's N)."""
+        return self.config.data_per_node_bytes * self.n_nodes
+
+    @property
+    def simulated_bytes(self) -> float:
+        """Represented bytes actually simulated (N / downscale)."""
+        return self.config.total_bytes(self.n_nodes)
+
+    @property
+    def total_seconds(self) -> float:
+        """Estimated paper-scale end-to-end seconds."""
+        return self.stats.scaled_total_time
+
+    @property
+    def throughput_gb_per_min(self) -> float:
+        """Sorted GB (decimal) per minute — the GraySort metric."""
+        if self.total_seconds == 0:
+            return 0.0
+        return (self.total_bytes / 1e9) / (self.total_seconds / 60.0)
+
+    @property
+    def alltoall_volume_ratio(self) -> float:
+        """All-to-all phase I/O volume divided by N (Figure 5's y-axis).
+
+        Both numerator and denominator are simulated volumes; the ratio is
+        downscale-invariant.
+        """
+        return self.stats.phase_bytes("all_to_all") / self.simulated_bytes
+
+    def phase_seconds(self, phase: str) -> float:
+        return self.stats.scaled_wall_max(phase)
+
+
+def run_canonical(
+    n_nodes: int,
+    workload: str = "random",
+    config: Optional[SortConfig] = None,
+    spec: MachineSpec = PAPER_MACHINE,
+    validate: bool = True,
+    seed: Optional[int] = None,
+) -> RunRecord:
+    """Execute one CanonicalMergeSort on a fresh simulated cluster."""
+    config = config if config is not None else paper_config()
+    cluster = Cluster(n_nodes, spec=spec)
+    if workload == "gensort":
+        em, inputs = generate_gensort_input(
+            cluster, config, seed=seed if seed is not None else config.seed
+        )
+    else:
+        em, inputs = generate_input(cluster, config, kind=workload, seed=seed)
+    before = input_keys(em, inputs) if validate else None
+    result = CanonicalMergeSort(cluster, config).sort(em, inputs)
+    validated = False
+    if validate:
+        report = validate_output(before, result.output_keys(em))
+        report.raise_if_failed()
+        validated = True
+    return RunRecord(
+        n_nodes=n_nodes, workload=workload, result=result, validated=validated
+    )

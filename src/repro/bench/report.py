@@ -1,0 +1,76 @@
+"""Plain-text table rendering and result persistence for the harness."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FigureResult", "format_table", "write_report"]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table or figure: rows plus paper-side context."""
+
+    #: Experiment id, e.g. "fig2" or "graysort".
+    name: str
+    #: Human title, e.g. "Figure 2: running times, random input".
+    title: str
+    #: Column names, in display order.
+    header: List[str]
+    #: One dict per row (keys are header names).
+    rows: List[Dict[str, object]]
+    #: What the paper reports for this experiment (for EXPERIMENTS.md).
+    paper_claims: List[str] = field(default_factory=list)
+    #: Observations about the measured shape.
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [self.title, "=" * len(self.title), ""]
+        lines.append(format_table(self.header, self.rows))
+        if self.paper_claims:
+            lines.append("")
+            lines.append("Paper reports:")
+            lines.extend(f"  - {c}" for c in self.paper_claims)
+        if self.notes:
+            lines.append("")
+            lines.append("Measured (this reproduction):")
+            lines.extend(f"  - {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(header: Sequence[str], rows: List[Dict[str, object]]) -> str:
+    """Fixed-width text table from header names and row dicts."""
+    cells = [[_fmt(row.get(col, "")) for col in header] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(header)
+    ]
+    def line(parts):
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def write_report(result: FigureResult, out_dir: Optional[str] = None) -> str:
+    """Persist a rendered report under ``bench_results/``; returns the path."""
+    out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR", "bench_results")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{result.name}.txt")
+    with open(path, "w") as handle:
+        handle.write(result.render() + "\n")
+    return path

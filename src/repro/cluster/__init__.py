@@ -1,0 +1,27 @@
+"""Simulated distributed-memory cluster (nodes, disks, fabric, MPI)."""
+
+from .cluster import Cluster
+from .disk import Disk
+from .faults import inject_disk_slowdown, inject_disk_stall, inject_node_slowdown
+from .machine import GB, GiB, MB, MachineSpec, MiB, PAPER_MACHINE
+from .mpi import CollectiveMismatch, Comm
+from .network import Fabric
+from .node import Node
+
+__all__ = [
+    "Cluster",
+    "Disk",
+    "inject_disk_slowdown",
+    "inject_disk_stall",
+    "inject_node_slowdown",
+    "MachineSpec",
+    "PAPER_MACHINE",
+    "Comm",
+    "CollectiveMismatch",
+    "Fabric",
+    "Node",
+    "MiB",
+    "GiB",
+    "MB",
+    "GB",
+]

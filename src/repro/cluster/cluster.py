@@ -1,0 +1,105 @@
+"""Cluster assembly: simulator + nodes + fabric + communicator.
+
+A :class:`Cluster` is the execution environment of every sorting algorithm
+in this package.  SPMD code is expressed as one generator per rank; the
+cluster spawns all of them as simulation processes and runs the event loop
+to completion::
+
+    cluster = Cluster(n_nodes=8)
+
+    def pe_main(rank, cluster):
+        yield cluster.comm.barrier(rank)
+        return rank
+
+    results = cluster.run_spmd(pe_main)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..sim.engine import SimulationError, Simulator
+from .machine import PAPER_MACHINE, MachineSpec
+from .mpi import Comm
+from .network import Fabric
+from .node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A distributed-memory machine of ``n_nodes`` identical nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        spec: MachineSpec = PAPER_MACHINE,
+        seed: Optional[int] = 0,
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        self.spec = spec
+        self.sim = Simulator()
+        rng = np.random.default_rng(seed) if seed is not None else None
+        self.nodes: List[Node] = [
+            Node(self.sim, spec, node_id=i, rng=rng) for i in range(n_nodes)
+        ]
+        self.fabric = Fabric(self.sim, spec, n_nodes)
+        self.comm = Comm(self.fabric, n_nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_disks(self) -> int:
+        """Total disk count of the machine (the paper's ``D``)."""
+        return sum(len(node.disks) for node in self.nodes)
+
+    def run_spmd(
+        self,
+        pe_main: Callable[[int, "Cluster"], Generator],
+        ranks: Optional[List[int]] = None,
+    ) -> List[Any]:
+        """Run one process per rank to completion; return their results.
+
+        ``pe_main(rank, cluster)`` must be a generator function.  Raises if
+        any process deadlocks (typically a collective someone never joined).
+        """
+        if ranks is None:
+            ranks = list(range(self.n_nodes))
+        procs = [
+            self.sim.process(pe_main(rank, self), name=f"pe{rank}") for rank in ranks
+        ]
+        self.sim.run()
+        stuck = [p.name for p in procs if not p.triggered]
+        if stuck:
+            raise SimulationError(
+                f"SPMD processes never finished: {stuck} "
+                "(deadlock — likely a mismatched collective)"
+            )
+        return [p.value for p in procs]
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    @property
+    def total_bytes_read(self) -> float:
+        return sum(node.bytes_read for node in self.nodes)
+
+    @property
+    def total_bytes_written(self) -> float:
+        return sum(node.bytes_written for node in self.nodes)
+
+    @property
+    def total_io_bytes(self) -> float:
+        """All disk traffic, reads plus writes (the paper's I/O volume)."""
+        return self.total_bytes_read + self.total_bytes_written
+
+    @property
+    def total_network_bytes(self) -> float:
+        return self.fabric.bytes_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Cluster P={self.n_nodes} D={self.n_disks}>"

@@ -1,0 +1,115 @@
+"""Performance-fault injection.
+
+The paper's outlook (§VII) raises fault tolerance as the open question
+for very large machines.  Data-loss tolerance needs redundancy the
+algorithm does not have (the authors note Google pays a factor ~3 in
+disks for it); what *can* be studied on this simulator is the class of
+faults that dominates in practice long before disks die: **stragglers** —
+disks that degrade, disks that stall, nodes that lose compute capacity.
+
+Injectors are plain functions that schedule state changes on the
+simulation clock.  They never corrupt data (the sort must stay correct
+under every injection — the failure-injection tests assert exactly that);
+they only bend the performance model, so their visible effect is the
+per-PE imbalance of Figure 3 growing until the slowest PE gates every
+phase barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .cluster import Cluster
+
+__all__ = [
+    "inject_disk_slowdown",
+    "inject_disk_stall",
+    "inject_node_slowdown",
+]
+
+
+def _at(sim: Simulator, when: float, fn) -> None:
+    if when < sim.now:
+        raise ValueError(f"cannot schedule a fault in the past ({when} < {sim.now})")
+    sim._schedule_call(fn, when - sim.now)
+
+
+def inject_disk_slowdown(
+    cluster: Cluster,
+    node: int,
+    disk: int,
+    factor: float,
+    at: float = 0.0,
+    duration: Optional[float] = None,
+) -> None:
+    """Degrade one disk's bandwidth by ``factor`` (> 1 = slower).
+
+    Models the long tail of rotating disks: remapped sectors, inner
+    tracks, a failing head.  ``duration=None`` leaves the disk degraded
+    for the rest of the run.
+    """
+    if factor <= 0:
+        raise ValueError(f"slowdown factor must be positive, got {factor}")
+    target = cluster.nodes[node].disks[disk]
+    healthy = target.bandwidth
+
+    def degrade():
+        target.bandwidth = healthy / factor
+
+    def recover():
+        target.bandwidth = healthy
+
+    _at(cluster.sim, at, degrade)
+    if duration is not None:
+        _at(cluster.sim, at + duration, recover)
+
+
+def inject_disk_stall(
+    cluster: Cluster,
+    node: int,
+    disk: int,
+    at: float,
+    duration: float,
+) -> None:
+    """Freeze one disk for ``duration`` seconds from time ``at``.
+
+    Models a device timeout / bus reset: requests already queued (and any
+    submitted during the stall) wait the stall out, then drain in order.
+    """
+    if duration < 0:
+        raise ValueError(f"negative stall duration {duration}")
+    target = cluster.nodes[node].disks[disk]
+
+    def stall():
+        # A maximal-priority dummy request occupies the server.
+        target.server.request(duration, tag="fault_stall")
+
+    _at(cluster.sim, at, stall)
+
+
+def inject_node_slowdown(
+    cluster: Cluster,
+    node: int,
+    factor: float,
+    at: float = 0.0,
+    duration: Optional[float] = None,
+) -> None:
+    """Scale one node's computation times by ``factor`` (> 1 = slower).
+
+    Models thermal throttling, a co-scheduled job, or a memory DIMM
+    running in degraded mode.
+    """
+    if factor <= 0:
+        raise ValueError(f"slowdown factor must be positive, got {factor}")
+    target = cluster.nodes[node]
+
+    def degrade():
+        target.compute_factor = factor
+
+    def recover():
+        target.compute_factor = 1.0
+
+    _at(cluster.sim, at, degrade)
+    if duration is not None:
+        _at(cluster.sim, at + duration, recover)

@@ -1,0 +1,171 @@
+"""Machine calibration: the paper's evaluation cluster as a parameter set.
+
+The experiments in Rahn/Sanders/Singler ran on a 200-node Intel Xeon
+cluster (Section VI):
+
+* 2 x quad-core Xeon X5355 @ 2.667 GHz per node (8 cores), 16 GiB RAM,
+* 4 x Seagate Barracuda 7200.10 (250 GB) per node, RAID-0, XFS,
+  measured peak streaming rates 60-71 MiB/s per disk (average 67 MiB/s),
+* 288-port InfiniBand 4xDDR switch, point-to-point > 1300 MB/s,
+  degrading to as low as 400 MB/s when most nodes communicate.
+
+:class:`MachineSpec` captures those numbers plus internal-computation rate
+constants calibrated so that, for 16-byte elements, run formation is
+slightly compute-bound (the grey gap of the paper's Figure 3) while for
+100-byte SortBenchmark records the sort is entirely I/O-bound ("for such
+large elements, the algorithm is not compute-bound at all", Section VI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = ["MachineSpec", "PAPER_MACHINE", "MiB", "GiB", "MB", "GB"]
+
+MiB = float(1 << 20)
+GiB = float(1 << 30)
+MB = 1e6
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware parameters and computation-rate calibration for one node."""
+
+    # --- CPU ---------------------------------------------------------------
+    cores_per_node: int = 8
+    clock_hz: float = 2.667e9
+    #: Efficiency of shared-memory parallel sort/merge across cores
+    #: (memory-bandwidth limits keep this well below 1 on the 2007 Xeons).
+    parallel_efficiency: float = 0.55
+
+    # --- memory ------------------------------------------------------------
+    ram_bytes: float = 16 * GiB
+    #: Fraction of RAM usable for run data (rest: buffers, OS, program).
+    usable_ram_fraction: float = 0.75
+    #: Sustained per-node memory bandwidth (copy streams), bytes/s.
+    mem_bandwidth: float = 5.0e9
+
+    # --- disks ---------------------------------------------------------------
+    disks_per_node: int = 4
+    #: Average sustained streaming bandwidth per disk, bytes/s.
+    disk_bandwidth: float = 67 * MiB
+    #: Spread of per-disk bandwidth, matching the measured 60..71 MiB/s
+    #: range ("natural spreading of disk performance", Section VI).
+    disk_bandwidth_spread: float = 5.5 * MiB
+    #: Average positioning time charged on non-sequential access (seek +
+    #: rotational latency of a 7200 rpm Barracuda).
+    disk_seek_time: float = 0.012
+    #: Positioning-cost discount for short forward jumps: batched reads
+    #: are issued in elevator (ascending-offset) order, as the paper's
+    #: offline disk scheduling remark for run formation suggests.
+    forward_seek_factor: float = 0.35
+    #: Long-run derating of streaming bandwidth (inner tracks, filesystem
+    #: overhead, startup/finalization; the paper observes ~50 MiB/s of the
+    #: 67 MiB/s peak, i.e. "more than 2/3 of the maximum").
+    disk_derating: float = 0.88
+
+    # --- network -------------------------------------------------------------
+    #: Point-to-point peak bandwidth between two nodes, bytes/s.
+    net_p2p_bandwidth: float = 1300 * MB
+    #: Floor under full-fabric congestion, bytes/s (measured "as low as
+    #: 400 MB/s" when most nodes are used).
+    net_min_bandwidth: float = 400 * MB
+    #: Congestion coefficient: effective per-node bandwidth is
+    #: ``max(min_bw, p2p / (1 + congestion * (active_nodes - 1)))``.
+    #: 0.0113 reproduces the 1300 -> ~400 MB/s decay at ~200 nodes.
+    net_congestion: float = 0.0113
+    #: One-way small-message latency (InfiniBand DDR + MPI stack), seconds.
+    net_latency: float = 4.0e-6
+
+    # --- internal computation rates -----------------------------------------
+    #: Comparison-sort cost: seconds per element-comparison-level on one
+    #: core, i.e. sorting n elements costs ``n * log2(n) * sort_cost``
+    #: before the key-size factor.  Calibrated to GCC parallel-mode STL
+    #: introsort on the X5355 (~10 ns per element-level for 16-byte
+    #: elements).
+    sort_cost_per_level: float = 1.0e-8
+    #: Multiway-merge cost: seconds per element per log2(k) level on one
+    #: core (loser trees touch fewer cache lines than sorting).
+    merge_cost_per_level: float = 8.0e-9
+    #: Fixed per-element handling cost (copy in/out, key extraction).
+    touch_cost: float = 2.0e-9
+
+    # ---------------------------------------------------------------------
+    # Derived quantities
+    # ---------------------------------------------------------------------
+
+    @property
+    def node_disk_bandwidth(self) -> float:
+        """Aggregate streaming disk bandwidth of one node (RAID-0)."""
+        return self.disks_per_node * self.disk_bandwidth * self.disk_derating
+
+    @property
+    def usable_ram(self) -> float:
+        """Bytes of RAM available to hold run data on one node."""
+        return self.ram_bytes * self.usable_ram_fraction
+
+    def net_bandwidth(self, active_nodes: int) -> float:
+        """Effective per-node network bandwidth with ``active_nodes`` busy."""
+        if active_nodes <= 1:
+            return self.net_p2p_bandwidth
+        bw = self.net_p2p_bandwidth / (1.0 + self.net_congestion * (active_nodes - 1))
+        return max(self.net_min_bandwidth, bw)
+
+    def parallel_cores(self) -> float:
+        """Effective core count after parallel efficiency."""
+        return max(1.0, self.cores_per_node * self.parallel_efficiency)
+
+    # -- computation cost model --------------------------------------------
+
+    def _bandwidth_floor(self, n_bytes: float, passes: float) -> float:
+        """Time floor from memory bandwidth for ``passes`` sweeps of data."""
+        return passes * n_bytes / self.mem_bandwidth
+
+    def sort_seconds(self, n_elements: float, elem_bytes: float) -> float:
+        """Model of shared-memory parallel sort of ``n_elements``.
+
+        Comparison work scales with ``n log n`` over the effective cores;
+        a memory-bandwidth floor models the data movement (roughly four
+        sweeps for an out-of-place parallel mergesort).
+        """
+        if n_elements <= 1:
+            return 0.0
+        levels = math.log2(max(2.0, n_elements))
+        key_factor = self._key_factor(elem_bytes)
+        cpu = n_elements * (levels * self.sort_cost_per_level * key_factor + self.touch_cost)
+        cpu /= self.parallel_cores()
+        return max(cpu, self._bandwidth_floor(n_elements * elem_bytes, 4.0))
+
+    def merge_seconds(self, n_elements: float, arity: int, elem_bytes: float) -> float:
+        """Model of shared-memory parallel ``arity``-way merge."""
+        if n_elements <= 0 or arity <= 1:
+            return self._bandwidth_floor(n_elements * elem_bytes, 2.0)
+        levels = math.log2(max(2.0, arity))
+        key_factor = self._key_factor(elem_bytes)
+        cpu = n_elements * (levels * self.merge_cost_per_level * key_factor + self.touch_cost)
+        cpu /= self.parallel_cores()
+        return max(cpu, self._bandwidth_floor(n_elements * elem_bytes, 2.0))
+
+    def scan_seconds(self, n_bytes: float) -> float:
+        """Model of a single linear sweep over ``n_bytes`` (partitioning)."""
+        return self._bandwidth_floor(n_bytes, 1.0)
+
+    def _key_factor(self, elem_bytes: float) -> float:
+        """Comparison-cost scaling with element size.
+
+        Small elements (16 B) are comparison-dominated; big SortBenchmark
+        records (100 B) cost a little more per comparison (10-byte string
+        keys, worse cache density) but far fewer comparisons per byte, so
+        large-element sorts become I/O-bound exactly as in the paper.
+        """
+        return 1.0 + elem_bytes / 200.0
+
+    def with_overrides(self, **kwargs) -> "MachineSpec":
+        """A copy of the spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The cluster of the paper's Section VI, as a ready-made spec.
+PAPER_MACHINE = MachineSpec()

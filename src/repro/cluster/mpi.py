@@ -1,0 +1,254 @@
+"""Simulated MPI collectives.
+
+The paper's implementation communicates through MPI (MVAPICH); the
+collective that matters is ``MPI_Alltoallv`` — which the authors had to
+re-implement to break the 32-bit 2 GiB count limit.  Here the collectives
+are simulated: SPMD processes from all ranks arrive at a
+:class:`~repro.sim.resources.Rendezvous`, a resolver computes each rank's
+completion time from the exchanged byte volumes under the fabric's
+congestion model, and the payloads themselves (Python objects / numpy
+arrays) are handed to their destinations by reference.
+
+Collective matching works like MPI's ordering rule: the *n*-th collective
+call on each rank matches the *n*-th call on every other rank.  Mismatched
+operation kinds raise immediately instead of deadlocking.
+
+Because the real data volumes are *represented* (a simulated block stands
+for an 8 MiB paper block), every operation takes explicit byte counts; the
+arrays carried alongside are only the keys the algorithms actually need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..sim.engine import Event, SimulationError
+from ..sim.resources import Rendezvous
+from .network import Fabric
+
+__all__ = ["Comm", "CollectiveMismatch", "MAX_INT32_BYTES"]
+
+#: MPI's 32-bit count limit the paper had to work around (Section V).  Our
+#: alltoallv accounts an extra latency per 2 GiB chunk to model the split
+#: the authors implemented.
+MAX_INT32_BYTES = float(2 ** 31)
+
+
+class CollectiveMismatch(SimulationError):
+    """Ranks issued different collective operations at the same match point."""
+
+
+class _Op:
+    """Payload wrapper carrying the op kind for mismatch detection."""
+
+    __slots__ = ("kind", "data")
+
+    def __init__(self, kind: str, data: Any):
+        self.kind = kind
+        self.data = data
+
+
+class Comm:
+    """An MPI-like communicator over ``size`` ranks."""
+
+    def __init__(self, fabric: Fabric, size: int):
+        self.fabric = fabric
+        self.size = size
+        self._counters: List[int] = [0] * size
+        self._pending: Dict[int, Rendezvous] = {}
+
+    # -- matching -------------------------------------------------------------
+
+    def _arrive(self, rank: int, kind: str, data: Any) -> Event:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+        op_index = self._counters[rank]
+        self._counters[rank] += 1
+        rv = self._pending.get(op_index)
+        if rv is None:
+            rv = Rendezvous(
+                self.fabric.sim,
+                parties=self.size,
+                resolve=lambda payloads, idx=op_index: self._resolve(idx, payloads),
+                name=f"coll#{op_index}",
+            )
+            self._pending[op_index] = rv
+        return rv.arrive(rank, _Op(kind, data))
+
+    def _resolve(self, op_index: int, payloads: Dict[int, _Op]) -> Dict[int, Tuple[float, Any]]:
+        self._pending.pop(op_index, None)
+        kinds = {op.kind for op in payloads.values()}
+        if len(kinds) != 1:
+            raise CollectiveMismatch(
+                f"collective #{op_index} mixes operations {sorted(kinds)}"
+            )
+        kind = kinds.pop()
+        resolver = getattr(self, f"_resolve_{kind}")
+        return resolver({rank: op.data for rank, op in payloads.items()})
+
+    # -- barrier ----------------------------------------------------------------
+
+    def barrier(self, rank: int) -> Event:
+        """Synchronize all ranks; fires after the collective latency."""
+        return self._arrive(rank, "barrier", None)
+
+    def _resolve_barrier(self, payloads: Dict[int, Any]) -> Dict[int, Tuple[float, Any]]:
+        delay = self.fabric.collective_latency(self.size)
+        return {rank: (delay, None) for rank in payloads}
+
+    # -- allreduce ---------------------------------------------------------------
+
+    def allreduce(self, rank: int, value: Any, op: Callable[[Any, Any], Any]) -> Event:
+        """Reduce ``value`` over all ranks with binary ``op``; all get the result."""
+        return self._arrive(rank, "allreduce", (value, op))
+
+    def _resolve_allreduce(self, payloads) -> Dict[int, Tuple[float, Any]]:
+        ranks = sorted(payloads)
+        op = payloads[ranks[0]][1]
+        acc = payloads[ranks[0]][0]
+        for r in ranks[1:]:
+            acc = op(acc, payloads[r][0])
+        delay = 2.0 * self.fabric.collective_latency(self.size)
+        self.fabric.record_traffic(0.0, messages=self.size)
+        return {rank: (delay, acc) for rank in payloads}
+
+    # -- allgather ----------------------------------------------------------------
+
+    def allgather(self, rank: int, value: Any, nbytes: float = 0.0) -> Event:
+        """Every rank contributes ``value``; all receive the list by rank."""
+        return self._arrive(rank, "allgather", (value, nbytes))
+
+    def _resolve_allgather(self, payloads) -> Dict[int, Tuple[float, Any]]:
+        gathered = [payloads[r][0] for r in sorted(payloads)]
+        total_bytes = sum(payloads[r][1] for r in payloads)
+        recv_bytes = total_bytes  # each rank receives everyone's contribution
+        bw = self.fabric.effective_bandwidth(self.size)
+        delay = self.fabric.collective_latency(self.size) + recv_bytes / bw
+        self.fabric.record_traffic(total_bytes * max(0, self.size - 1), self.size)
+        return {rank: (delay, gathered) for rank in payloads}
+
+    # -- gather / broadcast ----------------------------------------------------------
+
+    def gather(self, rank: int, value: Any, root: int = 0, nbytes: float = 0.0) -> Event:
+        """Collect one value per rank at ``root`` (others receive ``None``)."""
+        return self._arrive(rank, "gather", (value, root, nbytes))
+
+    def _resolve_gather(self, payloads) -> Dict[int, Tuple[float, Any]]:
+        roots = {payloads[r][1] for r in payloads}
+        if len(roots) != 1:
+            raise CollectiveMismatch(f"gather roots disagree: {sorted(roots)}")
+        root = roots.pop()
+        gathered = [payloads[r][0] for r in sorted(payloads)]
+        total_bytes = sum(payloads[r][2] for r in payloads)
+        bw = self.fabric.effective_bandwidth(self.size)
+        base = self.fabric.collective_latency(self.size)
+        self.fabric.record_traffic(total_bytes, self.size)
+        out: Dict[int, Tuple[float, Any]] = {}
+        for rank in payloads:
+            if rank == root:
+                out[rank] = (base + total_bytes / bw, gathered)
+            else:
+                out[rank] = (base, None)
+        return out
+
+    def bcast(self, rank: int, value: Any, root: int = 0, nbytes: float = 0.0) -> Event:
+        """Broadcast ``value`` from ``root``; every rank receives it."""
+        return self._arrive(rank, "bcast", (value, root, nbytes))
+
+    def _resolve_bcast(self, payloads) -> Dict[int, Tuple[float, Any]]:
+        roots = {payloads[r][1] for r in payloads}
+        if len(roots) != 1:
+            raise CollectiveMismatch(f"bcast roots disagree: {sorted(roots)}")
+        root = roots.pop()
+        value, _root, nbytes = payloads[root]
+        bw = self.fabric.effective_bandwidth(self.size)
+        delay = self.fabric.collective_latency(self.size) + nbytes / bw
+        self.fabric.record_traffic(nbytes * max(0, self.size - 1), self.size)
+        return {rank: (delay, value) for rank in payloads}
+
+    # -- scatter -----------------------------------------------------------------
+
+    def scatter(self, rank: int, values, root: int = 0, nbytes: float = 0.0) -> Event:
+        """Distribute ``values[i]`` from ``root`` to rank ``i``.
+
+        Only the root's ``values`` are used (others pass None, as in MPI);
+        ``nbytes`` is the total payload leaving the root.
+        """
+        return self._arrive(rank, "scatter", (values, root, nbytes))
+
+    def _resolve_scatter(self, payloads) -> Dict[int, Tuple[float, Any]]:
+        roots = {payloads[r][1] for r in payloads}
+        if len(roots) != 1:
+            raise CollectiveMismatch(f"scatter roots disagree: {sorted(roots)}")
+        root = roots.pop()
+        values, _root, nbytes = payloads[root]
+        if values is None or len(values) != self.size:
+            raise ValueError(
+                f"scatter root must supply {self.size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        bw = self.fabric.effective_bandwidth(self.size)
+        delay = self.fabric.collective_latency(self.size) + nbytes / bw
+        self.fabric.record_traffic(nbytes * max(0, self.size - 1) / max(1, self.size),
+                                   self.size)
+        return {rank: (delay, values[rank]) for rank in payloads}
+
+    # -- alltoallv -------------------------------------------------------------------
+
+    def alltoallv(
+        self,
+        rank: int,
+        send: Sequence[Any],
+        send_bytes: Sequence[float],
+    ) -> Event:
+        """Personalized all-to-all exchange.
+
+        ``send[j]`` is the object destined for rank ``j`` and
+        ``send_bytes[j]`` its represented volume.  The event fires with
+        ``(recv, recv_bytes)`` where ``recv[j]`` is the object rank ``j``
+        sent here.  Per-rank completion time is
+        ``max(bytes out, bytes in) / effective bandwidth`` (full-duplex
+        NICs) plus latency per message and per 2 GiB chunk (the MPI 32-bit
+        split of Section V).
+        """
+        if len(send) != self.size or len(send_bytes) != self.size:
+            raise ValueError(
+                f"alltoallv from rank {rank}: expected {self.size} entries, "
+                f"got {len(send)} objects / {len(send_bytes)} sizes"
+            )
+        return self._arrive(rank, "alltoallv", (list(send), list(send_bytes)))
+
+    def _resolve_alltoallv(self, payloads) -> Dict[int, Tuple[float, Any]]:
+        size = self.size
+        spec = self.fabric.spec
+        # Volume matrix, diagonal (self traffic) excluded from the network.
+        out_bytes = [0.0] * size
+        in_bytes = [0.0] * size
+        out_msgs = [0] * size
+        total = 0.0
+        for s in payloads:
+            _objs, sizes = payloads[s]
+            for d in range(size):
+                if d == s:
+                    continue
+                v = sizes[d]
+                if v < 0:
+                    raise ValueError(f"negative alltoallv volume {v} ({s}->{d})")
+                if v > 0:
+                    out_bytes[s] += v
+                    in_bytes[d] += v
+                    # one message plus the 2 GiB chunking of Section V
+                    out_msgs[s] += 1 + int(v // MAX_INT32_BYTES)
+                    total += v
+        active = sum(1 for r in range(size) if out_bytes[r] > 0 or in_bytes[r] > 0)
+        bw = self.fabric.effective_bandwidth(max(1, active))
+        base = self.fabric.collective_latency(size)
+        self.fabric.record_traffic(total, sum(out_msgs))
+        out: Dict[int, Tuple[float, Any]] = {}
+        for rank in payloads:
+            recv = [payloads[s][0][rank] for s in range(size)]
+            recv_bytes = [payloads[s][1][rank] for s in range(size)]
+            wire = max(out_bytes[rank], in_bytes[rank]) / bw
+            delay = base + wire + out_msgs[rank] * spec.net_latency
+            out[rank] = (delay, (recv, recv_bytes))
+        return out

@@ -1,0 +1,65 @@
+"""Interconnect model.
+
+The paper's cluster uses a 288-port InfiniBand 4xDDR switch: point-to-point
+bandwidth above 1300 MB/s that collapses to roughly 400 MB/s when most of
+the fabric is loaded ("the fabric gets overloaded").  We model the fabric
+with an *effective per-node bandwidth* that decays with the number of
+concurrently communicating nodes (see :meth:`MachineSpec.net_bandwidth`)
+plus a small per-message latency.
+
+Collective operations are timed analytically from their volume matrices by
+:mod:`repro.cluster.mpi`; this module provides the underlying cost
+functions and tracks global traffic statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..sim.engine import Simulator
+from .machine import MachineSpec
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """The switched interconnect shared by all nodes of a cluster."""
+
+    def __init__(self, sim: Simulator, spec: MachineSpec, n_nodes: int):
+        self.sim = sim
+        self.spec = spec
+        self.n_nodes = n_nodes
+        #: Total bytes ever injected into the fabric.
+        self.bytes_sent = 0.0
+        #: Total messages (for latency accounting / diagnostics).
+        self.n_messages = 0
+
+    def effective_bandwidth(self, active_nodes: int) -> float:
+        """Per-node bandwidth (bytes/s) with ``active_nodes`` communicating."""
+        return self.spec.net_bandwidth(min(active_nodes, self.n_nodes))
+
+    def transfer_seconds(self, nbytes: float, active_nodes: int, messages: int = 1) -> float:
+        """Cost of moving ``nbytes`` off (or onto) one node.
+
+        ``active_nodes`` sets the congestion level; ``messages`` adds
+        per-message latency (a fine-grained exchange of many small pieces
+        is slower than one large message of equal volume).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes!r}")
+        bw = self.effective_bandwidth(active_nodes)
+        return nbytes / bw + messages * self.spec.net_latency
+
+    def record_traffic(self, nbytes: float, messages: int = 1) -> None:
+        """Account traffic that was timed elsewhere (collectives)."""
+        self.bytes_sent += nbytes
+        self.n_messages += messages
+
+    def collective_latency(self, parties: int) -> float:
+        """Software/startup latency of a collective over ``parties`` ranks.
+
+        Tree-structured dissemination: O(log2 P) message latencies.
+        """
+        if parties <= 1:
+            return 0.0
+        return math.ceil(math.log2(parties)) * self.spec.net_latency

@@ -1,0 +1,31 @@
+"""External-memory substrate: blocks, stores, runs, prefetching, caching."""
+
+from .block import BID
+from .blockmanager import BlockStore, remote_read
+from .cache import LRUCache
+from .context import ExternalMemory
+from .file import DistributedRun, LocalRunPiece, PieceReader, write_piece
+from .prefetch import (
+    naive_schedule,
+    optimal_prefetch_schedule,
+    prediction_order,
+    schedule_is_valid,
+    schedule_steps,
+)
+
+__all__ = [
+    "BID",
+    "BlockStore",
+    "remote_read",
+    "LRUCache",
+    "ExternalMemory",
+    "DistributedRun",
+    "LocalRunPiece",
+    "PieceReader",
+    "write_piece",
+    "naive_schedule",
+    "optimal_prefetch_schedule",
+    "prediction_order",
+    "schedule_is_valid",
+    "schedule_steps",
+]

@@ -1,0 +1,32 @@
+"""Block identifiers.
+
+External memory is organized in fixed-size blocks (the paper's ``B``,
+8 MiB by default).  A :class:`BID` names one block slot: the node it lives
+on, the disk within that node, and the slot index on that disk.  Slot
+indices translate to byte offsets for the disk model's seek decisions.
+
+A simulated block *represents* a full paper-scale block: it carries
+``block_elems`` real keys but is charged ``block_bytes`` of I/O (see
+DESIGN.md, "Scaling discipline").
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["BID"]
+
+
+class BID(NamedTuple):
+    """Globally unique block address: (node, disk, slot)."""
+
+    node: int
+    disk: int
+    slot: int
+
+    def offset_bytes(self, block_bytes: float) -> float:
+        """Byte offset of this slot on its disk."""
+        return self.slot * block_bytes
+
+    def __str__(self) -> str:
+        return f"b{self.node}.{self.disk}.{self.slot}"

@@ -1,0 +1,167 @@
+"""Per-node block store: allocation, reads, writes, remote access.
+
+This is the reproduction's analogue of STXXL's block manager.  Each node
+owns one :class:`BlockStore` that
+
+* allocates/frees block slots on the node's disks (round-robin striping
+  over the local RAID, with slot reuse so in-place operation is visible
+  in the ``peak_blocks`` statistic),
+* performs timed block reads/writes against the simulated disks, with
+  phase tags for busy-time attribution,
+* holds the actual key arrays of live blocks (simulation state — the
+  "platters").
+
+Remote block reads (needed by the multiway-selection phase) combine the
+owner's disk service time with a network transfer; see :func:`remote_read`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..cluster.network import Fabric
+from ..cluster.node import Node
+from ..sim.engine import Event, SimulationError
+from .block import BID
+
+__all__ = ["BlockStore", "remote_read"]
+
+
+class BlockStore:
+    """Block allocation and I/O for one node."""
+
+    def __init__(self, node: Node, block_bytes: float, block_elems: int):
+        if block_elems < 1:
+            raise ValueError(f"block_elems must be >= 1, got {block_elems}")
+        if block_bytes <= 0:
+            raise ValueError(f"block_bytes must be positive, got {block_bytes}")
+        self.node = node
+        self.block_bytes = float(block_bytes)
+        self.block_elems = int(block_elems)
+        self._data: Dict[BID, np.ndarray] = {}
+        self._next_slot: List[int] = [0] * len(node.disks)
+        self._free: List[List[int]] = [[] for _ in node.disks]
+        self._rr_disk = 0
+        self.blocks_in_use = 0
+        self.peak_blocks = 0
+        self.n_allocated = 0
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate(self, disk: Optional[int] = None) -> BID:
+        """Reserve a block slot (round-robin over local disks by default)."""
+        if disk is None:
+            disk = self._rr_disk
+            self._rr_disk = (self._rr_disk + 1) % len(self.node.disks)
+        if not 0 <= disk < len(self.node.disks):
+            raise ValueError(f"disk {disk} out of range on node {self.node.node_id}")
+        free = self._free[disk]
+        slot = free.pop() if free else self._bump(disk)
+        bid = BID(self.node.node_id, disk, slot)
+        self.blocks_in_use += 1
+        self.n_allocated += 1
+        self.peak_blocks = max(self.peak_blocks, self.blocks_in_use)
+        return bid
+
+    def _bump(self, disk: int) -> int:
+        slot = self._next_slot[disk]
+        self._next_slot[disk] = slot + 1
+        return slot
+
+    def free(self, bid: BID) -> None:
+        """Release a block slot (and drop its data)."""
+        self._check_local(bid)
+        self._data.pop(bid, None)
+        self._free[bid.disk].append(bid.slot)
+        self.blocks_in_use -= 1
+        if self.blocks_in_use < 0:
+            raise SimulationError(f"double free of {bid}")
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def write(self, bid: BID, keys: np.ndarray, tag: Optional[str] = None) -> Event:
+        """Write ``keys`` (at most ``block_elems`` of them) to ``bid``.
+
+        Returns the disk-completion event.  A full ``block_bytes`` is
+        charged even for partially filled blocks — exactly the overhead
+        the paper's external all-to-all analysis counts.
+        """
+        self._check_local(bid)
+        if len(keys) > self.block_elems:
+            raise ValueError(
+                f"{len(keys)} keys exceed block capacity {self.block_elems}"
+            )
+        self._data[bid] = keys
+        disk = self.node.disks[bid.disk]
+        return disk.write(bid.offset_bytes(self.block_bytes), self.block_bytes, tag=tag)
+
+    def read(self, bid: BID, tag: Optional[str] = None) -> Event:
+        """Read block ``bid``; the event fires with the key array."""
+        self._check_local(bid)
+        keys = self._data.get(bid)
+        if keys is None:
+            raise SimulationError(f"read of unwritten block {bid}")
+        disk = self.node.disks[bid.disk]
+        return disk.read(
+            bid.offset_bytes(self.block_bytes), self.block_bytes, tag=tag, result=keys
+        )
+
+    def peek(self, bid: BID) -> np.ndarray:
+        """Block contents without I/O accounting (validation/debug only)."""
+        self._check_local(bid)
+        keys = self._data.get(bid)
+        if keys is None:
+            raise SimulationError(f"peek of unwritten block {bid}")
+        return keys
+
+    def store_without_io(self, bid: BID, keys: np.ndarray) -> None:
+        """Install block contents with no disk charge.
+
+        Used for initial input placement (the input already exists on disk
+        before the clock starts, matching the benchmark rules).
+        """
+        self._check_local(bid)
+        if len(keys) > self.block_elems:
+            raise ValueError(
+                f"{len(keys)} keys exceed block capacity {self.block_elems}"
+            )
+        self._data[bid] = keys
+
+    def _check_local(self, bid: BID) -> None:
+        if bid.node != self.node.node_id:
+            raise SimulationError(
+                f"block {bid} does not live on node {self.node.node_id}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<BlockStore n{self.node.node_id} in_use={self.blocks_in_use} "
+            f"peak={self.peak_blocks}>"
+        )
+
+
+def remote_read(
+    stores: List[BlockStore],
+    fabric: Fabric,
+    reader_node: int,
+    bid: BID,
+    tag: Optional[str] = None,
+    active_nodes: int = 2,
+) -> Generator:
+    """Read a block that may live on another node.
+
+    A generator (use with ``yield from``): first the owning disk services
+    the read, then — if the block is remote — the fabric transfers it
+    (RDMA-style one-sided access; the owner CPU is not involved, matching
+    how the selection phase "requests data from remote disks").
+    Returns the key array.
+    """
+    store = stores[bid.node]
+    keys = yield store.read(bid, tag=tag)
+    if bid.node != reader_node:
+        nbytes = store.block_bytes
+        fabric.record_traffic(nbytes, messages=1)
+        yield fabric.sim.timeout(fabric.transfer_seconds(nbytes, active_nodes))
+    return keys

@@ -1,0 +1,62 @@
+"""LRU block cache.
+
+The multiway selection of Section IV-A repeatedly probes positions inside
+runs; consecutive probes of one splitter land in the same or neighbouring
+blocks.  The paper's third optimization — "we cache the most recently
+accessed disk blocks to eliminate the R log B last disk accesses" — is
+this cache.  Hit/miss counters feed the selection-cost statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A fixed-capacity least-recently-used map."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._items: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Look up ``key``; refreshes recency on hit, returns None on miss."""
+        if key in self._items:
+            self._items.move_to_end(key)
+            self.hits += 1
+            return self._items[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the least recently used entry."""
+        if self.capacity == 0:
+            return
+        if key in self._items:
+            self._items.move_to_end(key)
+        self._items[key] = value
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._items.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

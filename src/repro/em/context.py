@@ -1,0 +1,52 @@
+"""External-memory context: one block store per cluster node."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cluster.cluster import Cluster
+from .block import BID
+from .blockmanager import BlockStore, remote_read
+
+__all__ = ["ExternalMemory"]
+
+
+class ExternalMemory:
+    """Binds a cluster to per-node block stores of a common block format."""
+
+    def __init__(self, cluster: Cluster, block_bytes: float, block_elems: int):
+        self.cluster = cluster
+        self.block_bytes = float(block_bytes)
+        self.block_elems = int(block_elems)
+        self.stores: List[BlockStore] = [
+            BlockStore(node, block_bytes, block_elems) for node in cluster.nodes
+        ]
+
+    def store(self, node: int) -> BlockStore:
+        """The block store of ``node``."""
+        return self.stores[node]
+
+    def read_block(
+        self,
+        reader_node: int,
+        bid: BID,
+        tag: Optional[str] = None,
+        active_nodes: int = 2,
+    ) -> Generator:
+        """Read a possibly-remote block (``yield from``); returns its keys."""
+        return remote_read(
+            self.stores,
+            self.cluster.fabric,
+            reader_node,
+            bid,
+            tag=tag,
+            active_nodes=active_nodes,
+        )
+
+    @property
+    def total_blocks_in_use(self) -> int:
+        return sum(s.blocks_in_use for s in self.stores)
+
+    def peak_blocks(self, node: int) -> int:
+        """High-water block usage of ``node`` (for in-place accounting)."""
+        return self.stores[node].peak_blocks

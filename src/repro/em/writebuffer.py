@@ -1,0 +1,87 @@
+"""Streaming block writer with bounded outstanding requests.
+
+Models the write-buffer blocks of the paper (Section III: "We maintain D
+buffer blocks.  Whenever they are full, we output them to the disks in
+parallel."): keys are appended to an in-memory buffer; every time a full
+block accumulates it is written asynchronously, and the number of writes
+in flight is bounded by the shared ``outstanding`` list the owning phase
+generator drains.
+
+:meth:`StreamBlockWriter.flush` writes a *partially filled* block — the
+explicit I/O overhead the external all-to-all pays at sub-operation
+boundaries (Section IV-C/IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+import numpy as np
+
+from .block import BID
+from .blockmanager import BlockStore
+
+__all__ = ["SegmentBlock", "StreamBlockWriter"]
+
+
+@dataclass
+class SegmentBlock:
+    """One on-disk block of a sorted stream: address, fill and minimum."""
+
+    bid: BID
+    count: int
+    first_key: int
+
+
+class StreamBlockWriter:
+    """Accumulate sorted keys and write them out block by block."""
+
+    def __init__(self, store: BlockStore, tag: str, outstanding: List, max_outstanding: int):
+        if max_outstanding < 1:
+            raise ValueError("need at least one outstanding write slot")
+        self.store = store
+        self.tag = tag
+        self.outstanding = outstanding
+        self.max_outstanding = max_outstanding
+        self._pending: List[np.ndarray] = []
+        self._pending_count = 0
+        self.blocks: List[SegmentBlock] = []
+        self.partial_blocks = 0
+        self.keys_written = 0
+
+    def add(self, keys: np.ndarray) -> Generator:
+        """Append ``keys``, emitting full blocks (use with ``yield from``)."""
+        if len(keys) == 0:
+            return
+        self._pending.append(keys)
+        self._pending_count += len(keys)
+        while self._pending_count >= self.store.block_elems:
+            yield from self._emit(self.store.block_elems)
+
+    def flush(self) -> Generator:
+        """Write any remainder as a partially filled block."""
+        if self._pending_count > 0:
+            self.partial_blocks += 1
+            yield from self._emit(self._pending_count)
+
+    def drain(self) -> Generator:
+        """Wait for every outstanding write this writer may share."""
+        while self.outstanding:
+            yield self.outstanding.pop(0)
+
+    def _emit(self, n: int) -> Generator:
+        data = (
+            np.concatenate(self._pending)
+            if len(self._pending) > 1
+            else self._pending[0]
+        )
+        chunk, rest = data[:n], data[n:]
+        self._pending = [rest] if len(rest) else []
+        self._pending_count = len(rest)
+        bid = self.store.allocate()
+        self.blocks.append(SegmentBlock(bid, len(chunk), int(chunk[0])))
+        self.keys_written += len(chunk)
+        self.outstanding.append(self.store.write(bid, chunk, tag=self.tag))
+        if len(self.outstanding) > self.max_outstanding:
+            yield self.outstanding.pop(0)

@@ -1,0 +1,26 @@
+"""Record types and vectorized key-array kernels."""
+
+from .arrays import (
+    as_keys,
+    checksum,
+    exact_multiway_partition,
+    exact_multiway_partition_multi,
+    is_sorted,
+    merge_sorted_arrays,
+    partition_by_splitters,
+)
+from .element import ELEM_PAPER_16B, ELEM_SORTBENCH_100B, KEY_DTYPE, ElementType
+
+__all__ = [
+    "ElementType",
+    "ELEM_PAPER_16B",
+    "ELEM_SORTBENCH_100B",
+    "KEY_DTYPE",
+    "as_keys",
+    "checksum",
+    "exact_multiway_partition",
+    "exact_multiway_partition_multi",
+    "is_sorted",
+    "merge_sorted_arrays",
+    "partition_by_splitters",
+]

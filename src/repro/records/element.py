@@ -1,0 +1,63 @@
+"""Element (record) types.
+
+The paper evaluates two record shapes:
+
+* the scalability experiments (Figures 2-6) use 16-byte elements with
+  64-bit keys — small enough that "internal computation efficiency is as
+  important as high I/O throughput" (Section VI);
+* the SortBenchmark experiments use the benchmark's canonical 100-byte
+  records with 10-byte keys, for which "the algorithm is not compute-bound
+  at all".
+
+Keys are carried as unsigned 64-bit integers throughout the package (a
+10-byte SortBenchmark key is compared by its leading 8 bytes here, which
+preserves ordering for the uniformly random Indy inputs; the full 10-byte
+key is retained in the gensort record payloads for validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ElementType", "ELEM_PAPER_16B", "ELEM_SORTBENCH_100B", "KEY_DTYPE"]
+
+#: Numpy dtype used for keys everywhere in the package.
+KEY_DTYPE = np.uint64
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """Shape of one record: total size and key size in bytes."""
+
+    name: str
+    elem_bytes: int
+    key_bytes: int
+
+    def __post_init__(self):
+        if self.elem_bytes < self.key_bytes:
+            raise ValueError(
+                f"element of {self.elem_bytes} B cannot contain a "
+                f"{self.key_bytes} B key"
+            )
+
+    @property
+    def payload_bytes(self) -> int:
+        """Non-key bytes per record."""
+        return self.elem_bytes - self.key_bytes
+
+    def count_to_bytes(self, n_elements: float) -> float:
+        """Represented bytes of ``n_elements`` records."""
+        return n_elements * self.elem_bytes
+
+    def bytes_to_count(self, n_bytes: float) -> float:
+        """Record count representing ``n_bytes``."""
+        return n_bytes / self.elem_bytes
+
+
+#: 16-byte elements with 64-bit keys (Figures 2-6 of the paper).
+ELEM_PAPER_16B = ElementType("paper16", elem_bytes=16, key_bytes=8)
+
+#: SortBenchmark records: 100 bytes, 10-byte key (GraySort/MinuteSort).
+ELEM_SORTBENCH_100B = ElementType("sortbench100", elem_bytes=100, key_bytes=10)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel (engine + shared resources)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Pool, Rendezvous, Server, ServiceRequest
+from .trace import Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Pool",
+    "Rendezvous",
+    "Server",
+    "ServiceRequest",
+    "Tracer",
+]

@@ -1,0 +1,395 @@
+"""Discrete-event simulation engine.
+
+This module provides the minimal process-based simulation kernel that the
+whole reproduction runs on.  The design follows the classic coroutine style
+(as popularized by SimPy, re-implemented here because the environment is
+offline): simulation *processes* are Python generators that ``yield``
+:class:`Event` objects and are resumed when those events fire.
+
+The engine is deliberately small and deterministic:
+
+* time is a float (seconds of simulated wall-clock time),
+* events scheduled for the same instant fire in FIFO order of scheduling,
+* a :class:`Process` is itself an :class:`Event` that fires when the
+  underlying generator returns, carrying the generator's return value,
+* failures propagate: ``event.fail(exc)`` re-raises ``exc`` inside every
+  waiting process.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def worker(sim, n):
+        yield sim.timeout(1.0)
+        return n * 2
+
+    proc = sim.process(worker(sim, 21))
+    sim.run()
+    assert proc.value == 42
+    assert sim.now == 1.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "SimulationError",
+    "Interrupt",
+]
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` (or
+    :meth:`fail`) triggers it; its callbacks run at the current simulation
+    instant, in FIFO order.  Processes wait on an event by ``yield``-ing it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        #: True once succeed()/fail() was called.
+        self.triggered = False
+        #: True once callbacks have run.
+        self.processed = False
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (raises if not yet triggered)."""
+        if self._value is _PENDING and self._exc is None:
+            raise SimulationError("event value accessed before it triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event triggered successfully (vs. failed)."""
+        if not self.triggered:
+            raise SimulationError("event outcome inspected before it triggered")
+        return self._exc is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; ``exc`` is re-raised in waiters."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event fires.
+
+        If the event already fired the callback is scheduled to run at the
+        current instant (it never runs synchronously inside this call).
+        """
+        if self.callbacks is None:
+            # Already processed: run the callback at the current instant.
+            self.sim._schedule_call(lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        """Run all registered callbacks (kernel-internal)."""
+        callbacks, self.callbacks = self.callbacks, None
+        self.processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._schedule_event(self, delay)
+
+
+class Process(Event):
+    """A running simulation coroutine.
+
+    Wraps a generator.  Each value the generator yields must be an
+    :class:`Event`; the process suspends until that event fires and is then
+    resumed with the event's value (or the event's exception is thrown into
+    the generator).  When the generator returns, the process — being itself
+    an event — fires with the generator's return value.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start executing at the current instant.
+        sim._schedule_call(lambda: self._resume(None))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The event the process was waiting on is abandoned (its eventual
+        firing will be ignored by this process).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        self._waiting_on = None
+        self.sim._schedule_call(
+            lambda: self._step(lambda: self.generator.throw(Interrupt(cause))),
+        )
+        # Detach from the old event so its firing does not double-resume us.
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+
+    # -- kernel internals -------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup after an interrupt
+        self._waiting_on = None
+        self._resume(event)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if event is None:
+            self._step(lambda: self.generator.send(None))
+        elif event._exc is not None:
+            exc = event._exc
+            self._step(lambda: self.generator.throw(exc))
+        else:
+            value = event._value
+            self._step(lambda: self.generator.send(value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        while not isinstance(target, Event):
+            # Throw into the generator; it may catch and yield again.
+            try:
+                target = self.generator.throw(
+                    SimulationError(
+                        f"process {self.name!r} yielded {target!r}; "
+                        "processes must yield Event instances"
+                    )
+                )
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+                return
+        if target.sim is not self.sim:
+            raise SimulationError("process yielded an event from another simulator")
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"expected Event, got {ev!r}")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._result())
+        else:
+            for ev in self.events:
+                ev.add_callback(self._on_child)
+
+    def _result(self) -> Any:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* child events have fired; value is their value list."""
+
+    __slots__ = ()
+
+    def _result(self) -> List[Any]:
+        return [ev._value for ev in self.events]
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._result())
+
+
+class AnyOf(_Condition):
+    """Fires when the *first* child event fires; value is that event."""
+
+    __slots__ = ()
+
+    def _result(self) -> Any:
+        return None
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self.succeed(event)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, thunk) entries."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = count()
+        self._running = False
+
+    # -- event construction helpers ---------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger it with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing once every event in ``events`` fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- kernel scheduling -------------------------------------------------
+
+    def _schedule_call(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._schedule_call(event._process, delay)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap drains or ``until`` is reached.
+
+        Returns the simulation time after the run.  Raises any exception
+        that escaped a process and was never waited on by another process.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, fn = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                if when < self.now - 1e-12:
+                    raise SimulationError("time went backwards")
+                self.now = when
+                fn()
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: run a single process to completion, return its value."""
+        proc = self.process(generator, name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} never finished (deadlock: waiting on an "
+                "event nobody triggers)"
+            )
+        return proc.value

@@ -1,0 +1,256 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the sorting stack needs:
+
+* :class:`Server` — a FIFO queueing station with fixed capacity and
+  per-request service times (disks and network uplinks are Servers),
+* :class:`Pool` — a counting semaphore with FIFO waiters (buffer-block
+  pools, memory budgets),
+* :class:`Rendezvous` — a barrier where every party contributes a payload
+  and a resolver assigns each party an individual release delay and return
+  value (the building block for simulated MPI collectives).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Optional, Union
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Server", "ServiceRequest", "Pool", "Rendezvous"]
+
+
+class ServiceRequest(Event):
+    """One unit of work submitted to a :class:`Server`.
+
+    The request is an event that fires when service completes.  Service
+    duration may be given as a constant or as a callable evaluated when the
+    request *starts* service (so e.g. a disk can charge a seek penalty based
+    on the head position at that moment).
+    """
+
+    __slots__ = (
+        "server",
+        "service",
+        "tag",
+        "result",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "duration",
+    )
+
+    def __init__(
+        self,
+        server: "Server",
+        service: Union[float, Callable[["ServiceRequest"], float]],
+        tag: Optional[str],
+        result: Any,
+    ):
+        super().__init__(server.sim)
+        self.server = server
+        self.service = service
+        self.tag = tag
+        self.result = result
+        self.submitted_at = server.sim.now
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.duration: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        """Time the request spent queued before service began."""
+        if self.started_at is None:
+            raise SimulationError("request has not started service")
+        return self.started_at - self.submitted_at
+
+
+class Server:
+    """A FIFO multi-server queueing station.
+
+    ``capacity`` requests are serviced concurrently; excess requests queue
+    in submission order.  Busy time is accounted in total and per ``tag``
+    (tags let the sorting phases attribute disk time to themselves, which
+    is what Figure 3 of the paper plots).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"server capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._queue: deque = deque()
+        self._active = 0
+        self.busy_time = 0.0
+        self.busy_by_tag: Dict[str, float] = {}
+        self.n_served = 0
+        self.total_wait = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting (not in service)."""
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        """Number of requests currently being serviced."""
+        return self._active
+
+    def request(
+        self,
+        service: Union[float, Callable[[ServiceRequest], float]],
+        tag: Optional[str] = None,
+        result: Any = None,
+    ) -> ServiceRequest:
+        """Submit work; the returned event fires with ``result`` when done."""
+        req = ServiceRequest(self, service, tag, result)
+        if self._active < self.capacity:
+            self._start(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def _start(self, req: ServiceRequest) -> None:
+        self._active += 1
+        req.started_at = self.sim.now
+        self.total_wait += req.wait_time
+        duration = req.service(req) if callable(req.service) else req.service
+        if duration < 0:
+            raise ValueError(f"negative service time {duration!r} on {self.name!r}")
+        req.duration = duration
+        self.sim._schedule_call(lambda: self._finish(req), duration)
+
+    def _finish(self, req: ServiceRequest) -> None:
+        self._active -= 1
+        req.finished_at = self.sim.now
+        self.busy_time += req.duration
+        if req.tag is not None:
+            self.busy_by_tag[req.tag] = self.busy_by_tag.get(req.tag, 0.0) + req.duration
+        self.n_served += 1
+        if self._queue:
+            self._start(self._queue.popleft())
+        req.succeed(req.result)
+
+
+class Pool:
+    """A counting semaphore with FIFO waiters.
+
+    Models bounded buffer pools: ``acquire(n)`` returns an event firing once
+    ``n`` units are reserved; ``release(n)`` returns units and wakes waiters
+    in FIFO order (a large waiter at the head blocks smaller ones behind it,
+    which is the fairness the write-buffer analysis assumes).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 0:
+            raise ValueError(f"pool capacity must be >= 0, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.available = capacity
+        self.name = name
+        self._waiters: deque = deque()
+
+    def acquire(self, n: int = 1) -> Event:
+        """Reserve ``n`` units; the event fires when the reservation holds."""
+        if n > self.capacity:
+            raise SimulationError(
+                f"acquire({n}) can never succeed on pool {self.name!r} "
+                f"of capacity {self.capacity}"
+            )
+        ev = Event(self.sim)
+        if not self._waiters and self.available >= n:
+            self.available -= n
+            ev.succeed()
+        else:
+            self._waiters.append((n, ev))
+        return ev
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Non-blocking acquire; True on success."""
+        if not self._waiters and self.available >= n:
+            self.available -= n
+            return True
+        return False
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` units and serve queued acquirers in FIFO order."""
+        self.available += n
+        if self.available > self.capacity:
+            raise SimulationError(
+                f"pool {self.name!r} over-released: "
+                f"{self.available}/{self.capacity}"
+            )
+        while self._waiters and self._waiters[0][0] <= self.available:
+            need, ev = self._waiters.popleft()
+            self.available -= need
+            ev.succeed()
+
+
+class Rendezvous:
+    """A payload-carrying barrier for ``parties`` participants.
+
+    Every participant calls :meth:`arrive` with its rank and a payload and
+    receives an event.  Once all parties arrived, ``resolve`` is called with
+    the payload dict and must return ``{rank: (delay, value)}``; each
+    participant's event then fires ``delay`` seconds later with ``value``.
+
+    This models collectives exactly: an all-to-all is a rendezvous whose
+    resolver computes per-rank completion times from the volume matrix.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        parties: int,
+        resolve: Callable[[Dict[int, Any]], Dict[int, Any]],
+        name: str = "",
+    ):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.resolve = resolve
+        self.name = name
+        self._payloads: Dict[int, Any] = {}
+        self._events: Dict[int, Event] = {}
+        self._done = False
+
+    def arrive(self, rank: int, payload: Any = None) -> Event:
+        """Check in participant ``rank``; returns its personal release event."""
+        if self._done:
+            raise SimulationError(f"rendezvous {self.name!r} already resolved")
+        if rank in self._payloads:
+            raise SimulationError(f"rank {rank} arrived twice at {self.name!r}")
+        ev = Event(self.sim)
+        self._payloads[rank] = payload
+        self._events[rank] = ev
+        if len(self._payloads) == self.parties:
+            self._release()
+        return ev
+
+    def _release(self) -> None:
+        self._done = True
+        try:
+            outcome = self.resolve(self._payloads)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            # A failed collective fails in *every* participant rather than
+            # deadlocking the others.
+            for ev in self._events.values():
+                ev.fail(exc)
+            return
+        missing = set(self._events) - set(outcome)
+        if missing:
+            raise SimulationError(
+                f"rendezvous {self.name!r} resolver omitted ranks {sorted(missing)}"
+            )
+        for rank, ev in self._events.items():
+            delay, value = outcome[rank]
+            if delay < 0:
+                raise ValueError(f"negative rendezvous delay for rank {rank}")
+            ev.triggered = True
+            ev._value = value
+            self.sim._schedule_event(ev, delay)

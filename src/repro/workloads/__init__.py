@@ -1,0 +1,12 @@
+"""Workload generators, gensort-style records and output validation."""
+
+from .generators import WORKLOADS, generate_input, input_keys
+from .validation import ValidationReport, validate_output
+
+__all__ = [
+    "WORKLOADS",
+    "generate_input",
+    "input_keys",
+    "ValidationReport",
+    "validate_output",
+]

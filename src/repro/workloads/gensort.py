@@ -1,0 +1,203 @@
+"""SortBenchmark records: a gensort/valsort work-alike.
+
+The SortBenchmark (Jim Gray's benchmark, sortbenchmark.org) fixes the
+record format the paper's headline results use: 100-byte records with a
+10-byte key.  The official ``gensort`` tool generates records
+deterministically from the record index; ``valsort`` validates order,
+count and a checksum.  This module reproduces those semantics:
+
+* records are a pure function of ``(seed, index)`` — any sub-range can be
+  generated independently, exactly like gensort's skip-ahead;
+* keys are uniform random 10-byte strings ("Indy" rules); the simulation
+  carries the leading 8 bytes as its uint64 key, which orders identically
+  for the benchmark's uniform keys up to ties that the remaining 2 bytes
+  would break with probability 2⁻⁶⁴ per pair;
+* a duplicate-heavy "daytona-skew" mode exercises the Daytona category's
+  requirement to survive arbitrary key distributions.
+
+The byte-level record materialization (:func:`record_bytes`) exists for
+the examples and round-trip tests; the cluster-scale benchmarks only
+carry the keys plus represented byte volumes, per the scaling discipline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..core.config import SortConfig
+from ..em.block import BID
+from ..em.context import ExternalMemory
+from ..records.element import ELEM_SORTBENCH_100B
+
+__all__ = [
+    "RECORD_BYTES",
+    "KEY_BYTES",
+    "record_keys",
+    "record_key_bytes",
+    "record_bytes",
+    "record_checksum",
+    "generate_gensort_input",
+]
+
+RECORD_BYTES = 100
+KEY_BYTES = 10
+
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 mix function (uint64 -> uint64)."""
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x = (x + np.uint64(0x9E3779B97F4A7C15)) & _MASK
+        z = x
+        z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK
+        z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def _mix(seed: int, indices: np.ndarray, stream: int) -> np.ndarray:
+    base = np.uint64((seed * 0x9E3779B97F4A7C15 + stream * 0xD1B54A32D192ED03)
+                     & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        return _splitmix64(indices.astype(np.uint64) ^ base)
+
+
+def record_keys(
+    start: int, count: int, seed: int = 0, skew: bool = False
+) -> np.ndarray:
+    """Leading-8-byte keys of records ``start .. start+count-1``.
+
+    ``skew=True`` produces the duplicate-heavy distribution used to mimic
+    Daytona-category adversity (a few thousand distinct keys).
+    """
+    if count < 0:
+        raise ValueError(f"negative record count {count}")
+    idx = np.arange(start, start + count, dtype=np.uint64)
+    keys = _mix(seed, idx, stream=1)
+    if skew:
+        keys = keys % np.uint64(4096)
+    return keys
+
+
+def record_key_bytes(start: int, count: int, seed: int = 0) -> np.ndarray:
+    """The full 10-byte keys as a ``(count, 10)`` uint8 array."""
+    idx = np.arange(start, start + count, dtype=np.uint64)
+    hi = _mix(seed, idx, stream=1)  # leading 8 bytes (big-endian order)
+    lo = _mix(seed, idx, stream=2)  # trailing 2 bytes
+    out = np.empty((count, KEY_BYTES), dtype=np.uint8)
+    out[:, :8] = hi.byteswap().view(np.uint8).reshape(count, 8)
+    out[:, 8] = (lo & np.uint64(0xFF)).astype(np.uint8)
+    out[:, 9] = ((lo >> np.uint64(8)) & np.uint64(0xFF)).astype(np.uint8)
+    return out
+
+
+def record_bytes(start: int, count: int, seed: int = 0) -> np.ndarray:
+    """Full 100-byte records as a ``(count, 100)`` uint8 array.
+
+    Layout mirrors gensort's ASCII records: 10 key bytes, then a 32-digit
+    zero-padded record number, then filler derived from the index.
+    """
+    out = np.zeros((count, RECORD_BYTES), dtype=np.uint8)
+    out[:, :KEY_BYTES] = record_key_bytes(start, count, seed)
+    numbers = np.array(
+        [list(f"{i:032d}".encode()) for i in range(start, start + count)],
+        dtype=np.uint8,
+    ).reshape(count, 32) if count else np.zeros((0, 32), np.uint8)
+    out[:, KEY_BYTES : KEY_BYTES + 32] = numbers
+    filler = _mix(seed, np.arange(start, start + count, dtype=np.uint64), stream=3)
+    for j in range(7):
+        out[:, KEY_BYTES + 32 + 8 * j : KEY_BYTES + 32 + 8 * (j + 1)] = (
+            filler.byteswap().view(np.uint8).reshape(count, 8)
+        )
+    out[:, 98:] = ord("\r"), ord("\n")
+    return out
+
+
+def record_checksum(start: int, count: int, seed: int = 0) -> int:
+    """Order-independent checksum of a record range (valsort-style)."""
+    keys = record_keys(start, count, seed)
+    with np.errstate(over="ignore"):
+        return int(np.bitwise_and(np.add.reduce(keys) if count else np.uint64(0), _MASK))
+
+
+def generate_gensort_input(
+    cluster: Cluster,
+    config: SortConfig,
+    seed: int = 0,
+    skew: bool = False,
+) -> Tuple[ExternalMemory, List[List[BID]]]:
+    """Place SortBenchmark records across the cluster.
+
+    Node ``rank`` holds records ``rank·(N/P) .. (rank+1)·(N/P)−1`` in
+    index order (unsorted keys), matching the benchmark's on-disk input.
+    The config should use the 100-byte element type.
+    """
+    if config.element is not ELEM_SORTBENCH_100B:
+        raise ValueError("gensort input requires the 100-byte SortBenchmark element")
+    em = ExternalMemory(cluster, config.block_bytes, config.block_elems)
+    inputs: List[List[BID]] = []
+    n = config.keys_per_node
+    be = config.block_elems
+    for rank in range(cluster.n_nodes):
+        keys = record_keys(rank * n, n, seed=seed, skew=skew)
+        store = em.store(rank)
+        blocks: List[BID] = []
+        for s in range(0, n, be):
+            bid = store.allocate()
+            store.store_without_io(bid, keys[s : s + be])
+            blocks.append(bid)
+        inputs.append(blocks)
+    return em, inputs
+
+
+def reconstruct_sorted_records(
+    sorted_keys: np.ndarray, total_records: int, seed: int = 0
+) -> np.ndarray:
+    """Materialize the full 100-byte records for a sorted key stream.
+
+    The benchmark's records are a pure function of their index, so after
+    sorting the (leading-8-byte) keys the full records — including the
+    trailing 2 key bytes and the 90-byte payload — can be regenerated and
+    emitted in key order.  Returns a ``(len(sorted_keys), 100)`` uint8
+    array whose rows are in non-decreasing 10-byte-key order.
+
+    Demo-scale only (it regenerates the whole key table to invert the
+    key -> index mapping); the cluster-scale benchmarks carry keys plus
+    represented volumes instead.
+    """
+    all_keys = record_keys(0, total_records, seed=seed)
+    order = np.argsort(all_keys, kind="stable")
+    table_keys = all_keys[order]
+    # Locate each sorted output key; duplicates resolve in index order,
+    # matching the sort's (key, position) tie-breaking.
+    starts = np.searchsorted(table_keys, sorted_keys, side="left")
+    seen: dict = {}
+    indices = np.empty(len(sorted_keys), dtype=np.int64)
+    for i, start in enumerate(starts):
+        key = int(sorted_keys[i])
+        offset = seen.get(key, 0)
+        seen[key] = offset + 1
+        indices[i] = order[start + offset]
+    out = np.empty((len(sorted_keys), RECORD_BYTES), dtype=np.uint8)
+    for i, idx in enumerate(indices):
+        out[i] = record_bytes(int(idx), 1, seed=seed)[0]
+    return out
+
+
+def valsort_records(records: np.ndarray) -> bool:
+    """valsort's record-level check: 10-byte keys non-decreasing."""
+    if len(records) < 2:
+        return True
+    keys = records[:, :KEY_BYTES]
+    prev = bytes(keys[0])
+    for row in keys[1:]:
+        cur = bytes(row)
+        if cur < prev:
+            return False
+        prev = cur
+    return True

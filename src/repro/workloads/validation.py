@@ -1,0 +1,102 @@
+"""Output validation (the SortBenchmark's ``valsort`` contract).
+
+A sort is accepted when
+
+* every node's output is non-decreasing,
+* node boundaries are ordered (last key of PE i ≤ first key of PE i+1),
+* PE i holds exactly the elements of ranks (i−1)·N/P+1 .. i·N/P
+  (the canonical balance property of the paper's output specification),
+* the key multiset is conserved: element count and an order-independent
+  checksum match the input (duplicate-insensitive up to 64-bit sum
+  collisions, like valsort's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..records.arrays import checksum, is_sorted
+
+__all__ = ["ValidationReport", "validate_output"]
+
+
+@dataclass
+class ValidationReport:
+    """Result of validating a distributed sorted output."""
+
+    ok: bool
+    issues: List[str]
+    total_keys: int
+    checksum: int
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError("output validation failed: " + "; ".join(self.issues))
+
+
+def validate_output(
+    input_parts: List[np.ndarray],
+    output_parts: List[np.ndarray],
+    balanced: bool = True,
+) -> ValidationReport:
+    """Validate sorted ``output_parts`` (per rank) against ``input_parts``.
+
+    ``balanced=True`` additionally enforces the canonical exact-quantile
+    output sizes (skip for baselines without that guarantee, e.g.
+    NOW-Sort on skewed inputs).
+    """
+    issues: List[str] = []
+    n_in = sum(len(p) for p in input_parts)
+    n_out = sum(len(p) for p in output_parts)
+    if n_in != n_out:
+        issues.append(f"count mismatch: {n_in} in, {n_out} out")
+
+    for rank, part in enumerate(output_parts):
+        if not is_sorted(part):
+            issues.append(f"rank {rank} output is not sorted")
+
+    last = None
+    for rank, part in enumerate(output_parts):
+        if len(part) == 0:
+            continue
+        if last is not None and part[0] < last:
+            issues.append(f"boundary violation between rank {rank - 1} and {rank}")
+        last = part[-1]
+
+    if balanced and n_in == n_out and output_parts:
+        n_nodes = len(output_parts)
+        for rank, part in enumerate(output_parts):
+            want = (rank + 1) * n_out // n_nodes - rank * n_out // n_nodes
+            if len(part) != want:
+                issues.append(
+                    f"rank {rank} holds {len(part)} keys, canonical share is {want}"
+                )
+
+    sum_in = 0
+    sum_out = 0
+    for p in input_parts:
+        sum_in = (sum_in + checksum(p)) & 0xFFFFFFFFFFFFFFFF
+    for p in output_parts:
+        sum_out = (sum_out + checksum(p)) & 0xFFFFFFFFFFFFFFFF
+    if sum_in != sum_out:
+        issues.append(f"checksum mismatch: {sum_in:#x} in, {sum_out:#x} out")
+
+    # Strong multiset equality (feasible at simulation scale; valsort can
+    # only afford the checksum, we can afford the whole truth).
+    if n_in == n_out and not issues:
+        all_in = np.sort(np.concatenate([p for p in input_parts if len(p)])) \
+            if n_in else np.empty(0)
+        all_out = np.concatenate([p for p in output_parts if len(p)]) \
+            if n_out else np.empty(0)
+        if not np.array_equal(all_in, all_out):
+            issues.append("output is not a permutation of the input")
+
+    return ValidationReport(
+        ok=not issues,
+        issues=issues,
+        total_keys=n_out,
+        checksum=sum_out,
+    )

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite.
+
+Tests run at *tiny* simulation scale (a few MiB of represented data, a
+handful of keys per block) — the algorithms are scale-free, so small
+configurations exercise every code path in milliseconds.  Reusable
+helpers live in :mod:`tests.helpers`.
+"""
+
+import pytest
+
+from repro import Cluster, SortConfig
+
+from tests.helpers import small_config
+
+
+@pytest.fixture
+def config() -> SortConfig:
+    return small_config()
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(4)

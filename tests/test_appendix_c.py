@@ -1,0 +1,139 @@
+"""Empirical checks of Appendix C: the data-movement analysis.
+
+The paper bounds the data a PE moves in the external all-to-all (for
+randomized worst-case inputs) by O(R · sqrt(M·B) · log P) elements — in
+particular the movement per run grows with the *square root* of the block
+size, which Figure 5 supports experimentally.  These tests measure actual
+moved key counts on the simulator and check the law's fingerprints:
+
+* quadrupling B roughly doubles the movement (sqrt(B));
+* the movement stays far below the non-randomized full traversal;
+* the measured movement respects the explicit bound with a small constant.
+"""
+
+import math
+
+import numpy as np
+
+from repro import CanonicalMergeSort, Cluster, MiB
+from repro.workloads import generate_input
+from tests.helpers import small_config
+
+
+def moved_keys(block_scale: int, randomize: bool = True, n_nodes: int = 4,
+               seed: int = 0) -> dict:
+    """Run a worst-case sort with B scaled by ``block_scale``.
+
+    Total keys, memory (in keys) and run count stay fixed; only the block
+    granularity changes — isolating the sqrt(M·B) dependence.
+    """
+    cfg = small_config(
+        data_per_node_bytes=96 * MiB,
+        memory_bytes=32 * MiB,
+        block_bytes=1 * MiB * block_scale,
+        block_elems=8 * block_scale,
+        randomize=randomize,
+        seed=seed,
+    )
+    cluster = Cluster(n_nodes)
+    em, inputs = generate_input(cluster, cfg, "worstcase")
+    result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    return {
+        "moved": result.stats.counter_total("alltoall_sent_keys"),
+        "total": cfg.total_keys(n_nodes),
+        "runs": result.n_runs,
+        "piece_keys": cfg.piece_keys(cluster.spec),
+        "block_keys": cfg.block_elems,
+        "n_nodes": n_nodes,
+    }
+
+
+def test_invariants_of_the_scaled_configs():
+    a = moved_keys(1)
+    b = moved_keys(4)
+    assert a["total"] == b["total"]
+    assert a["runs"] == b["runs"]
+    assert a["piece_keys"] == b["piece_keys"]
+    assert b["block_keys"] == 4 * a["block_keys"]
+
+
+def test_movement_grows_like_sqrt_b():
+    """Quadrupling B should roughly double the movement (Appendix C)."""
+    ratios = []
+    for seed in range(3):
+        small = moved_keys(1, seed=seed)["moved"]
+        large = moved_keys(4, seed=seed)["moved"]
+        ratios.append(large / small)
+    mean_ratio = sum(ratios) / len(ratios)
+    # sqrt(4) = 2 expected; allow block-granularity noise.
+    assert 1.3 <= mean_ratio <= 3.0, ratios
+
+
+def test_randomized_movement_far_below_full_traversal():
+    run = moved_keys(1)
+    assert run["moved"] < 0.35 * run["total"]
+
+
+def test_nonrandomized_movement_near_full_traversal():
+    run = moved_keys(1, randomize=False)
+    assert run["moved"] > 0.6 * run["total"]
+
+
+def test_explicit_appendix_c_bound():
+    """moved <= c · P · R · sqrt(M·B) · log2(P) for a small constant c.
+
+    M here is the global run size in elements and B the block size in
+    elements, as in the paper's Equation (1) discussion.
+    """
+    for scale in (1, 2, 4):
+        run = moved_keys(scale)
+        m_global = run["piece_keys"] * run["n_nodes"]
+        bound_per_run_per_pe = math.sqrt(m_global * run["block_keys"])
+        log_p = max(1.0, math.log2(run["n_nodes"]))
+        bound = 4.0 * run["n_nodes"] * run["runs"] * bound_per_run_per_pe * log_p
+        assert run["moved"] <= bound, (run, bound)
+
+
+def test_average_case_random_input_moves_less_than_worstcase():
+    cfg = small_config(randomize=True)
+    moved = {}
+    for kind in ("random", "worstcase"):
+        cluster = Cluster(4)
+        em, inputs = generate_input(cluster, cfg, kind)
+        result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+        moved[kind] = result.stats.counter_total("alltoall_sent_keys")
+    # Both are small; random input (the B=1 average case of Appendix C)
+    # never moves more than the randomized worst case.
+    assert moved["random"] <= moved["worstcase"] * 1.5
+
+
+def test_sqrt_b_law_by_loglog_regression():
+    """Fit movement vs B on a log-log scale: slope should be ~0.5.
+
+    The statistical version of Figure 5's sqrt(B) claim, averaged over
+    seeds to dampen block-granularity noise.
+    """
+    from scipy import stats as sps
+
+    def moved_at(scale: int, seed: int) -> float:
+        cfg = small_config(
+            data_per_node_bytes=192 * MiB,
+            memory_bytes=64 * MiB,
+            block_bytes=1 * MiB * scale,
+            block_elems=8 * scale,
+            randomize=True,
+            seed=seed,
+        )
+        cluster = Cluster(4)
+        em, inputs = generate_input(cluster, cfg, "worstcase")
+        result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+        return result.stats.counter_total("alltoall_sent_keys")
+
+    log_b, log_moved = [], []
+    for scale in (1, 2, 4, 8):
+        for seed in range(4):
+            log_b.append(math.log(scale))
+            log_moved.append(math.log(moved_at(scale, seed)))
+    fit = sps.linregress(log_b, log_moved)
+    assert 0.3 <= fit.slope <= 0.8, fit
+    assert fit.rvalue ** 2 > 0.55  # the law explains most of the variance

@@ -1,0 +1,118 @@
+"""Tests for the NOW-Sort and external-sample-sort baselines."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ExternalSampleSort, NowSort
+from repro.baselines.splitters import uniform_splitters
+from repro.workloads import generate_input, input_keys, validate_output
+from tests.helpers import small_config
+
+
+def run_baseline(factory, kind="random", n_nodes=4, **overrides):
+    cfg = small_config(**overrides)
+    cluster = Cluster(n_nodes)
+    em, inputs = generate_input(cluster, cfg, kind)
+    before = input_keys(em, inputs)
+    result = factory(cluster, cfg).sort(em, inputs)
+    return cluster, cfg, em, before, result
+
+
+@pytest.mark.parametrize("kind", ["random", "sorted", "worstcase", "duplicates"])
+def test_nowsort_uniform_sorts_correctly(kind):
+    _cl, _cfg, em, before, result = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "uniform"), kind
+    )
+    report = validate_output(before, result.output_keys(em), balanced=False)
+    assert report.ok, report.issues
+
+
+@pytest.mark.parametrize("kind", ["random", "skewed"])
+def test_nowsort_sampled_sorts_correctly(kind):
+    _cl, _cfg, em, before, result = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "sampled"), kind
+    )
+    assert validate_output(before, result.output_keys(em), balanced=False).ok
+
+
+@pytest.mark.parametrize("kind", ["random", "skewed", "reversed"])
+def test_samplesort_sorts_correctly(kind):
+    _cl, _cfg, em, before, result = run_baseline(ExternalSampleSort, kind)
+    assert validate_output(before, result.output_keys(em), balanced=False).ok
+
+
+def test_nowsort_uniform_balanced_on_random():
+    _cl, _cfg, _em, _b, result = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "uniform"), "random"
+    )
+    assert result.imbalance < 1.3
+
+
+def test_nowsort_uniform_degrades_on_skew():
+    """The paper's §II criticism: skew sends everything to one PE."""
+    _cl, _cfg, _em, _b, result = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "uniform"), "skewed"
+    )
+    assert result.imbalance > 3.0  # ~P = 4: effectively sequential
+
+
+def test_sampled_splitters_repair_skew():
+    _cl, _cfg, _em, _b, uniform = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "uniform"), "skewed"
+    )
+    _cl, _cfg, _em, _b, sampled = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "sampled"), "skewed"
+    )
+    assert sampled.imbalance < uniform.imbalance / 2
+
+
+def test_sampling_costs_an_extra_scan():
+    """§II: the splitter preprocessing 'costs an additional scan'."""
+    cl_u, cfg, _em, _b, uniform = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "uniform"), "random"
+    )
+    cl_s, _cfg, _em, _b, sampled = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "sampled"), "random"
+    )
+    n_bytes = cfg.total_bytes(4)
+    extra = sampled.stats.total_io_bytes - uniform.stats.total_io_bytes
+    assert extra >= 0.9 * n_bytes
+
+
+def test_samplesort_io_about_five_passes():
+    _cl, cfg, _em, _b, result = run_baseline(ExternalSampleSort, "random")
+    n_bytes = cfg.total_bytes(4)
+    assert 4.4 * n_bytes <= result.stats.total_io_bytes <= 5.8 * n_bytes
+
+
+def test_nowsort_buckets_ordered_across_ranks():
+    _cl, _cfg, em, _b, result = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "uniform"), "random"
+    )
+    parts = result.output_keys(em)
+    last = None
+    for part in parts:
+        if len(part) == 0:
+            continue
+        if last is not None:
+            assert part[0] >= last
+        last = part[-1]
+
+
+def test_uniform_splitters_equidistant():
+    s = uniform_splitters(4)
+    assert len(s) == 3
+    gaps = np.diff(np.concatenate([[0], s.astype(np.int64), [2 ** 63]]))
+    assert gaps.max() - gaps.min() <= 2
+
+
+def test_nowsort_invalid_splitter_mode_rejected():
+    with pytest.raises(ValueError):
+        NowSort(Cluster(2), small_config(), "psychic")
+
+
+def test_nowsort_single_node():
+    _cl, _cfg, em, before, result = run_baseline(
+        lambda c, cfg: NowSort(c, cfg, "uniform"), "random", n_nodes=1
+    )
+    assert validate_output(before, result.output_keys(em), balanced=False).ok

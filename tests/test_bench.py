@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness and report rendering."""
+
+import os
+
+import pytest
+
+from repro import GiB, MiB
+from repro.bench import (
+    EXPERIMENTS,
+    FigureResult,
+    PE_COUNTS_FULL,
+    PE_COUNTS_QUICK,
+    format_table,
+    paper_config,
+    run_canonical,
+    sortbench_config,
+    write_report,
+)
+from repro.records import ELEM_PAPER_16B, ELEM_SORTBENCH_100B
+
+
+def tiny_config(**overrides):
+    """A paper-unit config small enough for unit tests."""
+    params = dict(
+        data_per_node_bytes=2 * GiB,
+        memory_bytes=512 * MiB,
+        block_bytes=8 * MiB,
+        downscale=4,
+        block_elems=8,
+    )
+    return paper_config(**{**params, **overrides})
+
+
+def test_paper_config_defaults_match_section_vi():
+    cfg = paper_config()
+    assert cfg.element is ELEM_PAPER_16B
+    assert cfg.data_per_node_bytes == 100 * GiB
+    assert cfg.block_bytes == 8 * MiB
+    assert cfg.randomize
+
+
+def test_paper_config_run_count_close_to_machine_ratio():
+    cfg = paper_config()
+    from repro import PAPER_MACHINE
+
+    # 100 GiB data / 12 GiB run memory => R = 9.
+    assert cfg.n_runs(PAPER_MACHINE) == 9
+
+
+def test_sortbench_config_uses_100_byte_records():
+    cfg = sortbench_config(10 * GiB, downscale=8)
+    assert cfg.element is ELEM_SORTBENCH_100B
+
+
+def test_run_canonical_record_metrics():
+    record = run_canonical(2, "random", config=tiny_config())
+    assert record.validated
+    assert record.total_bytes == pytest.approx(4 * GiB)
+    assert record.total_seconds > 0
+    assert record.throughput_gb_per_min > 0
+    assert 0 <= record.alltoall_volume_ratio < 1.0
+    assert record.phase_seconds("run_formation") > 0
+
+
+def test_run_canonical_gensort_workload():
+    cfg = tiny_config(element=ELEM_SORTBENCH_100B)
+    record = run_canonical(2, "gensort", config=cfg)
+    assert record.validated
+
+
+def test_experiment_registry_covers_every_figure_and_table():
+    for exp in ["fig2", "fig3", "fig4", "fig5", "fig6",
+                "graysort", "minutesort", "terabytesort"]:
+        assert exp in EXPERIMENTS
+    assert any(name.startswith("ablation") for name in EXPERIMENTS)
+
+
+def test_pe_sweeps():
+    assert PE_COUNTS_FULL == [1, 2, 4, 8, 16, 32, 64]
+    assert PE_COUNTS_QUICK == [1, 2, 4, 8]
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0.25}])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_format_table_empty_rows():
+    text = format_table(["col"], [])
+    assert "col" in text
+
+
+def test_figure_result_render_includes_claims_and_notes():
+    result = FigureResult(
+        name="x",
+        title="T",
+        header=["a"],
+        rows=[{"a": 1}],
+        paper_claims=["the paper says so"],
+        notes=["we measured it"],
+    )
+    text = result.render()
+    assert "the paper says so" in text
+    assert "we measured it" in text
+
+
+def test_write_report_creates_file(tmp_path):
+    result = FigureResult("unit", "Unit", ["a"], [{"a": 1}])
+    path = write_report(result, out_dir=str(tmp_path))
+    assert os.path.exists(path)
+    with open(path) as handle:
+        assert "Unit" in handle.read()
+
+
+def test_bench_cli_rejects_unknown_experiment():
+    import pytest as _pytest
+
+    from repro.bench.__main__ import main
+
+    with _pytest.raises(SystemExit):
+        main(["not_an_experiment"])
+
+
+def test_bench_cli_out_dir(tmp_path):
+    from repro.bench.__main__ import main
+
+    assert main(["ablation_runlength", "--out-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "ablation_runlength.txt").exists()

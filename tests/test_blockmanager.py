@@ -1,0 +1,170 @@
+"""Tests for the per-node block store and remote reads."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, MiB
+from repro.em import BID, BlockStore, ExternalMemory
+from repro.sim import SimulationError
+
+
+def make_store(n_nodes=1, block_bytes=1 * MiB, block_elems=8):
+    cluster = Cluster(n_nodes)
+    em = ExternalMemory(cluster, block_bytes, block_elems)
+    return cluster, em
+
+
+def test_allocation_round_robins_disks():
+    cluster, em = make_store()
+    store = em.store(0)
+    bids = [store.allocate() for _ in range(8)]
+    assert [b.disk for b in bids] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert all(b.node == 0 for b in bids)
+
+
+def test_explicit_disk_allocation():
+    _cluster, em = make_store()
+    store = em.store(0)
+    bid = store.allocate(disk=2)
+    assert bid.disk == 2
+    with pytest.raises(ValueError):
+        store.allocate(disk=9)
+
+
+def test_free_reuses_slots_in_place():
+    _cluster, em = make_store()
+    store = em.store(0)
+    a = store.allocate(disk=0)
+    store.free(a)
+    b = store.allocate(disk=0)
+    assert b.slot == a.slot  # in-place slot reuse
+    assert store.peak_blocks == 1
+
+
+def test_peak_blocks_high_water_mark():
+    _cluster, em = make_store()
+    store = em.store(0)
+    bids = [store.allocate() for _ in range(5)]
+    for bid in bids:
+        store.free(bid)
+    store.allocate()
+    assert store.peak_blocks == 5
+    assert store.blocks_in_use == 1
+
+
+def test_write_read_roundtrip():
+    cluster, em = make_store()
+    store = em.store(0)
+    keys = np.arange(8, dtype=np.uint64)
+    bid = store.allocate()
+
+    def body():
+        yield store.write(bid, keys, tag="t")
+        got = yield store.read(bid, tag="t")
+        return got
+
+    got = cluster.sim.run_process(body())
+    assert np.array_equal(got, keys)
+
+
+def test_write_charges_full_block_even_partial():
+    cluster, em = make_store(block_bytes=1 * MiB, block_elems=8)
+    store = em.store(0)
+    bid = store.allocate()
+
+    def body():
+        yield store.write(bid, np.arange(2, dtype=np.uint64))
+
+    cluster.sim.run_process(body())
+    assert cluster.nodes[0].bytes_written == 1 * MiB  # not 2/8 of it
+
+
+def test_oversized_write_rejected():
+    _cluster, em = make_store(block_elems=4)
+    store = em.store(0)
+    bid = store.allocate()
+    with pytest.raises(ValueError):
+        store.write(bid, np.arange(5, dtype=np.uint64))
+
+
+def test_read_unwritten_block_rejected():
+    _cluster, em = make_store()
+    store = em.store(0)
+    bid = store.allocate()
+    with pytest.raises(SimulationError):
+        store.read(bid)
+
+
+def test_double_free_rejected():
+    _cluster, em = make_store()
+    store = em.store(0)
+    bid = store.allocate()
+    store.free(bid)
+    with pytest.raises(SimulationError):
+        store.free(bid)
+
+
+def test_foreign_block_rejected():
+    _cluster, em = make_store(n_nodes=2)
+    foreign = BID(node=1, disk=0, slot=0)
+    with pytest.raises(SimulationError):
+        em.store(0).read(foreign)
+
+
+def test_store_without_io_charges_nothing():
+    cluster, em = make_store()
+    store = em.store(0)
+    bid = store.allocate()
+    store.store_without_io(bid, np.arange(4, dtype=np.uint64))
+    assert cluster.nodes[0].bytes_written == 0.0
+    assert np.array_equal(store.peek(bid), np.arange(4, dtype=np.uint64))
+
+
+def test_remote_read_charges_network():
+    cluster, em = make_store(n_nodes=2)
+    owner = em.store(1)
+    bid = owner.allocate()
+    owner.store_without_io(bid, np.arange(4, dtype=np.uint64))
+
+    def body():
+        got = yield from em.read_block(0, bid, tag="sel")
+        return got
+
+    got = cluster.sim.run_process(body())
+    assert np.array_equal(got, np.arange(4, dtype=np.uint64))
+    assert cluster.fabric.bytes_sent == 1 * MiB
+    assert cluster.nodes[1].bytes_read == 1 * MiB  # owner's disk did the read
+
+
+def test_local_read_skips_network():
+    cluster, em = make_store(n_nodes=2)
+    store = em.store(0)
+    bid = store.allocate()
+    store.store_without_io(bid, np.arange(4, dtype=np.uint64))
+
+    def body():
+        yield from em.read_block(0, bid)
+
+    cluster.sim.run_process(body())
+    assert cluster.fabric.bytes_sent == 0.0
+
+
+def test_bid_offset_and_str():
+    bid = BID(node=1, disk=2, slot=3)
+    assert bid.offset_bytes(1024) == 3 * 1024
+    assert str(bid) == "b1.2.3"
+
+
+def test_invalid_store_params_rejected():
+    cluster = Cluster(1)
+    with pytest.raises(ValueError):
+        BlockStore(cluster.nodes[0], block_bytes=1024, block_elems=0)
+    with pytest.raises(ValueError):
+        BlockStore(cluster.nodes[0], block_bytes=0, block_elems=4)
+
+
+def test_total_blocks_in_use_across_nodes():
+    _cluster, em = make_store(n_nodes=3)
+    for n in range(3):
+        em.store(n).allocate()
+    assert em.total_blocks_in_use == 3

@@ -1,0 +1,154 @@
+"""Tests for the LRU cache and the streaming block writer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, MiB
+from repro.em import ExternalMemory, LRUCache
+from repro.em.writebuffer import SegmentBlock, StreamBlockWriter
+
+
+# ------------------------------------------------------------------ LRU
+
+
+def test_lru_basic_hit_miss():
+    cache = LRUCache(2)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_evicts_least_recent():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a
+    cache.put("c", 3)  # evicts b
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+
+
+def test_lru_zero_capacity_never_stores():
+    cache = LRUCache(0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_lru_put_refreshes_existing():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    cache.put("c", 3)  # evicts b, not a
+    assert cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_lru_hit_rate():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("a")
+    cache.get("x")
+    assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+def test_lru_clear_keeps_counters():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_lru_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+# -------------------------------------------------------------- writer
+
+
+def _writer(block_elems=4):
+    cluster = Cluster(1)
+    em = ExternalMemory(cluster, 1 * MiB, block_elems)
+    outstanding = []
+    writer = StreamBlockWriter(em.store(0), "t", outstanding, max_outstanding=4)
+    return cluster, em, writer
+
+
+def run_writer(cluster, gen_fn):
+    return cluster.sim.run_process(gen_fn())
+
+
+def test_writer_emits_full_blocks():
+    cluster, em, writer = _writer(block_elems=4)
+
+    def body():
+        yield from writer.add(np.arange(10, dtype=np.uint64))
+        yield from writer.flush()
+        yield from writer.drain()
+
+    run_writer(cluster, body)
+    assert [b.count for b in writer.blocks] == [4, 4, 2]
+    assert writer.partial_blocks == 1
+    assert writer.keys_written == 10
+    got = np.concatenate([em.store(0).peek(b.bid) for b in writer.blocks])
+    assert np.array_equal(got, np.arange(10, dtype=np.uint64))
+
+
+def test_writer_first_keys_recorded():
+    cluster, em, writer = _writer(block_elems=4)
+
+    def body():
+        yield from writer.add(np.arange(100, 108, dtype=np.uint64))
+        yield from writer.flush()
+        yield from writer.drain()
+
+    run_writer(cluster, body)
+    assert [b.first_key for b in writer.blocks] == [100, 104]
+    assert writer.partial_blocks == 0
+
+
+def test_writer_accumulates_across_adds():
+    cluster, em, writer = _writer(block_elems=8)
+
+    def body():
+        for start in range(0, 20, 5):
+            yield from writer.add(np.arange(start, start + 5, dtype=np.uint64))
+        yield from writer.flush()
+        yield from writer.drain()
+
+    run_writer(cluster, body)
+    assert sum(b.count for b in writer.blocks) == 20
+    got = np.concatenate([em.store(0).peek(b.bid) for b in writer.blocks])
+    assert np.array_equal(got, np.arange(20, dtype=np.uint64))
+
+
+def test_writer_empty_add_and_flush_noop():
+    cluster, em, writer = _writer()
+
+    def body():
+        yield from writer.add(np.empty(0, np.uint64))
+        yield from writer.flush()
+        yield from writer.drain()
+
+    run_writer(cluster, body)
+    assert writer.blocks == []
+
+
+def test_writer_requires_outstanding_slot():
+    cluster = Cluster(1)
+    em = ExternalMemory(cluster, 1 * MiB, 4)
+    with pytest.raises(ValueError):
+        StreamBlockWriter(em.store(0), "t", [], max_outstanding=0)
+
+
+def test_segment_block_fields():
+    from repro.em import BID
+
+    sb = SegmentBlock(BID(0, 1, 2), 7, 42)
+    assert sb.bid.disk == 1 and sb.count == 7 and sb.first_key == 42

@@ -1,0 +1,185 @@
+"""Tests for SortConfig derivations and SortStats accounting."""
+
+import pytest
+
+from repro import ConfigError, MiB, PAPER_MACHINE, SortConfig
+from repro.core.stats import PhaseTimer, SortStats
+from repro.sim import Simulator
+
+from tests.helpers import small_config
+
+
+# ----------------------------------------------------------------- config
+
+
+def test_block_and_key_accounting():
+    cfg = SortConfig(
+        data_per_node_bytes=64 * MiB, block_bytes=1 * MiB, block_elems=32
+    )
+    assert cfg.blocks_per_node == 64
+    assert cfg.keys_per_node == 64 * 32
+    assert cfg.bytes_per_key == 1 * MiB / 32
+    assert cfg.total_keys(4) == 4 * 64 * 32
+    assert cfg.total_bytes(4) == pytest.approx(4 * 64 * MiB)
+
+
+def test_downscale_shrinks_simulated_blocks():
+    cfg = SortConfig(
+        data_per_node_bytes=64 * MiB, block_bytes=1 * MiB, downscale=4
+    )
+    assert cfg.blocks_per_node == 16
+    # Represented bytes are unaffected by downscale per simulated block.
+    assert cfg.keys_to_bytes(cfg.block_elems) == 1 * MiB
+
+
+def test_runs_follow_memory_ratio():
+    cfg = small_config()  # 48 MiB data, 16 MiB memory
+    assert cfg.piece_blocks(PAPER_MACHINE) == 16
+    assert cfg.n_runs(PAPER_MACHINE) == 3
+
+
+def test_repr_elems_per_key():
+    cfg = SortConfig(block_bytes=8 * MiB, block_elems=32)
+    # 8 MiB / 32 keys = 256 KiB per key; at 16 B/element that's 16384.
+    assert cfg.repr_elems_per_key == pytest.approx((8 * MiB / 32) / 16)
+
+
+def test_memory_defaults_to_machine_spec():
+    cfg = SortConfig(memory_bytes=None)
+    assert cfg.resolve_memory_bytes(PAPER_MACHINE) == PAPER_MACHINE.usable_ram
+
+
+def test_sample_every_defaults_to_block():
+    cfg = SortConfig(block_elems=48)
+    assert cfg.resolved_sample_every == 48
+    assert cfg.with_overrides(sample_every=5).resolved_sample_every == 5
+
+
+def test_validate_rejects_too_many_runs():
+    cfg = SortConfig(
+        data_per_node_bytes=1000 * MiB,
+        memory_bytes=2 * MiB,
+        block_bytes=1 * MiB,
+    )
+    with pytest.raises(ConfigError, match="two-pass"):
+        cfg.validate(PAPER_MACHINE, 4)
+
+
+def test_validate_rejects_unknown_selection():
+    cfg = small_config(selection="telepathy")
+    with pytest.raises(ConfigError):
+        cfg.validate(PAPER_MACHINE, 2)
+
+
+def test_validate_rejects_bad_mem_fraction():
+    cfg = small_config(alltoall_mem_fraction=0.0)
+    with pytest.raises(ConfigError):
+        cfg.validate(PAPER_MACHINE, 2)
+
+
+def test_with_overrides_is_functional():
+    cfg = small_config()
+    other = cfg.with_overrides(randomize=False)
+    assert cfg.randomize and not other.randomize
+
+
+def test_buffer_defaults_scale_with_disks():
+    cfg = SortConfig()
+    assert cfg.resolved_prefetch_buffers(PAPER_MACHINE) == 16
+    assert cfg.resolved_write_buffers(PAPER_MACHINE) == 8
+
+
+# ------------------------------------------------------------------ stats
+
+
+def test_phase_timer_records_wall():
+    cfg = small_config(downscale=10)
+    stats = SortStats(cfg, 2)
+    sim = Simulator()
+
+    def body():
+        timer = PhaseTimer(stats, 0, "merge", sim)
+        yield sim.timeout(3.0)
+        timer.stop()
+
+    sim.run_process(body())
+    assert stats.per_node[0]["merge"].wall == 3.0
+    assert stats.wall_max("merge") == 3.0
+    assert stats.wall_avg("merge") == 1.5
+
+
+def test_phase_timer_double_stop_rejected():
+    cfg = small_config()
+    stats = SortStats(cfg, 1)
+    sim = Simulator()
+    timer = PhaseTimer(stats, 0, "merge", sim)
+    timer.stop()
+    with pytest.raises(RuntimeError):
+        timer.stop()
+
+
+def test_scaling_exempts_selection():
+    cfg = small_config(downscale=10)
+    stats = SortStats(cfg, 1)
+    stats.record_wall(0, "merge", 2.0)
+    stats.record_wall(0, "selection", 2.0)
+    assert stats.scaled_wall_max("merge") == 20.0
+    assert stats.scaled_wall_max("selection") == 2.0
+
+
+def test_scaled_total_is_sum_of_phase_maxima():
+    cfg = small_config(downscale=2)
+    stats = SortStats(cfg, 2)
+    stats.record_wall(0, "run_formation", 5.0)
+    stats.record_wall(1, "run_formation", 3.0)
+    stats.record_wall(0, "merge", 1.0)
+    stats.record_wall(1, "merge", 2.0)
+    stats.record_wall(0, "selection", 0.5)
+    stats.record_wall(1, "selection", 0.25)
+    stats.record_wall(0, "all_to_all", 0.0)
+    stats.record_wall(1, "all_to_all", 0.0)
+    assert stats.scaled_total_time == pytest.approx(2 * 5 + 2 * 2 + 0.5)
+
+
+def test_counters_accumulate_and_total():
+    cfg = small_config()
+    stats = SortStats(cfg, 2)
+    stats.add_counter(0, "x", 2)
+    stats.add_counter(0, "x", 3)
+    stats.add_counter(1, "x", 1)
+    assert stats.counters[0]["x"] == 5
+    assert stats.counter_total("x") == 6
+    assert stats.counter_total("missing") == 0
+
+
+def test_dynamic_phase_registration():
+    cfg = small_config()
+    stats = SortStats(cfg, 1)
+    stats.record_wall(0, "distribute", 1.0)
+    assert "distribute" in stats.phases
+
+
+def test_summary_renders():
+    cfg = small_config()
+    stats = SortStats(cfg, 1)
+    stats.total_time = 12.0
+    text = stats.summary()
+    assert "P=1" in text
+    assert "run_formation" in text
+
+
+def test_stats_to_dict_and_json(tmp_path):
+    from tests.helpers import run_small_sort
+
+    _cl, _cfg, _em, _b, result = run_small_sort("random", n_nodes=2)
+    snap = result.stats.to_dict()
+    assert snap["n_nodes"] == 2
+    assert set(snap["phases"]) >= {"run_formation", "merge"}
+    assert len(snap["per_node"]) == 2
+    assert snap["total_time_scaled"] > 0
+    path = result.stats.save_json(str(tmp_path / "stats.json"))
+    import json
+
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded["phases"]["merge"]["bytes"] > 0

@@ -1,0 +1,151 @@
+"""Tests for the disk model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Disk, MiB, PAPER_MACHINE
+from repro.sim import Simulator
+
+
+def _disk(spec=PAPER_MACHINE, rng=None):
+    sim = Simulator()
+    return sim, Disk(sim, spec, "d0", rng=rng)
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+def test_sequential_access_pays_one_seek():
+    sim, disk = _disk()
+
+    def io():
+        yield disk.write(0, 8 * MiB)
+        yield disk.write(8 * MiB, 8 * MiB)
+        yield disk.write(16 * MiB, 8 * MiB)
+
+    run(sim, io())
+    assert disk.n_seeks == 1  # only the initial positioning
+
+
+def test_backward_jump_pays_full_seek():
+    sim, disk = _disk()
+
+    def io():
+        yield disk.write(100 * MiB, 1 * MiB)
+        yield disk.write(0, 1 * MiB)
+
+    run(sim, io())
+    assert disk.n_seeks == 2
+    expected = 2 * (1 * MiB) / disk.bandwidth + 2 * disk.seek_time * (
+        1 + PAPER_MACHINE.forward_seek_factor
+    ) / (1 + PAPER_MACHINE.forward_seek_factor)  # first None-head seek is full
+    # First access: full seek; backward jump: full seek.
+    assert disk.busy_time == pytest.approx(
+        2 * (1 * MiB) / disk.bandwidth + 2 * disk.seek_time
+    )
+
+
+def test_forward_jump_discounted():
+    sim, disk = _disk()
+
+    def io():
+        yield disk.write(0, 1 * MiB)
+        yield disk.write(50 * MiB, 1 * MiB)  # forward, non-contiguous
+
+    run(sim, io())
+    assert disk.busy_time == pytest.approx(
+        2 * (1 * MiB) / disk.bandwidth
+        + disk.seek_time * (1 + PAPER_MACHINE.forward_seek_factor)
+    )
+
+
+def test_transfer_time_matches_bandwidth():
+    sim, disk = _disk()
+
+    def io():
+        yield disk.read(0, 8 * MiB)
+
+    run(sim, io())
+    assert disk.busy_time == pytest.approx(disk.seek_time + 8 * MiB / disk.bandwidth)
+
+
+def test_byte_accounting_by_direction_and_tag():
+    sim, disk = _disk()
+
+    def io():
+        yield disk.write(0, 2 * MiB, tag="rf")
+        yield disk.read(0, 2 * MiB, tag="mg")
+        yield disk.read(2 * MiB, 1 * MiB, tag="mg")
+
+    run(sim, io())
+    assert disk.bytes_written == 2 * MiB
+    assert disk.bytes_read == 3 * MiB
+    assert disk.write_bytes_by_tag == {"rf": 2 * MiB}
+    assert disk.read_bytes_by_tag == {"mg": 3 * MiB}
+    assert disk.bytes_total == 5 * MiB
+
+
+def test_busy_time_attributed_to_tags():
+    sim, disk = _disk()
+
+    def io():
+        yield disk.write(0, 8 * MiB, tag="a")
+        yield disk.write(8 * MiB, 8 * MiB, tag="b")
+
+    run(sim, io())
+    assert disk.busy_time_for("a") + disk.busy_time_for("b") == pytest.approx(
+        disk.busy_time
+    )
+
+
+def test_bandwidth_jitter_is_seeded_and_bounded():
+    rng = np.random.default_rng(7)
+    sim = Simulator()
+    disks = [Disk(sim, PAPER_MACHINE, f"d{i}", rng=rng) for i in range(16)]
+    bws = {d.bandwidth for d in disks}
+    assert len(bws) > 1  # spread exists
+    spec = PAPER_MACHINE
+    lo = (spec.disk_bandwidth - spec.disk_bandwidth_spread) * spec.disk_derating
+    hi = (spec.disk_bandwidth + spec.disk_bandwidth_spread) * spec.disk_derating
+    for d in disks:
+        assert lo <= d.bandwidth <= hi
+    # Same seed, same draw sequence.
+    rng2 = np.random.default_rng(7)
+    sim2 = Simulator()
+    disks2 = [Disk(sim2, PAPER_MACHINE, f"d{i}", rng=rng2) for i in range(16)]
+    assert [d.bandwidth for d in disks] == [d.bandwidth for d in disks2]
+
+
+def test_no_jitter_without_rng():
+    _sim, disk = _disk(rng=None)
+    assert disk.bandwidth == PAPER_MACHINE.disk_bandwidth * PAPER_MACHINE.disk_derating
+
+
+def test_negative_size_rejected():
+    sim, disk = _disk()
+    with pytest.raises(ValueError):
+        disk.read(0, -1)
+
+
+def test_result_passthrough():
+    sim, disk = _disk()
+
+    def io():
+        return (yield disk.read(0, 1 * MiB, result="payload"))
+
+    assert run(sim, io()) == "payload"
+
+
+def test_requests_queue_fifo_on_one_disk():
+    sim, disk = _disk()
+    finish = []
+
+    def io(i):
+        yield disk.write(i * MiB, 1 * MiB)
+        finish.append(i)
+
+    for i in range(4):
+        sim.process(io(i))
+    sim.run()
+    assert finish == [0, 1, 2, 3]

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale."""
+
+import os
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "sortbenchmark.py",
+    "worstcase_randomization.py",
+    "robust_splitting.py",
+    "striped_vs_canonical.py",
+    "pipelined_kruskal.py",
+    "capacity_planning.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "tiny")
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_valid_output(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "tiny")
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Output valid" in out
+    assert "run_formation" in out
+
+
+def test_worstcase_example_shows_randomization_gain(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "tiny")
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "worstcase_randomization.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "Randomization cuts the redistribution volume" in out
+
+
+def test_kruskal_example_verifies_against_networkx(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "tiny")
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "pipelined_kruskal.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "networkx agrees" in out
+
+
+def test_bench_cli_runs(tmp_path):
+    env = dict(os.environ, REPRO_BENCH_DIR=str(tmp_path))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "ablation_striped"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "CanonicalMergeSort" in proc.stdout
+    assert (tmp_path / "ablation_striped.txt").exists()

@@ -1,0 +1,139 @@
+"""Failure-injection tests: the sort stays correct under stragglers.
+
+The paper's §VII raises fault tolerance for very large machines; these
+tests inject the performance faults a real cluster sees (degraded disks,
+device stalls, throttled nodes) and assert two things: correctness is
+untouched (exact splitting and validation are oblivious to timing), and
+the faults surface exactly where Figure 3 would show them — as per-PE
+imbalance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CanonicalMergeSort, Cluster
+from repro.cluster import (
+    inject_disk_slowdown,
+    inject_disk_stall,
+    inject_node_slowdown,
+)
+from repro.workloads import generate_input, input_keys, validate_output
+from tests.helpers import small_config
+
+
+def run_with_faults(inject, n_nodes=4, **overrides):
+    cfg = small_config(**overrides)
+    cluster = Cluster(n_nodes)
+    em, inputs = generate_input(cluster, cfg, "random")
+    before = input_keys(em, inputs)
+    if inject is not None:
+        inject(cluster)
+    result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    report = validate_output(before, result.output_keys(em))
+    return cluster, result, report
+
+
+def test_disk_slowdown_keeps_sort_correct():
+    _cl, result, report = run_with_faults(
+        lambda c: inject_disk_slowdown(c, node=1, disk=0, factor=4.0)
+    )
+    assert report.ok, report.issues
+
+
+def test_disk_slowdown_creates_straggler():
+    _cl, healthy, _rep = run_with_faults(None)
+    _cl, faulty, _rep = run_with_faults(
+        lambda c: inject_disk_slowdown(c, node=1, disk=0, factor=8.0)
+    )
+    assert faulty.stats.total_time > 1.2 * healthy.stats.total_time
+    # The straggler is node 1: its merge wall time exceeds the others'.
+    merge_walls = [faulty.stats.per_node[r]["merge"].wall for r in range(4)]
+    assert merge_walls[1] == max(merge_walls)
+    assert merge_walls[1] > 1.5 * min(merge_walls)
+
+
+def test_transient_slowdown_recovers():
+    _cl, healthy, _rep = run_with_faults(None)
+    window = healthy.stats.total_time
+    _cl, transient, rep = run_with_faults(
+        lambda c: inject_disk_slowdown(
+            c, node=0, disk=0, factor=8.0, at=0.0, duration=window / 10
+        )
+    )
+    _cl, permanent, _rep = run_with_faults(
+        lambda c: inject_disk_slowdown(c, node=0, disk=0, factor=8.0)
+    )
+    assert rep.ok
+    assert transient.stats.total_time < permanent.stats.total_time
+
+
+def test_disk_stall_keeps_sort_correct_and_costs_time():
+    _cl, healthy, _rep = run_with_faults(None)
+    stall = healthy.stats.total_time / 4
+    _cl, faulty, report = run_with_faults(
+        lambda c: inject_disk_stall(c, node=2, disk=1, at=0.01, duration=stall)
+    )
+    assert report.ok, report.issues
+    assert faulty.stats.total_time > healthy.stats.total_time
+
+
+def test_node_slowdown_keeps_sort_correct():
+    _cl, healthy, _rep = run_with_faults(None)
+    _cl, faulty, report = run_with_faults(
+        lambda c: inject_node_slowdown(c, node=3, factor=10.0)
+    )
+    assert report.ok, report.issues
+    # Compute is a minority share, so the hit is visible but bounded.
+    assert faulty.stats.total_time > healthy.stats.total_time
+
+
+def test_multiple_simultaneous_faults():
+    def chaos(c):
+        inject_disk_slowdown(c, node=0, disk=0, factor=3.0)
+        inject_disk_stall(c, node=1, disk=2, at=0.05, duration=0.5)
+        inject_node_slowdown(c, node=2, factor=5.0)
+
+    _cl, result, report = run_with_faults(chaos)
+    assert report.ok, report.issues
+
+
+def test_fault_on_every_disk_of_one_node():
+    def kill_node_io(c):
+        for d in range(4):
+            inject_disk_slowdown(c, node=0, disk=d, factor=6.0)
+
+    _cl, result, report = run_with_faults(kill_node_io)
+    assert report.ok
+    walls = [result.stats.per_node[r]["merge"].wall for r in range(4)]
+    assert walls[0] == max(walls)
+
+
+def test_fault_validation():
+    cluster = Cluster(2)
+    with pytest.raises(ValueError):
+        inject_disk_slowdown(cluster, 0, 0, factor=0.0)
+    with pytest.raises(ValueError):
+        inject_node_slowdown(cluster, 0, factor=-1.0)
+    with pytest.raises(ValueError):
+        inject_disk_stall(cluster, 0, 0, at=0.0, duration=-1.0)
+
+
+def test_fault_in_the_past_rejected():
+    cluster = Cluster(1)
+
+    def body():
+        yield cluster.sim.timeout(5.0)
+        with pytest.raises(ValueError):
+            inject_disk_slowdown(cluster, 0, 0, factor=2.0, at=1.0)
+        return True
+
+    assert cluster.sim.run_process(body()) is True
+
+
+def test_deterministic_under_identical_faults():
+    def inject(c):
+        inject_disk_slowdown(c, node=1, disk=0, factor=4.0, at=0.1, duration=1.0)
+
+    _cl, a, _ = run_with_faults(inject)
+    _cl, b, _ = run_with_faults(inject)
+    assert a.stats.total_time == b.stats.total_time

@@ -1,0 +1,165 @@
+"""Tests for the gensort/SortBenchmark record generator."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cluster,
+    CanonicalMergeSort,
+    ELEM_SORTBENCH_100B,
+    MiB,
+    generate_gensort_input,
+    input_keys,
+    validate_output,
+)
+from repro.workloads.gensort import (
+    KEY_BYTES,
+    RECORD_BYTES,
+    record_bytes,
+    record_checksum,
+    record_key_bytes,
+    record_keys,
+)
+from tests.helpers import small_config
+
+
+def test_keys_deterministic():
+    assert np.array_equal(record_keys(0, 64, seed=3), record_keys(0, 64, seed=3))
+
+
+def test_keys_depend_on_seed():
+    assert not np.array_equal(record_keys(0, 64, seed=3), record_keys(0, 64, seed=4))
+
+
+def test_skip_ahead_consistency():
+    """Any sub-range regenerates identically — gensort's key property."""
+    whole = record_keys(0, 1000, seed=7)
+    for start, count in [(0, 10), (500, 100), (990, 10)]:
+        assert np.array_equal(whole[start : start + count],
+                              record_keys(start, count, seed=7))
+
+
+def test_keys_roughly_uniform():
+    keys = record_keys(0, 50_000, seed=1)
+    # Mean of uniform uint64 is 2^63; allow 2% drift.
+    assert abs(float(keys.mean()) / 2 ** 63 - 1.0) < 0.02
+
+
+def test_skew_mode_duplicates():
+    keys = record_keys(0, 10_000, seed=1, skew=True)
+    assert len(np.unique(keys)) <= 4096
+
+
+def test_key_bytes_prefix_matches_uint64_key():
+    keys = record_keys(0, 100, seed=2)
+    kb = record_key_bytes(0, 100, seed=2)
+    assert kb.shape == (100, KEY_BYTES)
+    prefix = kb[:, :8].copy().view(">u8").reshape(-1)
+    assert np.array_equal(prefix.astype(np.uint64), keys)
+
+
+def test_key_byte_order_matches_key_order():
+    """Lexicographic byte order == numeric order of the uint64 keys."""
+    keys = record_keys(0, 200, seed=5)
+    kb = record_key_bytes(0, 200, seed=5)
+    order_num = np.argsort(keys, kind="stable")
+    order_lex = sorted(range(200), key=lambda i: bytes(kb[i]))
+    assert list(order_num) == order_lex
+
+
+def test_record_bytes_layout():
+    recs = record_bytes(0, 3, seed=0)
+    assert recs.shape == (3, RECORD_BYTES)
+    # Record number field is ASCII digits.
+    num = bytes(recs[2, KEY_BYTES : KEY_BYTES + 32]).decode()
+    assert num == f"{2:032d}"
+    assert recs[0, 98] == ord("\r") and recs[0, 99] == ord("\n")
+
+
+def test_record_bytes_empty_range():
+    assert record_bytes(0, 0).shape == (0, RECORD_BYTES)
+
+
+def test_checksum_splits_additively():
+    whole = record_checksum(0, 1000, seed=9)
+    a = record_checksum(0, 400, seed=9)
+    b = record_checksum(400, 600, seed=9)
+    assert whole == (a + b) & 0xFFFFFFFFFFFFFFFF
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        record_keys(0, -1)
+
+
+def test_generate_gensort_input_requires_100b_element():
+    cfg = small_config()  # 16-byte element
+    with pytest.raises(ValueError):
+        generate_gensort_input(Cluster(1), cfg)
+
+
+def test_gensort_end_to_end_sort():
+    cfg = small_config(element=ELEM_SORTBENCH_100B, data_per_node_bytes=24 * MiB,
+                       memory_bytes=8 * MiB)
+    cluster = Cluster(3)
+    em, inputs = generate_gensort_input(cluster, cfg, seed=13)
+    before = input_keys(em, inputs)
+    result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    assert validate_output(before, result.output_keys(em)).ok
+
+
+def test_gensort_nodes_hold_disjoint_index_ranges():
+    cfg = small_config(element=ELEM_SORTBENCH_100B)
+    cluster = Cluster(2)
+    em, inputs = generate_gensort_input(cluster, cfg, seed=4)
+    n = cfg.keys_per_node
+    parts = input_keys(em, inputs)
+    assert np.array_equal(parts[0], record_keys(0, n, seed=4))
+    assert np.array_equal(parts[1], record_keys(n, n, seed=4))
+
+
+def test_reconstruct_sorted_records_roundtrip():
+    """Sort the keys, regenerate the records, validate at byte level."""
+    from repro.workloads.gensort import reconstruct_sorted_records, valsort_records
+
+    n = 300
+    keys = record_keys(0, n, seed=21)
+    sorted_keys = np.sort(keys)
+    records = reconstruct_sorted_records(sorted_keys, n, seed=21)
+    assert records.shape == (n, RECORD_BYTES)
+    assert valsort_records(records)
+    # Leading key bytes match the sorted key stream.
+    prefix = records[:, :8].copy().view(">u8").reshape(-1)
+    assert np.array_equal(prefix.astype(np.uint64), sorted_keys)
+    # Every record number appears exactly once (true permutation).
+    numbers = {
+        bytes(records[i, 10:42]).decode() for i in range(n)
+    }
+    assert numbers == {f"{i:032d}" for i in range(n)}
+
+
+def test_valsort_records_detects_disorder():
+    from repro.workloads.gensort import valsort_records
+
+    recs = record_bytes(0, 5, seed=2)
+    order = np.argsort(record_keys(0, 5, seed=2))
+    sorted_recs = recs[order]
+    assert valsort_records(sorted_recs)
+    swapped = sorted_recs[::-1].copy()
+    if len(np.unique(record_keys(0, 5, seed=2))) > 1:
+        assert not valsort_records(swapped)
+
+
+def test_end_to_end_record_level_validation():
+    """Cluster sort + record reconstruction + valsort, end to end."""
+    from repro.workloads.gensort import reconstruct_sorted_records, valsort_records
+
+    cfg = small_config(element=ELEM_SORTBENCH_100B, data_per_node_bytes=8 * MiB,
+                       memory_bytes=4 * MiB, block_elems=8)
+    cluster = Cluster(2)
+    em, inputs = generate_gensort_input(cluster, cfg, seed=9)
+    result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    total = cfg.keys_per_node * 2
+    all_sorted = np.concatenate(result.output_keys(em))
+    records = reconstruct_sorted_records(all_sorted, total, seed=9)
+    assert valsort_records(records)

@@ -1,0 +1,130 @@
+"""Unit tests for internal helpers of the core phases."""
+
+from repro import Cluster, MiB
+from repro.core.all_to_all import _sub_slices
+from repro.core.run_formation import _chunk_schedule
+from repro.core.striped import _StripeAllocator
+from repro.em import BID, ExternalMemory
+from tests.helpers import small_config
+
+
+# ---------------------------------------------------------- _sub_slices
+
+
+def test_sub_slices_partition_exactly():
+    spans = [(0, 10, 50), (1, 0, 30), (2, 5, 25)]  # 40 + 30 + 20 = 90 keys
+    k = 4
+    seen = []
+    total = 0
+    for sub in range(k):
+        part = _sub_slices(spans, k, sub)
+        for r, lo, hi in part:
+            assert lo < hi
+            total += hi - lo
+            seen.append((r, lo, hi))
+    assert total == 90
+    # Concatenated sub-slices re-create the spans in order.
+    rebuilt = {}
+    for r, lo, hi in seen:
+        if r in rebuilt:
+            assert rebuilt[r][-1][1] == lo  # contiguous
+            rebuilt[r].append((lo, hi))
+        else:
+            rebuilt[r] = [(lo, hi)]
+    assert rebuilt[0][0][0] == 10 and rebuilt[0][-1][1] == 50
+    assert rebuilt[1][0][0] == 0 and rebuilt[1][-1][1] == 30
+
+
+def test_sub_slices_sizes_almost_equal():
+    spans = [(0, 0, 100)]
+    sizes = [sum(hi - lo for _r, lo, hi in _sub_slices(spans, 3, s)) for s in range(3)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_sub_slices_empty_spans():
+    assert _sub_slices([], 4, 0) == []
+
+
+def test_sub_slices_single_subop_is_identity():
+    spans = [(1, 2, 9), (0, 4, 6)]
+    assert _sub_slices(spans, 1, 0) == spans
+
+
+# ------------------------------------------------------- _chunk_schedule
+
+
+def _bids(n):
+    return [BID(0, i % 4, i // 4) for i in range(n)]
+
+
+def test_chunk_schedule_covers_all_blocks():
+    cfg = small_config(randomize=True)
+    blocks = _bids(40)
+    chunks = _chunk_schedule(blocks, cfg, rank=0, piece_blocks=16)
+    flat = [b for chunk in chunks for b in chunk]
+    assert sorted(flat) == sorted(blocks)
+    assert [len(c) for c in chunks] == [16, 16, 8]
+
+
+def test_chunk_schedule_elevator_order_within_chunk():
+    cfg = small_config(randomize=True)
+    chunks = _chunk_schedule(_bids(32), cfg, rank=0, piece_blocks=16)
+    for chunk in chunks:
+        assert chunk == sorted(chunk, key=lambda b: (b.disk, b.slot))
+
+
+def test_chunk_schedule_randomization_is_seeded_per_rank():
+    cfg = small_config(randomize=True)
+    a = _chunk_schedule(_bids(32), cfg, rank=0, piece_blocks=16)
+    b = _chunk_schedule(_bids(32), cfg, rank=0, piece_blocks=16)
+    c = _chunk_schedule(_bids(32), cfg, rank=1, piece_blocks=16)
+    assert a == b  # deterministic
+    assert a != c  # rank-dependent stream
+
+
+def test_chunk_schedule_without_randomization_is_sequential():
+    cfg = small_config(randomize=False)
+    blocks = _bids(32)
+    chunks = _chunk_schedule(blocks, cfg, rank=0, piece_blocks=16)
+    assert chunks[0] == sorted(blocks[:16], key=lambda b: (b.disk, b.slot))
+    assert chunks[1] == sorted(blocks[16:], key=lambda b: (b.disk, b.slot))
+
+
+def test_chunk_schedule_seed_changes_shuffle():
+    a = _chunk_schedule(_bids(32), small_config(seed=1), rank=0, piece_blocks=16)
+    b = _chunk_schedule(_bids(32), small_config(seed=2), rank=0, piece_blocks=16)
+    assert a != b
+
+
+# ------------------------------------------------------ _StripeAllocator
+
+
+def test_stripe_allocator_round_robin_over_machine():
+    cluster = Cluster(2)
+    em = ExternalMemory(cluster, 1 * MiB, 8)
+    alloc = _StripeAllocator(em, n_nodes=2, disks_per_node=4)
+    owners = [alloc.next_owner() for _ in range(10)]
+    assert owners[:8] == [(n, d) for n in range(2) for d in range(4)]
+    assert owners[8] == (0, 0)  # wraps
+
+
+def test_stripe_allocator_replicas_stay_in_sync():
+    cluster = Cluster(2)
+    em = ExternalMemory(cluster, 1 * MiB, 8)
+    a = _StripeAllocator(em, 2, 4)
+    b = _StripeAllocator(em, 2, 4)
+    assert [a.next_owner() for _ in range(13)] == [b.next_owner() for _ in range(13)]
+
+
+# ---------------------------------------------------------------- report
+
+
+def test_report_fmt_handles_mixed_types():
+    from repro.bench.report import _fmt
+
+    assert _fmt(0.0) == "0"
+    assert _fmt(1234.5) == "1,234"
+    assert _fmt(12.34) == "12.3"
+    assert _fmt(0.001234) == "0.001234"
+    assert _fmt("text") == "text"
+    assert _fmt(7) == "7"

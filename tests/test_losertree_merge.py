@@ -1,0 +1,113 @@
+"""Tests for the loser tree and the streaming multiway merge."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import LoserTree, merge_arrays, merge_iterables
+
+
+def test_loser_tree_single_source():
+    tree = LoserTree(1)
+    tree.push(0, 5, "five")
+    assert tree.pop_winner() == (0, 5, "five")
+    tree.exhaust(0)
+    assert tree.pop_winner() is None
+
+
+def test_loser_tree_basic_merge_order():
+    tree = LoserTree(3)
+    data = [[1, 4, 7], [2, 5, 8], [3, 6, 9]]
+    ptrs = [0, 0, 0]
+    for i in range(3):
+        tree.push(i, data[i][0])
+    out = []
+    while True:
+        popped = tree.pop_winner()
+        if popped is None:
+            break
+        src, key, _ = popped
+        out.append(key)
+        ptrs[src] += 1
+        if ptrs[src] < len(data[src]):
+            tree.push(src, data[src][ptrs[src]])
+        else:
+            tree.exhaust(src)
+    assert out == list(range(1, 10))
+
+
+def test_loser_tree_ties_stable_by_source():
+    tree = LoserTree(3)
+    for i in range(3):
+        tree.push(i, 7, f"v{i}")
+    order = []
+    for _ in range(3):
+        src, _key, _val = tree.pop_winner()
+        order.append(src)
+        tree.exhaust(src)
+    assert order == [0, 1, 2]
+
+
+def test_loser_tree_double_push_rejected():
+    tree = LoserTree(2)
+    tree.push(0, 1)
+    with pytest.raises(RuntimeError):
+        tree.push(0, 2)
+
+
+def test_loser_tree_pop_without_refill_rejected():
+    tree = LoserTree(2)
+    tree.push(0, 1)
+    tree.push(1, 2)
+    tree.pop_winner()
+    with pytest.raises(RuntimeError):
+        tree.pop_winner()
+
+
+def test_loser_tree_source_bounds():
+    tree = LoserTree(2)
+    with pytest.raises(IndexError):
+        tree.push(5, 1)
+    with pytest.raises(ValueError):
+        LoserTree(0)
+
+
+def test_loser_tree_exhaust_with_item_rejected():
+    tree = LoserTree(2)
+    tree.push(0, 1)
+    with pytest.raises(RuntimeError):
+        tree.exhaust(0)
+
+
+def test_merge_iterables_lazy():
+    gen = merge_iterables([[1, 3], [2, 4]])
+    assert next(gen) == 1
+    assert next(gen) == 2
+
+
+def test_merge_iterables_empty_sources():
+    assert list(merge_iterables([])) == []
+    assert list(merge_iterables([[], []])) == []
+    assert list(merge_iterables([[], [1]])) == [1]
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 100), max_size=25), max_size=7))
+def test_merge_iterables_matches_heapq(lists):
+    sorted_lists = [sorted(x) for x in lists]
+    got = list(merge_iterables(sorted_lists))
+    want = list(heapq.merge(*sorted_lists))
+    assert got == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 1000), max_size=20), min_size=1, max_size=5))
+def test_merge_arrays_matches_numpy(lists):
+    arrays = [np.sort(np.array(x, dtype=np.uint64)) for x in lists]
+    got = merge_arrays(arrays)
+    want = np.sort(np.concatenate(arrays)) if any(len(a) for a in arrays) \
+        else np.empty(0, np.uint64)
+    assert np.array_equal(got, want)

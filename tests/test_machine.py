@@ -1,0 +1,91 @@
+"""Tests for the machine calibration model."""
+
+import pytest
+
+from repro.cluster import GiB, MB, MiB, PAPER_MACHINE
+
+
+def test_paper_machine_matches_section_vi():
+    spec = PAPER_MACHINE
+    assert spec.cores_per_node == 8
+    assert spec.clock_hz == pytest.approx(2.667e9)
+    assert spec.ram_bytes == 16 * GiB
+    assert spec.disks_per_node == 4
+    assert spec.disk_bandwidth == 67 * MiB
+    assert spec.net_p2p_bandwidth == 1300 * MB
+    assert spec.net_min_bandwidth == 400 * MB
+
+
+def test_node_disk_bandwidth_aggregates_raid():
+    spec = PAPER_MACHINE
+    assert spec.node_disk_bandwidth == pytest.approx(
+        4 * 67 * MiB * spec.disk_derating
+    )
+
+
+def test_network_bandwidth_decays_with_nodes():
+    spec = PAPER_MACHINE
+    assert spec.net_bandwidth(1) == 1300 * MB
+    assert spec.net_bandwidth(2) < spec.net_bandwidth(1)
+    assert spec.net_bandwidth(64) < spec.net_bandwidth(8)
+
+
+def test_network_bandwidth_floor_at_full_fabric():
+    spec = PAPER_MACHINE
+    # The paper measured "as low as 400 MB/s" when most nodes are used.
+    assert spec.net_bandwidth(200) == pytest.approx(400 * MB, rel=0.01)
+    assert spec.net_bandwidth(10_000) == pytest.approx(400 * MB)
+    assert spec.net_bandwidth(10_000) >= 400 * MB
+
+
+def test_sort_cost_superlinear():
+    spec = PAPER_MACHINE
+    t1 = spec.sort_seconds(1e6, 16)
+    t2 = spec.sort_seconds(2e6, 16)
+    assert t2 > 2 * t1  # n log n
+
+
+def test_sort_cost_zero_for_trivial_inputs():
+    assert PAPER_MACHINE.sort_seconds(0, 16) == 0.0
+    assert PAPER_MACHINE.sort_seconds(1, 16) == 0.0
+
+
+def test_large_elements_cheaper_per_byte_to_sort():
+    """100-byte records: not compute-bound (paper footnote 8)."""
+    spec = PAPER_MACHINE
+    small = spec.sort_seconds(1e9 / 16, 16)  # 1 GB of 16-byte elements
+    large = spec.sort_seconds(1e9 / 100, 100)  # 1 GB of 100-byte records
+    assert large < small
+
+
+def test_merge_cost_grows_with_arity():
+    spec = PAPER_MACHINE
+    assert spec.merge_seconds(1e7, 16, 16) > spec.merge_seconds(1e7, 2, 16)
+
+
+def test_merge_cheaper_than_sort():
+    spec = PAPER_MACHINE
+    assert spec.merge_seconds(1e7, 8, 16) < spec.sort_seconds(1e7, 16)
+
+
+def test_memory_bandwidth_floor_applies():
+    spec = PAPER_MACHINE
+    # Huge cheap-comparison workload still pays the copy bandwidth.
+    n = 1e9
+    assert spec.merge_seconds(n, 2, 100) >= 2 * n * 100 / spec.mem_bandwidth
+
+
+def test_scan_seconds_linear():
+    spec = PAPER_MACHINE
+    assert spec.scan_seconds(2e9) == pytest.approx(2 * spec.scan_seconds(1e9))
+
+
+def test_with_overrides_creates_modified_copy():
+    spec = PAPER_MACHINE.with_overrides(disks_per_node=8)
+    assert spec.disks_per_node == 8
+    assert PAPER_MACHINE.disks_per_node == 4
+
+
+def test_usable_ram_fraction():
+    spec = PAPER_MACHINE
+    assert spec.usable_ram == pytest.approx(16 * GiB * spec.usable_ram_fraction)

@@ -1,0 +1,230 @@
+"""Tests for the fabric model and the simulated MPI collectives."""
+
+import pytest
+
+from repro.cluster import Cluster, CollectiveMismatch, Fabric, MB, PAPER_MACHINE
+from repro.sim import SimulationError, Simulator
+
+
+# ----------------------------------------------------------------- Fabric
+
+
+def test_transfer_seconds_volume_and_latency():
+    sim = Simulator()
+    fabric = Fabric(sim, PAPER_MACHINE, n_nodes=8)
+    t = fabric.transfer_seconds(1300 * MB, active_nodes=1, messages=1)
+    assert t == pytest.approx(1.0 + PAPER_MACHINE.net_latency)
+
+
+def test_transfer_congestion_slows_transfers():
+    sim = Simulator()
+    fabric = Fabric(sim, PAPER_MACHINE, n_nodes=64)
+    fast = fabric.transfer_seconds(100 * MB, active_nodes=2)
+    slow = fabric.transfer_seconds(100 * MB, active_nodes=64)
+    assert slow > fast
+
+
+def test_collective_latency_logarithmic():
+    sim = Simulator()
+    fabric = Fabric(sim, PAPER_MACHINE, n_nodes=1024)
+    assert fabric.collective_latency(1) == 0.0
+    assert fabric.collective_latency(2) == PAPER_MACHINE.net_latency
+    assert fabric.collective_latency(1024) == 10 * PAPER_MACHINE.net_latency
+
+
+def test_traffic_recording():
+    sim = Simulator()
+    fabric = Fabric(sim, PAPER_MACHINE, n_nodes=4)
+    fabric.record_traffic(1000.0, messages=3)
+    assert fabric.bytes_sent == 1000.0
+    assert fabric.n_messages == 3
+
+
+def test_negative_transfer_rejected():
+    sim = Simulator()
+    fabric = Fabric(sim, PAPER_MACHINE, n_nodes=4)
+    with pytest.raises(ValueError):
+        fabric.transfer_seconds(-1, 2)
+
+
+# ------------------------------------------------------------ Collectives
+
+
+def test_barrier_synchronizes_ranks():
+    cluster = Cluster(4)
+    times = {}
+
+    def pe(rank, cluster):
+        yield cluster.sim.timeout(rank * 1.0)
+        yield cluster.comm.barrier(rank)
+        times[rank] = cluster.sim.now
+
+    cluster.run_spmd(pe)
+    release = max(times.values())
+    assert all(t == pytest.approx(release) for t in times.values())
+    assert release >= 3.0
+
+
+def test_allreduce_sum_and_max():
+    cluster = Cluster(4)
+
+    def pe(rank, cluster):
+        s = yield cluster.comm.allreduce(rank, rank + 1, lambda a, b: a + b)
+        m = yield cluster.comm.allreduce(rank, rank, max)
+        return (s, m)
+
+    results = cluster.run_spmd(pe)
+    assert all(r == (10, 3) for r in results)
+
+
+def test_allgather_preserves_rank_order():
+    cluster = Cluster(3)
+
+    def pe(rank, cluster):
+        return (yield cluster.comm.allgather(rank, f"r{rank}", nbytes=10))
+
+    results = cluster.run_spmd(pe)
+    assert all(r == ["r0", "r1", "r2"] for r in results)
+
+
+def test_gather_delivers_only_to_root():
+    cluster = Cluster(3)
+
+    def pe(rank, cluster):
+        return (yield cluster.comm.gather(rank, rank * 2, root=1, nbytes=8))
+
+    results = cluster.run_spmd(pe)
+    assert results[1] == [0, 2, 4]
+    assert results[0] is None and results[2] is None
+
+
+def test_bcast_from_root():
+    cluster = Cluster(4)
+
+    def pe(rank, cluster):
+        value = "payload" if rank == 2 else None
+        return (yield cluster.comm.bcast(rank, value, root=2, nbytes=100))
+
+    assert cluster.run_spmd(pe) == ["payload"] * 4
+
+
+def test_scatter_from_root():
+    cluster = Cluster(3)
+
+    def pe(rank, cluster):
+        values = ["a", "b", "c"] if rank == 1 else None
+        return (yield cluster.comm.scatter(rank, values, root=1, nbytes=30))
+
+    assert cluster.run_spmd(pe) == ["a", "b", "c"]
+
+
+def test_scatter_requires_full_value_list():
+    cluster = Cluster(2)
+
+    def pe(rank, cluster):
+        values = ["only-one"] if rank == 0 else None
+        yield cluster.comm.scatter(rank, values, root=0)
+
+    with pytest.raises(ValueError):
+        cluster.run_spmd(pe)
+
+
+def test_alltoallv_routes_objects():
+    cluster = Cluster(3)
+
+    def pe(rank, cluster):
+        send = [(rank, d) for d in range(3)]
+        recv, recv_bytes = yield cluster.comm.alltoallv(rank, send, [8.0] * 3)
+        return recv
+
+    results = cluster.run_spmd(pe)
+    for d in range(3):
+        assert results[d] == [(s, d) for s in range(3)]
+
+
+def test_alltoallv_timing_scales_with_volume():
+    def run_with(volume):
+        cluster = Cluster(2)
+
+        def pe(rank, cluster):
+            send = [None, None]
+            sizes = [0.0, 0.0]
+            sizes[1 - rank] = volume
+            yield cluster.comm.alltoallv(rank, send, sizes)
+            return cluster.sim.now
+
+        return max(cluster.run_spmd(pe))
+
+    assert run_with(1e9) > 2 * run_with(1e8)
+
+
+def test_alltoallv_self_traffic_free():
+    cluster = Cluster(2)
+
+    def pe(rank, cluster):
+        sizes = [0.0, 0.0]
+        sizes[rank] = 1e12  # everything stays local
+        yield cluster.comm.alltoallv(rank, [None, None], sizes)
+        return cluster.sim.now
+
+    times = cluster.run_spmd(pe)
+    assert max(times) < 1.0  # no wire time charged
+    assert cluster.total_network_bytes == 0.0
+
+
+def test_collective_kind_mismatch_detected():
+    cluster = Cluster(2)
+
+    def pe(rank, cluster):
+        if rank == 0:
+            yield cluster.comm.barrier(rank)
+        else:
+            yield cluster.comm.allreduce(rank, 1, max)
+
+    with pytest.raises(CollectiveMismatch):
+        cluster.run_spmd(pe)
+
+
+def test_gather_root_mismatch_detected():
+    cluster = Cluster(2)
+
+    def pe(rank, cluster):
+        yield cluster.comm.gather(rank, rank, root=rank)
+
+    with pytest.raises(CollectiveMismatch):
+        cluster.run_spmd(pe)
+
+
+def test_alltoallv_wrong_length_rejected():
+    cluster = Cluster(3)
+
+    def pe(rank, cluster):
+        yield cluster.comm.alltoallv(rank, [None], [0.0])
+
+    with pytest.raises((ValueError, SimulationError)):
+        cluster.run_spmd(pe)
+
+
+def test_collectives_match_in_order_across_ranks():
+    """The n-th collective on each rank matches the n-th elsewhere."""
+    cluster = Cluster(2)
+
+    def pe(rank, cluster):
+        a = yield cluster.comm.allreduce(rank, 1, lambda x, y: x + y)
+        b = yield cluster.comm.allreduce(rank, 10, lambda x, y: x + y)
+        return (a, b)
+
+    assert cluster.run_spmd(pe) == [(2, 20), (2, 20)]
+
+
+def test_missing_rank_deadlocks_cleanly():
+    cluster = Cluster(2)
+
+    def pe(rank, cluster):
+        if rank == 0:
+            yield cluster.comm.barrier(rank)
+        else:
+            yield cluster.sim.timeout(1.0)
+
+    with pytest.raises(SimulationError, match="never finished"):
+        cluster.run_spmd(pe)

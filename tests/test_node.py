@@ -1,0 +1,93 @@
+"""Unit tests for the Node compute/disk aggregation layer."""
+
+import pytest
+
+from repro.cluster import Cluster, MiB, PAPER_MACHINE
+from repro.bench.sortbench import _congested_spec
+
+
+def test_compute_charges_time_and_tags():
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+
+    def body():
+        yield node.compute(1.5, tag="a")
+        yield node.compute(0.5, tag="b")
+        yield node.compute(1.0, tag="a")
+
+    cluster.sim.run_process(body())
+    assert node.compute_time == pytest.approx(3.0)
+    assert node.compute_by_tag == {"a": pytest.approx(2.5), "b": pytest.approx(0.5)}
+    assert cluster.sim.now == pytest.approx(3.0)
+
+
+def test_compute_factor_scales_charges():
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+    node.compute_factor = 3.0
+
+    def body():
+        yield node.compute(1.0)
+
+    cluster.sim.run_process(body())
+    assert cluster.sim.now == pytest.approx(3.0)
+    assert node.compute_time == pytest.approx(3.0)
+
+
+def test_negative_compute_rejected():
+    cluster = Cluster(1)
+    with pytest.raises(ValueError):
+        cluster.nodes[0].compute(-1.0)
+
+
+def test_sort_compute_uses_machine_model():
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+
+    def body():
+        yield node.sort_compute(1e6, 16, tag="rf")
+
+    cluster.sim.run_process(body())
+    assert cluster.sim.now == pytest.approx(PAPER_MACHINE.sort_seconds(1e6, 16))
+    assert node.compute_by_tag["rf"] > 0
+
+
+def test_disk_aggregation_helpers():
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+
+    def body():
+        yield node.disks[0].write(0, 4 * MiB, tag="x")
+        yield node.disks[1].write(0, 2 * MiB, tag="x")
+        yield node.disks[1].read(0, 2 * MiB, tag="y")
+
+    cluster.sim.run_process(body())
+    assert node.bytes_written == 6 * MiB
+    assert node.bytes_read == 2 * MiB
+    assert node.disk_busy_time_for("x") == pytest.approx(
+        node.disks[0].busy_time_for("x") + node.disks[1].busy_time_for("x")
+    )
+    assert node.max_disk_busy_time_for("x") == pytest.approx(
+        max(node.disks[0].busy_time_for("x"), node.disks[1].busy_time_for("x"))
+    )
+    assert node.disk_busy_time > 0
+
+
+def test_cluster_disk_count_and_totals():
+    cluster = Cluster(3)
+    assert cluster.n_disks == 12
+
+    def pe(rank, cluster):
+        yield cluster.nodes[rank].disks[0].write(0, 1 * MiB, tag="t")
+
+    cluster.run_spmd(pe)
+    assert cluster.total_bytes_written == 3 * MiB
+    assert cluster.total_io_bytes == 3 * MiB
+
+
+def test_congested_spec_pins_full_fabric_bandwidth():
+    spec = _congested_spec(195)
+    want = PAPER_MACHINE.net_bandwidth(195)
+    # A 16-node slice under this spec sees the 195-node fabric everywhere.
+    assert spec.net_bandwidth(2) == pytest.approx(want)
+    assert spec.net_bandwidth(16) == pytest.approx(want)

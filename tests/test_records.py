@@ -1,0 +1,190 @@
+"""Tests for record types and vectorized key-array kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.records import (
+    ELEM_PAPER_16B,
+    ELEM_SORTBENCH_100B,
+    KEY_DTYPE,
+    ElementType,
+    as_keys,
+    checksum,
+    exact_multiway_partition,
+    is_sorted,
+    merge_sorted_arrays,
+    partition_by_splitters,
+)
+
+keys_lists = st.lists(st.integers(0, 50), max_size=30)
+
+
+# ------------------------------------------------------------ ElementType
+
+
+def test_paper_element_shape():
+    assert ELEM_PAPER_16B.elem_bytes == 16
+    assert ELEM_PAPER_16B.key_bytes == 8
+    assert ELEM_PAPER_16B.payload_bytes == 8
+
+
+def test_sortbench_element_shape():
+    assert ELEM_SORTBENCH_100B.elem_bytes == 100
+    assert ELEM_SORTBENCH_100B.key_bytes == 10
+    assert ELEM_SORTBENCH_100B.payload_bytes == 90
+
+
+def test_element_conversions_roundtrip():
+    e = ELEM_SORTBENCH_100B
+    assert e.count_to_bytes(10) == 1000
+    assert e.bytes_to_count(1000) == 10
+
+
+def test_element_key_larger_than_record_rejected():
+    with pytest.raises(ValueError):
+        ElementType("bad", elem_bytes=4, key_bytes=8)
+
+
+# ----------------------------------------------------------------- kernels
+
+
+def test_as_keys_coerces_dtype():
+    arr = as_keys([3, 1, 2])
+    assert arr.dtype == KEY_DTYPE
+
+
+def test_is_sorted_cases():
+    assert is_sorted(np.array([], dtype=KEY_DTYPE))
+    assert is_sorted(np.array([5], dtype=KEY_DTYPE))
+    assert is_sorted(np.array([1, 1, 2], dtype=KEY_DTYPE))
+    assert not is_sorted(np.array([2, 1], dtype=KEY_DTYPE))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(keys_lists, max_size=6))
+def test_merge_sorted_arrays_equals_sorted_concat(lists):
+    arrays = [np.sort(np.array(x, dtype=KEY_DTYPE)) for x in lists]
+    got = merge_sorted_arrays(list(arrays))
+    everything = [v for x in lists for v in x]
+    assert list(got) == sorted(everything)
+
+
+def test_merge_sorted_arrays_empty():
+    assert len(merge_sorted_arrays([])) == 0
+    assert len(merge_sorted_arrays([np.empty(0, KEY_DTYPE)])) == 0
+
+
+def test_checksum_order_independent():
+    a = np.array([1, 2, 3], dtype=KEY_DTYPE)
+    b = np.array([3, 1, 2], dtype=KEY_DTYPE)
+    assert checksum(a) == checksum(b)
+
+
+def test_checksum_wraps_at_64_bits():
+    big = np.array([2 ** 63, 2 ** 63, 5], dtype=KEY_DTYPE)
+    assert checksum(big) == 5  # 2^64 wraps to zero
+
+
+def test_checksum_empty():
+    assert checksum(np.empty(0, KEY_DTYPE)) == 0
+
+
+def test_checksum_detects_changes():
+    a = np.arange(100, dtype=KEY_DTYPE)
+    b = a.copy()
+    b[17] += 1
+    assert checksum(a) != checksum(b)
+
+
+# ------------------------------------------------- exact multiway partition
+
+
+def _check_partition(seqs, rank, positions):
+    assert sum(positions) == rank
+    left = [
+        (int(s[i]), j, i) for j, s in enumerate(seqs) for i in range(positions[j])
+    ]
+    right = [
+        (int(s[i]), j, i)
+        for j, s in enumerate(seqs)
+        for i in range(positions[j], len(s))
+    ]
+    if left and right:
+        assert max(left) < min(right)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(keys_lists, min_size=1, max_size=6), st.data())
+def test_exact_multiway_partition_property(lists, data):
+    seqs = [np.sort(np.array(x, dtype=KEY_DTYPE)) for x in lists]
+    total = sum(len(s) for s in seqs)
+    rank = data.draw(st.integers(0, total))
+    positions = exact_multiway_partition(seqs, rank)
+    _check_partition(seqs, rank, positions)
+
+
+def test_exact_multiway_partition_trivial_ranks():
+    seqs = [np.array([1, 2], dtype=KEY_DTYPE), np.array([0, 3], dtype=KEY_DTYPE)]
+    assert exact_multiway_partition(seqs, 0) == [0, 0]
+    assert exact_multiway_partition(seqs, 4) == [2, 2]
+
+
+def test_exact_multiway_partition_ties_go_left_by_sequence():
+    seqs = [np.array([5, 5], dtype=KEY_DTYPE), np.array([5, 5], dtype=KEY_DTYPE)]
+    assert exact_multiway_partition(seqs, 1) == [1, 0]
+    assert exact_multiway_partition(seqs, 3) == [2, 1]
+
+
+def test_exact_multiway_partition_bad_rank_rejected():
+    with pytest.raises(ValueError):
+        exact_multiway_partition([np.array([1], dtype=KEY_DTYPE)], 2)
+
+
+# -------------------------------------------------- partition_by_splitters
+
+
+def test_partition_by_splitters_buckets():
+    arr = np.array([1, 3, 5, 7, 9], dtype=KEY_DTYPE)
+    splitters = np.array([4, 8], dtype=KEY_DTYPE)
+    buckets = partition_by_splitters(arr, splitters)
+    assert [list(b) for b in buckets] == [[1, 3], [5, 7], [9]]
+
+
+def test_partition_by_splitters_boundary_goes_right():
+    arr = np.array([4, 4, 5], dtype=KEY_DTYPE)
+    buckets = partition_by_splitters(arr, np.array([4], dtype=KEY_DTYPE))
+    assert [list(b) for b in buckets] == [[], [4, 4, 5]]
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys_lists, st.lists(st.integers(0, 50), max_size=4))
+def test_partition_by_splitters_conserves(values, splits):
+    arr = np.sort(np.array(values, dtype=KEY_DTYPE))
+    splitters = np.sort(np.array(splits, dtype=KEY_DTYPE))
+    buckets = partition_by_splitters(arr, splitters)
+    assert len(buckets) == len(splitters) + 1
+    assert sum(len(b) for b in buckets) == len(arr)
+    rebuilt = np.concatenate([b for b in buckets]) if len(arr) else arr
+    assert np.array_equal(rebuilt, arr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(keys_lists, min_size=1, max_size=5), st.data())
+def test_multi_rank_partition_matches_single(lists, data):
+    from repro.records import exact_multiway_partition_multi
+
+    seqs = [np.sort(np.array(x, dtype=KEY_DTYPE)) for x in lists]
+    total = sum(len(s) for s in seqs)
+    ranks = [data.draw(st.integers(0, total)) for _ in range(4)]
+    multi = exact_multiway_partition_multi(seqs, ranks)
+    for rank, positions in zip(ranks, multi):
+        assert positions == exact_multiway_partition(seqs, rank)
+
+
+def test_multi_rank_partition_rejects_bad_rank():
+    from repro.records import exact_multiway_partition_multi
+
+    with pytest.raises(ValueError):
+        exact_multiway_partition_multi([np.array([1], dtype=KEY_DTYPE)], [2])

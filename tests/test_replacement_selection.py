@@ -1,0 +1,99 @@
+"""Tests for replacement-selection run formation (§VII future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import replacement_selection_runs, run_length_stats
+from repro.records import is_sorted
+
+
+def runs_of(keys, memory):
+    return list(replacement_selection_runs(keys, memory))
+
+
+def test_runs_are_sorted_and_conserving():
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 1000, 500)
+    runs = runs_of(keys, memory=32)
+    for run in runs:
+        assert is_sorted(run)
+    assert sorted(np.concatenate(runs).tolist()) == sorted(keys.tolist())
+
+
+def test_sorted_input_yields_single_run():
+    keys = np.arange(1000)
+    runs = runs_of(keys, memory=16)
+    assert len(runs) == 1
+    assert len(runs[0]) == 1000
+
+
+def test_reverse_sorted_input_degenerates_to_memory_runs():
+    keys = np.arange(1000)[::-1]
+    runs = runs_of(keys, memory=20)
+    assert len(runs) == 50
+    assert all(len(run) == 20 for run in runs)
+
+
+def test_random_input_runs_approach_two_memory():
+    """Knuth's snow-plow: expected run length 2M on random input."""
+    rng = np.random.default_rng(1)
+    stats = run_length_stats(rng.integers(0, 2 ** 60, 40_000), memory=256)
+    assert 1.7 <= stats["length_over_memory"] <= 2.3
+
+
+def test_stats_fields():
+    stats = run_length_stats(np.arange(100), memory=10)
+    assert stats["n_runs"] == 1
+    assert stats["total_keys"] == 100
+    assert stats["max_run_length"] == 100
+
+
+def test_short_input_single_partial_run():
+    runs = runs_of(np.array([3, 1, 2]), memory=10)
+    assert len(runs) == 1
+    assert list(runs[0]) == [1, 2, 3]
+
+
+def test_empty_input():
+    assert runs_of(np.empty(0, dtype=np.int64), memory=4) == []
+
+
+def test_invalid_memory_rejected():
+    with pytest.raises(ValueError):
+        runs_of(np.arange(4), memory=0)
+
+
+def test_duplicates_handled():
+    keys = np.array([5, 5, 5, 1, 5, 5, 1])
+    runs = runs_of(keys, memory=2)
+    assert sorted(np.concatenate(runs).tolist()) == sorted(keys.tolist())
+    for run in runs:
+        assert is_sorted(run)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 100), max_size=200),
+    memory=st.integers(1, 32),
+)
+def test_property_runs_sorted_conserving_and_long_enough(keys, memory):
+    runs = runs_of(np.array(keys, dtype=np.uint64), memory)
+    rebuilt = sorted(v for run in runs for v in run.tolist())
+    assert rebuilt == sorted(keys)
+    for run in runs:
+        assert is_sorted(run)
+    # Every run except possibly the last spans at least `memory` keys.
+    for run in runs[:-1]:
+        assert len(run) >= min(memory, len(keys))
+
+
+def test_fewer_runs_than_load_sort():
+    """The §VII payoff: ~half the runs of plain memory-load sorting."""
+    rng = np.random.default_rng(2)
+    keys = rng.integers(0, 2 ** 60, 30_000)
+    memory = 500
+    load_sort_runs = -(-len(keys) // memory)
+    rs_runs = run_length_stats(keys, memory)["n_runs"]
+    assert rs_runs <= 0.65 * load_sort_runs

@@ -1,0 +1,335 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(2.5)
+        return "done"
+
+    assert sim.run_process(body()) == "done"
+    assert sim.now == 2.5
+
+
+def test_timeout_value_delivered():
+    sim = Simulator()
+
+    def body():
+        got = yield sim.timeout(1.0, value=41)
+        return got + 1
+
+    assert sim.run_process(body()) == 42
+
+
+def test_zero_delay_timeout():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(0.0)
+        return sim.now
+
+    assert sim.run_process(body()) == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+
+    def body(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(body(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_processes_interleave_by_time():
+    sim = Simulator()
+    trace = []
+
+    def body(tag, delay):
+        yield sim.timeout(delay)
+        trace.append((sim.now, tag))
+
+    sim.process(body("slow", 3.0))
+    sim.process(body("fast", 1.0))
+    sim.run()
+    assert trace == [(1.0, "fast"), (3.0, "slow")]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def opener():
+        yield sim.timeout(5.0)
+        gate.succeed("open!")
+
+    def waiter():
+        msg = yield gate
+        return (sim.now, msg)
+
+    sim.process(opener())
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == (5.0, "open!")
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def failer():
+        yield sim.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    sim.process(failer())
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == "caught boom"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_waiting_on_already_triggered_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(7)
+
+    def body():
+        got = yield ev
+        return got
+
+    assert sim.run_process(body()) == 7
+
+
+def test_multiple_waiters_one_event():
+    sim = Simulator()
+    gate = sim.event()
+
+    def opener():
+        yield sim.timeout(1.0)
+        gate.succeed("x")
+
+    def waiter():
+        return (yield gate)
+
+    sim.process(opener())
+    procs = [sim.process(waiter()) for _ in range(3)]
+    sim.run()
+    assert [p.value for p in procs] == ["x", "x", "x"]
+
+
+def test_process_is_event_with_return_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 99
+
+    def parent():
+        result = yield sim.process(child())
+        return result + 1
+
+    assert sim.run_process(parent()) == 100
+
+
+def test_yield_from_subgenerator():
+    sim = Simulator()
+
+    def sub():
+        yield sim.timeout(1.0)
+        return "sub"
+
+    def body():
+        got = yield from sub()
+        yield sim.timeout(1.0)
+        return got + "/top"
+
+    assert sim.run_process(body()) == "sub/top"
+    assert sim.now == 2.0
+
+
+def test_exception_propagates_from_child_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("child died")
+
+    def parent():
+        with pytest.raises(ValueError, match="child died"):
+            yield sim.process(child())
+        return "survived"
+
+    assert sim.run_process(parent()) == "survived"
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+
+    def body():
+        evs = [sim.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        values = yield sim.all_of(evs)
+        return values
+
+    assert sim.run_process(body()) == [3.0, 1.0, 2.0]
+    assert sim.now == 3.0
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def body():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(9.0, value="slow")
+        first = yield sim.any_of([fast, slow])
+        return (first.value, sim.now)
+
+    # sim.now is captured inside: run() afterwards drains the slow timeout.
+    assert sim.run_process(body()) == ("fast", 1.0)
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def body():
+        got = yield sim.all_of([])
+        return got
+
+    assert sim.run_process(body()) == []
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+
+    def body():
+        yield sim.timeout(10.0)
+        fired.append(True)
+
+    sim.process(body())
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert not fired
+    sim.run()
+    assert fired
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    never = sim.event()
+
+    def body():
+        yield never
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(body())
+
+
+def test_interrupt_throws_into_process():
+    sim = Simulator()
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            return f"interrupted: {intr.cause}"
+
+    def attacker(proc):
+        yield sim.timeout(1.0)
+        proc.interrupt("test cause")
+
+    proc = sim.process(victim())
+    sim.process(attacker(proc))
+    sim.run()
+    assert proc.value == "interrupted: test cause"
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(body())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def body():
+        yield 42
+
+    proc = sim.process(body())
+    sim.run()
+    assert proc.triggered
+    with pytest.raises(Exception):
+        _ = proc.value
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_simulator_not_reentrant():
+    sim = Simulator()
+
+    def body():
+        with pytest.raises(SimulationError):
+            sim.run()
+        yield sim.timeout(0.1)
+        return True
+
+    assert sim.run_process(body()) is True

@@ -1,0 +1,266 @@
+"""Unit tests for Server, Pool and Rendezvous."""
+
+import pytest
+
+from repro.sim import Pool, Rendezvous, Server, SimulationError, Simulator
+
+
+# ---------------------------------------------------------------- Server
+
+
+def test_server_fifo_single_capacity():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+    done = []
+
+    def client(i):
+        yield srv.request(1.0, result=i)
+        done.append((sim.now, i))
+
+    for i in range(3):
+        sim.process(client(i))
+    sim.run()
+    assert done == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_server_parallel_capacity():
+    sim = Simulator()
+    srv = Server(sim, capacity=2)
+    done = []
+
+    def client(i):
+        yield srv.request(1.0)
+        done.append((sim.now, i))
+
+    for i in range(4):
+        sim.process(client(i))
+    sim.run()
+    assert [t for t, _ in done] == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_server_callable_service_evaluated_at_start():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+    starts = []
+
+    def service(req):
+        starts.append(sim.now)
+        return 2.0
+
+    def client():
+        yield srv.request(service)
+
+    sim.process(client())
+    sim.process(client())
+    sim.run()
+    assert starts == [0.0, 2.0]
+
+
+def test_server_busy_time_by_tag():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+
+    def client(tag, dur):
+        yield srv.request(dur, tag=tag)
+
+    sim.process(client("a", 1.0))
+    sim.process(client("b", 2.0))
+    sim.process(client("a", 3.0))
+    sim.run()
+    assert srv.busy_time == 6.0
+    assert srv.busy_by_tag == {"a": 4.0, "b": 2.0}
+    assert srv.n_served == 3
+
+
+def test_server_wait_time_tracking():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+    reqs = []
+
+    def client():
+        req = srv.request(1.0)
+        reqs.append(req)
+        yield req
+
+    sim.process(client())
+    sim.process(client())
+    sim.run()
+    assert reqs[0].wait_time == 0.0
+    assert reqs[1].wait_time == 1.0
+    assert srv.total_wait == 1.0
+
+
+def test_server_negative_service_rejected():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+
+    def client():
+        yield srv.request(-1.0)
+
+    proc = sim.process(client())
+    with pytest.raises(Exception):
+        sim.run()
+        _ = proc.value
+
+
+def test_server_capacity_validation():
+    with pytest.raises(ValueError):
+        Server(Simulator(), capacity=0)
+
+
+def test_server_queue_length():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+
+    def client():
+        yield srv.request(1.0)
+
+    sim.process(client())
+    sim.process(client())
+    sim.process(client())
+
+    def observer():
+        yield sim.timeout(0.5)
+        return (srv.in_service, srv.queue_length)
+
+    obs = sim.process(observer())
+    sim.run()
+    assert obs.value == (1, 2)
+
+
+# ------------------------------------------------------------------ Pool
+
+
+def test_pool_acquire_release():
+    sim = Simulator()
+    pool = Pool(sim, capacity=2)
+    log = []
+
+    def worker(i):
+        yield pool.acquire(1)
+        log.append((sim.now, "got", i))
+        yield sim.timeout(1.0)
+        pool.release(1)
+
+    for i in range(3):
+        sim.process(worker(i))
+    sim.run()
+    assert log == [(0.0, "got", 0), (0.0, "got", 1), (1.0, "got", 2)]
+
+
+def test_pool_fifo_blocks_small_behind_large():
+    sim = Simulator()
+    pool = Pool(sim, capacity=4)
+    log = []
+
+    def holder():
+        yield pool.acquire(3)
+        yield sim.timeout(2.0)
+        pool.release(3)
+
+    def big():
+        yield sim.timeout(0.1)
+        yield pool.acquire(3)
+        log.append(("big", sim.now))
+        pool.release(3)
+
+    def small():
+        yield sim.timeout(0.2)
+        yield pool.acquire(1)
+        log.append(("small", sim.now))
+        pool.release(1)
+
+    sim.process(holder())
+    sim.process(big())
+    sim.process(small())
+    sim.run()
+    # FIFO: small (which would fit) waits behind big.
+    assert log[0][0] == "big"
+
+
+def test_pool_try_acquire():
+    sim = Simulator()
+    pool = Pool(sim, capacity=1)
+    assert pool.try_acquire(1)
+    assert not pool.try_acquire(1)
+    pool.release(1)
+    assert pool.try_acquire(1)
+
+
+def test_pool_over_release_rejected():
+    sim = Simulator()
+    pool = Pool(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        pool.release(1)
+
+
+def test_pool_impossible_acquire_rejected():
+    sim = Simulator()
+    pool = Pool(sim, capacity=2)
+    with pytest.raises(SimulationError):
+        pool.acquire(3)
+
+
+def test_pool_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        Pool(Simulator(), capacity=-1)
+
+
+# ------------------------------------------------------------- Rendezvous
+
+
+def test_rendezvous_releases_all_with_values():
+    sim = Simulator()
+
+    def resolve(payloads):
+        total = sum(payloads.values())
+        return {rank: (0.5 * rank, total) for rank in payloads}
+
+    rv = Rendezvous(sim, parties=3, resolve=resolve)
+    results = {}
+
+    def party(rank):
+        yield sim.timeout(rank * 1.0)
+        value = yield rv.arrive(rank, rank + 1)
+        results[rank] = (sim.now, value)
+
+    for rank in range(3):
+        sim.process(party(rank))
+    sim.run()
+    # Last arrival at t=2; releases at 2 + 0.5 * rank with the sum 6.
+    assert results == {0: (2.0, 6), 1: (2.5, 6), 2: (3.0, 6)}
+
+
+def test_rendezvous_double_arrival_rejected():
+    sim = Simulator()
+    rv = Rendezvous(sim, parties=2, resolve=lambda p: {r: (0, None) for r in p})
+    rv.arrive(0)
+    with pytest.raises(SimulationError):
+        rv.arrive(0)
+
+
+def test_rendezvous_resolver_must_cover_all_ranks():
+    sim = Simulator()
+    rv = Rendezvous(sim, parties=2, resolve=lambda p: {0: (0, None)})
+    rv.arrive(0)
+    with pytest.raises(SimulationError):
+        rv.arrive(1)
+
+
+def test_rendezvous_single_party():
+    sim = Simulator()
+    rv = Rendezvous(sim, parties=1, resolve=lambda p: {0: (1.0, "solo")})
+
+    def party():
+        return (yield rv.arrive(0))
+
+    assert sim.run_process(party()) == "solo"
+    assert sim.now == 1.0
+
+
+def test_rendezvous_arrival_after_resolution_rejected():
+    sim = Simulator()
+    rv = Rendezvous(sim, parties=1, resolve=lambda p: {0: (0.0, None)})
+    rv.arrive(0)
+    with pytest.raises(SimulationError):
+        rv.arrive(1)

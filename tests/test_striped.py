@@ -1,0 +1,74 @@
+"""Tests for the globally striped mergesort (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GlobalStripedMergeSort
+from repro.workloads import generate_input, input_keys
+from tests.helpers import small_config
+
+
+def run_striped(kind="random", n_nodes=4, fan_in=None, **overrides):
+    cfg = small_config(**overrides)
+    cluster = Cluster(n_nodes)
+    em, inputs = generate_input(cluster, cfg, kind)
+    before = np.sort(np.concatenate(input_keys(em, inputs)))
+    sorter = GlobalStripedMergeSort(cluster, cfg, fan_in=fan_in)
+    result = sorter.sort(em, inputs)
+    return cluster, cfg, em, before, result
+
+
+@pytest.mark.parametrize("kind", ["random", "worstcase", "duplicates", "sorted"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_striped_sorts_correctly(kind, n_nodes):
+    _cl, _cfg, em, before, result = run_striped(kind, n_nodes)
+    assert np.array_equal(before, result.global_keys(em))
+
+
+def test_output_striped_round_robin_over_machine():
+    _cl, _cfg, em, _before, result = run_striped("random", 4)
+    nodes = [b.bid.node for b in result.output.blocks]
+    disks = [(b.bid.node, b.bid.disk) for b in result.output.blocks]
+    # Subsequent blocks land on subsequent disks of the machine.
+    n_slots = 4 * 4
+    for i in range(1, min(len(disks), n_slots)):
+        prev = disks[i - 1][0] * 4 + disks[i - 1][1]
+        cur = disks[i][0] * 4 + disks[i][1]
+        assert cur == (prev + 1) % n_slots
+
+
+def test_two_passes_of_io():
+    _cl, cfg, _em, _before, result = run_striped("random", 4)
+    n_bytes = cfg.total_bytes(4)
+    assert result.stats.total_io_bytes == pytest.approx(4 * n_bytes, rel=0.1)
+    assert result.merge_passes == 1
+
+
+def test_communication_several_traversals():
+    """§III: data is communicated ~4x (sort + striped write, twice)."""
+    _cl, cfg, _em, _before, result = run_striped("random", 4)
+    n_bytes = cfg.total_bytes(4)
+    assert result.stats.network_bytes >= 2.0 * n_bytes
+    assert result.stats.network_bytes <= 5.0 * n_bytes
+
+
+def test_multiple_merge_passes_with_tiny_fan_in():
+    _cl, _cfg, em, before, result = run_striped("random", 2, fan_in=2)
+    assert result.merge_passes >= 2
+    assert np.array_equal(before, result.global_keys(em))
+
+
+def test_multi_pass_costs_more_io():
+    _cl, cfg, _em, _b, single = run_striped("random", 2)
+    _cl, _cfg, _em, _b, multi = run_striped("random", 2, fan_in=2)
+    assert multi.stats.total_io_bytes > 1.4 * single.stats.total_io_bytes
+
+
+def test_run_count_recorded():
+    cl, cfg, _em, _before, result = run_striped("random", 2)
+    assert result.n_runs == cfg.n_runs(cl.spec)
+
+
+def test_striped_handles_single_node():
+    _cl, _cfg, em, before, result = run_striped("random", 1)
+    assert np.array_equal(before, result.global_keys(em))

@@ -1,0 +1,118 @@
+"""Tests for the sweep engine and the capacity planner."""
+
+import csv
+
+
+import pytest
+
+from repro import GiB, MiB
+from repro.bench import METRICS, paper_config, plan_sort, save_csv, sweep
+
+
+def tiny_base():
+    return paper_config(
+        data_per_node_bytes=1 * GiB,
+        memory_bytes=256 * MiB,
+        downscale=4,
+        block_elems=8,
+    )
+
+
+# ------------------------------------------------------------------ sweep
+
+
+def test_sweep_produces_cross_product_rows():
+    rows = sweep(
+        grid={"randomize": [True, False]},
+        n_nodes=[1, 2],
+        workload="worstcase",
+        base_config=tiny_base(),
+    )
+    assert len(rows) == 4
+    combos = {(row["randomize"], row["n_nodes"]) for row in rows}
+    assert combos == {(True, 1), (True, 2), (False, 1), (False, 2)}
+
+
+def test_sweep_rows_carry_all_metrics():
+    rows = sweep(grid={}, n_nodes=[2], base_config=tiny_base())
+    assert len(rows) == 1
+    for metric in METRICS:
+        assert metric in rows[0]
+        assert rows[0][metric] >= 0
+
+
+def test_sweep_detects_randomization_effect():
+    rows = sweep(
+        grid={"randomize": [True, False]},
+        n_nodes=[4],
+        workload="worstcase",
+        base_config=tiny_base(),
+    )
+    by_flag = {row["randomize"]: row for row in rows}
+    assert (
+        by_flag[False]["alltoall_volume_ratio"]
+        > by_flag[True]["alltoall_volume_ratio"]
+    )
+
+
+def test_save_csv_roundtrip(tmp_path):
+    rows = sweep(grid={}, n_nodes=[1], base_config=tiny_base())
+    path = save_csv(rows, str(tmp_path / "out.csv"))
+    with open(path) as handle:
+        loaded = list(csv.DictReader(handle))
+    assert len(loaded) == 1
+    assert float(loaded[0]["total_s"]) > 0
+
+
+def test_save_csv_rejects_empty():
+    with pytest.raises(ValueError):
+        save_csv([], "nowhere.csv")
+
+
+# ---------------------------------------------------------------- planner
+
+
+def test_planner_accepts_the_papers_graysort():
+    plan = plan_sort(1e14, 195, memory_bytes=12 * GiB, measure=False)
+    assert plan.feasible
+    assert plan.n_runs == 40
+    assert any("two-pass limit" in f for f in plan.findings)
+
+
+def test_planner_rejects_over_capacity_jobs():
+    plan = plan_sort(1e15, 8, memory_bytes=4 * GiB, measure=False)
+    assert not plan.feasible
+    assert any("violated: two-pass" in f for f in plan.findings)
+    assert plan.phase_seconds is None
+
+
+def test_planner_flags_tight_redistribution_bound():
+    # Tiny memory on a big machine: m / (P B log P) < 1.
+    plan = plan_sort(
+        1e12, 1024, memory_bytes=8 * GiB, measure=False
+    )
+    assert any("P·B·log P" in f and ("violated" in f or "marginal" in f)
+               for f in plan.findings)
+
+
+def test_planner_measurement_run_estimates_times():
+    plan = plan_sort(2e12, 8, memory_bytes=8 * GiB, measure=True)
+    assert plan.feasible
+    assert plan.total_seconds > 0
+    assert set(plan.phase_seconds) >= {"run_formation", "merge"}
+    assert plan.throughput_gb_per_min > 0
+    # Run formation and merge dominate, as in every figure of the paper.
+    bulk = plan.phase_seconds["run_formation"] + plan.phase_seconds["merge"]
+    assert bulk > 0.6 * plan.total_seconds
+
+
+def test_planner_render_readable():
+    plan = plan_sort(1e13, 16, memory_bytes=12 * GiB, measure=False)
+    text = plan.render()
+    assert "feasible: yes" in text
+    assert "runs" in text
+
+
+def test_planner_validates_nodes():
+    with pytest.raises(ValueError):
+        plan_sort(1e12, 0)

@@ -1,0 +1,84 @@
+"""Tests for resource-utilization tracing."""
+
+import pytest
+
+from repro import CanonicalMergeSort, Cluster
+from repro.sim import Tracer
+from repro.workloads import generate_input, input_keys, validate_output
+from tests.helpers import small_config
+
+
+def traced_sort(n_nodes=2, **overrides):
+    cfg = small_config(**overrides)
+    cluster = Cluster(n_nodes)
+    tracer = Tracer.attach(cluster)
+    em, inputs = generate_input(cluster, cfg, "random")
+    before = input_keys(em, inputs)
+    result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    assert validate_output(before, result.output_keys(em)).ok
+    return cluster, result, tracer
+
+
+def test_tracer_records_all_disks():
+    cluster, _result, tracer = traced_sort()
+    assert len(tracer.disk_names) == cluster.n_disks
+    for name in tracer.disk_names:
+        assert tracer.intervals[name], f"{name} never serviced a request"
+
+
+def test_busy_fraction_within_bounds():
+    _cl, result, tracer = traced_sort()
+    for name in tracer.disk_names:
+        frac = tracer.busy_fraction(name, 0.0, result.stats.total_time)
+        assert 0.0 < frac <= 1.0
+
+
+def test_busy_fraction_matches_server_busy_time():
+    cluster, result, tracer = traced_sort()
+    for node in cluster.nodes:
+        for disk in node.disks:
+            traced = tracer.busy_fraction(
+                disk.name, 0.0, result.stats.total_time
+            ) * result.stats.total_time
+            assert traced == pytest.approx(disk.busy_time, rel=1e-6)
+
+
+def test_tag_filtered_fraction():
+    _cl, result, tracer = traced_sort()
+    name = tracer.disk_names[0]
+    total = tracer.busy_fraction(name, 0.0, result.stats.total_time)
+    by_tag = sum(
+        tracer.busy_fraction(name, 0.0, result.stats.total_time, tag=tag)
+        for tag in ("run_formation", "selection", "all_to_all", "merge")
+    )
+    assert by_tag == pytest.approx(total, rel=1e-6)
+
+
+def test_utilization_profile_shape():
+    _cl, _result, tracer = traced_sort()
+    profile = tracer.utilization_profile(tracer.disk_names[0], buckets=8)
+    assert len(profile) == 8
+    assert all(0.0 <= f <= 1.0 for f in profile)
+    assert any(f > 0 for f in profile)
+
+
+def test_utilization_table_renders():
+    cluster, _result, tracer = traced_sort()
+    text = tracer.utilization_table(buckets=10)
+    rows = [line for line in text.splitlines() if "|" in line]
+    assert len(rows) == cluster.n_disks
+    assert "%" in rows[0]
+
+
+def test_mean_utilization_is_meaningfully_high():
+    """An external sort should keep its disks mostly busy (paper: ~2/3+)."""
+    _cl, result, tracer = traced_sort(n_nodes=4)
+    mean = tracer.mean_utilization(result.stats.total_time)
+    assert mean > 0.5
+
+
+def test_untraced_cluster_unaffected():
+    # Plain sorts (everything else in the suite) never see the tracer.
+    tracer = Tracer()
+    assert tracer.mean_utilization() == 0.0
+    assert tracer.utilization_profile("nope", buckets=4) == [0.0] * 4

@@ -1,0 +1,157 @@
+"""Tests for workload generators and the valsort-style validator."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster
+from repro.records import is_sorted
+from repro.workloads import (
+    WORKLOADS,
+    generate_input,
+    input_keys,
+    validate_output,
+)
+from tests.helpers import small_config
+
+
+# -------------------------------------------------------------- generators
+
+
+@pytest.mark.parametrize("kind", sorted(WORKLOADS))
+def test_generators_place_exact_key_counts(kind):
+    cfg = small_config()
+    cluster = Cluster(3)
+    em, inputs = generate_input(cluster, cfg, kind)
+    keys = input_keys(em, inputs)
+    assert all(len(k) == cfg.keys_per_node for k in keys)
+    assert all(len(blocks) == cfg.blocks_per_node for blocks in inputs)
+
+
+def test_generators_deterministic_by_seed():
+    cfg = small_config()
+    a = input_keys(*generate_input(Cluster(2), cfg, "random", seed=9)[::-1][::-1])
+    b = input_keys(*generate_input(Cluster(2), cfg, "random", seed=9)[::-1][::-1])
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_generators_differ_across_seeds():
+    cfg = small_config()
+    em1, in1 = generate_input(Cluster(2), cfg, "random", seed=1)
+    em2, in2 = generate_input(Cluster(2), cfg, "random", seed=2)
+    assert not np.array_equal(input_keys(em1, in1)[0], input_keys(em2, in2)[0])
+
+
+def test_worstcase_is_locally_sorted():
+    cfg = small_config()
+    em, inputs = generate_input(Cluster(2), cfg, "worstcase")
+    for part in input_keys(em, inputs):
+        assert is_sorted(part)
+
+
+def test_sorted_workload_is_globally_sorted():
+    cfg = small_config()
+    em, inputs = generate_input(Cluster(3), cfg, "sorted")
+    parts = input_keys(em, inputs)
+    whole = np.concatenate(parts)
+    assert is_sorted(whole)
+
+
+def test_reversed_workload_is_globally_reverse_sorted():
+    cfg = small_config()
+    em, inputs = generate_input(Cluster(3), cfg, "reversed")
+    whole = np.concatenate(input_keys(em, inputs))
+    assert is_sorted(whole[::-1])
+
+
+def test_skewed_workload_is_skewed():
+    cfg = small_config()
+    em, inputs = generate_input(Cluster(2), cfg, "skewed")
+    keys = np.concatenate(input_keys(em, inputs))
+    assert np.median(keys) < np.mean(keys) / 2  # heavy right tail
+
+
+def test_duplicates_workload_tiny_domain():
+    cfg = small_config()
+    em, inputs = generate_input(Cluster(2), cfg, "duplicates")
+    keys = np.concatenate(input_keys(em, inputs))
+    assert len(np.unique(keys)) <= 8
+
+
+def test_unknown_workload_rejected():
+    cfg = small_config()
+    with pytest.raises(ValueError, match="unknown workload"):
+        generate_input(Cluster(1), cfg, "quantum")
+
+
+def test_input_blocks_round_robin_disks():
+    cfg = small_config()
+    em, inputs = generate_input(Cluster(1), cfg, "random")
+    disks = [b.disk for b in inputs[0][:8]]
+    assert disks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+# --------------------------------------------------------------- validator
+
+
+def _parts(*arrays):
+    return [np.asarray(a, dtype=np.uint64) for a in arrays]
+
+
+def test_validator_accepts_correct_output():
+    inp = _parts([3, 1], [2, 4])
+    out = _parts([1, 2], [3, 4])
+    report = validate_output(inp, out)
+    assert report.ok
+    assert report.total_keys == 4
+    report.raise_if_failed()
+
+
+def test_validator_catches_unsorted_part():
+    report = validate_output(_parts([1, 2]), _parts([2, 1]))
+    assert not report.ok
+    assert any("not sorted" in i for i in report.issues)
+
+
+def test_validator_catches_boundary_violation():
+    inp = _parts([1, 2], [3, 4])
+    out = _parts([3, 4], [1, 2])
+    report = validate_output(inp, out)
+    assert any("boundary" in i for i in report.issues)
+
+
+def test_validator_catches_count_mismatch():
+    report = validate_output(_parts([1, 2, 3]), _parts([1, 2]))
+    assert any("count" in i for i in report.issues)
+
+
+def test_validator_catches_value_substitution():
+    report = validate_output(_parts([1, 2]), _parts([1, 3]))
+    assert not report.ok  # checksum and/or permutation check
+
+
+def test_validator_catches_imbalance_when_required():
+    inp = _parts([1, 2], [3, 4])
+    out = _parts([1, 2, 3], [4])
+    balanced = validate_output(inp, out, balanced=True)
+    assert any("canonical share" in i for i in balanced.issues)
+    relaxed = validate_output(inp, out, balanced=False)
+    assert relaxed.ok
+
+
+def test_validator_catches_permutation_with_colliding_checksum():
+    # Same sum, different multiset: {0, 4} vs {1, 3}.
+    inp = _parts([0, 4])
+    out = _parts([1, 3])
+    report = validate_output(inp, out)
+    assert any("permutation" in i for i in report.issues)
+
+
+def test_validator_raise_if_failed():
+    report = validate_output(_parts([1]), _parts([2]))
+    with pytest.raises(AssertionError):
+        report.raise_if_failed()
+
+
+def test_validator_empty_everything():
+    assert validate_output([], []).ok

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Generate docs/API.md: the public API inventory with doc summaries.
+
+Walks every ``repro`` module, lists the symbols each module exports via
+``__all__`` and the first line of their docstrings.  Run after changing
+public APIs::
+
+    python tools/gen_api_doc.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+import pkgutil
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro  # noqa: E402
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "(undocumented)"
+    return doc.splitlines()[0].strip()
+
+
+def walk_modules():
+    yield "repro", repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        try:
+            yield info.name, importlib.import_module(info.name)
+        except Exception as exc:  # pragma: no cover - diagnostics only
+            print(f"skipping {info.name}: {exc}", file=sys.stderr)
+
+
+def main() -> None:
+    lines = [
+        "# API reference (generated)",
+        "",
+        "Public symbols per module (`__all__`), with docstring summaries.",
+        "Regenerate with `python tools/gen_api_doc.py`.",
+        "",
+    ]
+    for name, module in walk_modules():
+        exported = getattr(module, "__all__", None)
+        if not exported:
+            continue
+        lines.append(f"## `{name}`")
+        lines.append("")
+        lines.append(first_line(module))
+        lines.append("")
+        for symbol in exported:
+            obj = getattr(module, symbol, None)
+            if obj is None:
+                continue
+            if inspect.isclass(obj):
+                desc = f"(class) — {first_line(obj)}"
+            elif inspect.isfunction(obj) or inspect.ismethod(obj):
+                desc = f"(function) — {first_line(obj)}"
+            elif isinstance(obj, (int, float, str, bytes, tuple, frozenset)):
+                desc = f"(constant, `{type(obj).__name__}`)"
+            elif callable(obj):
+                desc = f"(callable) — {first_line(obj)}"
+            else:
+                desc = f"(instance of `{type(obj).__name__}`) — {first_line(obj)}"
+            lines.append(f"* **`{symbol}`** {desc}")
+        lines.append("")
+    out = os.path.join(os.path.dirname(__file__), "..", "docs", "API.md")
+    with open(out, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(f"wrote {os.path.normpath(out)} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()
