@@ -1,0 +1,190 @@
+"""Native-backend throughput: real MB/s per phase vs an in-RAM baseline.
+
+Unlike the figure benchmarks (which *simulate* the paper's cluster),
+this one moves real bytes: it runs the native backend on a spill
+directory and reports measured per-phase throughput, next to the obvious
+upper bound — ``np.sort`` over the same records held entirely in RAM.
+The gap between the two is the price of external memory plus the
+process/pipe interconnect.
+
+Standalone (defaults: 256 MiB across 4 worker processes, M = 32 MiB)::
+
+    python benchmarks/bench_native.py
+    python benchmarks/bench_native.py --workers 8 --data-mib 16 --spill-dir /tmp/s
+
+As part of the benchmark suite (tiny sizes)::
+
+    pytest benchmarks/bench_native.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.config import SortConfig  # noqa: E402
+from repro.native import native_sort  # noqa: E402
+from repro.native.records import generate_records, sort_records  # noqa: E402
+from repro.native.stats import NATIVE_PHASES  # noqa: E402
+
+MiB = 2**20
+
+
+def in_ram_baseline(total_records: int, seed: int, skew: bool) -> dict:
+    """Sort the same records with one ``np.sort`` call, all in RAM."""
+    records = generate_records(0, total_records, seed=seed, skew=skew)
+    start = time.monotonic()
+    records = sort_records(records)
+    wall = time.monotonic() - start
+    nbytes = records.nbytes
+    del records
+    return {"wall": wall, "mb_s": nbytes / wall / 1e6 if wall > 0 else 0.0}
+
+
+def run_native_bench(
+    n_workers: int = 4,
+    data_mib: float = 64.0,
+    memory_mib: float = 32.0,
+    block_kib: float = 256.0,
+    spill_dir: str | None = None,
+    skew: bool = False,
+    seed: int = 12345,
+    timeout: float = 600.0,
+) -> dict:
+    """One native sort + the RAM baseline; returns a comparison dict."""
+    config = SortConfig(
+        data_per_node_bytes=data_mib * MiB,
+        memory_bytes=memory_mib * MiB,
+        block_bytes=block_kib * 1024,
+        seed=seed,
+    )
+    own_dir = spill_dir is None
+    root = spill_dir or tempfile.mkdtemp(prefix="bench-native-")
+    try:
+        result = native_sort(
+            config, n_workers=n_workers, spill_dir=root,
+            skew=skew, timeout=timeout,
+        )
+        report = result.validate()
+        stats = result.stats
+        rows = []
+        for phase in NATIVE_PHASES:
+            if phase not in stats.phases:
+                continue
+            rows.append(
+                {
+                    "phase": phase,
+                    "wall_s": stats.wall_max(phase),
+                    "disk_mib": stats.phase_bytes(phase) / MiB,
+                    "mb_s": stats.phase_throughput(phase) / 1e6,
+                }
+            )
+        baseline = in_ram_baseline(
+            result.job.total_records, seed=seed, skew=skew
+        )
+        out = {
+            "ok": report.ok,
+            "issues": report.issues,
+            "n_workers": n_workers,
+            "total_mib": stats.total_bytes / MiB,
+            "n_runs": stats.n_runs,
+            "total_s": stats.total_time,
+            "sort_phases_s": stats.sort_phases_wall,
+            "peak_resident_mib": stats.peak_resident_bytes / MiB,
+            "max_rss_mib": max(
+                (w.max_rss_bytes for w in stats.workers), default=0
+            ) / MiB,
+            "interconnect_mib": stats.network_bytes / MiB,
+            "phases": rows,
+            "baseline_np_sort": baseline,
+        }
+    finally:
+        if own_dir:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
+    return out
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"native sort: {result['total_mib']:.0f} MiB on "
+        f"{result['n_workers']} workers, R = {result['n_runs']} runs"
+        + ("" if result["ok"] else "  ** VALIDATION FAILED **"),
+        f"{'phase':<16}{'wall [s]':>10}{'disk [MiB]':>12}{'MB/s':>10}",
+    ]
+    for row in result["phases"]:
+        lines.append(
+            f"{row['phase']:<16}{row['wall_s']:>10.2f}"
+            f"{row['disk_mib']:>12.1f}{row['mb_s']:>10.1f}"
+        )
+    lines.append(
+        f"{'sort total':<16}{result['sort_phases_s']:>10.2f}"
+        f"{'':>12}{result['total_mib'] * MiB / result['sort_phases_s'] / 1e6 if result['sort_phases_s'] else 0.0:>10.1f}"
+    )
+    base = result["baseline_np_sort"]
+    lines.append(
+        f"{'np.sort in RAM':<16}{base['wall']:>10.2f}{'':>12}{base['mb_s']:>10.1f}"
+    )
+    lines.append(
+        f"peak resident {result['peak_resident_mib']:.1f} MiB/worker "
+        f"(max RSS {result['max_rss_mib']:.0f} MiB); "
+        f"interconnect {result['interconnect_mib']:.1f} MiB"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest entry (tiny sizes; asserts shape, never absolute seconds) ---------
+
+
+def test_bench_native_quick(benchmark):
+    from conftest import once
+
+    result = once(
+        benchmark,
+        lambda: run_native_bench(
+            n_workers=2, data_mib=1.0, memory_mib=0.5, block_kib=16.0
+        ),
+    )
+    assert result["ok"], result["issues"]
+    for row in result["phases"]:
+        assert row["mb_s"] > 0.0
+    # External sorting with one time-sliced CPU cannot beat RAM sorting.
+    assert result["baseline_np_sort"]["wall"] > 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--data-mib", type=float, default=64.0,
+        help="MiB of records per worker (default 4 x 64 = 256 MiB total)",
+    )
+    parser.add_argument("--memory-mib", type=float, default=32.0)
+    parser.add_argument("--block-kib", type=float, default=256.0)
+    parser.add_argument("--spill-dir", default=None)
+    parser.add_argument("--skew", action="store_true")
+    parser.add_argument("--seed", type=int, default=12345)
+    args = parser.parse_args(argv)
+    result = run_native_bench(
+        n_workers=args.workers,
+        data_mib=args.data_mib,
+        memory_mib=args.memory_mib,
+        block_kib=args.block_kib,
+        spill_dir=args.spill_dir,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    print(render(result))
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

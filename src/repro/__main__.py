@@ -1,19 +1,33 @@
-"""Command-line sorter: run one simulated distributed external sort.
+"""Command-line sorter: run one distributed external sort.
+
+Two backends share this entry point:
+
+* ``--backend sim`` (default) runs the discrete-event *simulation* of
+  the paper's cluster — seconds of real time model hours of cluster
+  time, and every figure of the paper can be reproduced;
+* ``--backend native`` runs the same CANONICALMERGESORT **for real**:
+  worker processes as PEs, a spill directory of record files as the
+  disk farm, pipes as the interconnect.
 
 Usage::
 
     python -m repro --nodes 8 --workload random
     python -m repro --nodes 8 --workload worstcase --no-randomize --timeline
     python -m repro --algorithm striped --nodes 4
-    python -m repro --algorithm nowsort --workload skewed
+    python -m repro --backend native --nodes 4 --spill-dir /tmp/sort \\
+        --data-mib 64 --memory-mib 16
+    python -m repro --backend native --nodes 2 --spill-dir /tmp/sort --json
 
-Data sizes are given in MiB of *represented* data per node; the defaults
-give a three-run sort that finishes in a second or two of real time.
+Data sizes are given in MiB per node — *represented* bytes for the
+simulator, real record bytes for the native backend.  ``--json`` replaces
+the human-readable report with one JSON object on stdout (config,
+per-phase wall times, I/O volumes, validation verdict).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -38,8 +52,13 @@ ALGORITHMS = ("canonical", "striped", "nowsort", "samplesort")
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run a distributed external sort on the simulated "
-        "cluster of the Rahn/Sanders/Singler paper.",
+        description="Run a distributed external sort: simulated cluster "
+        "of the Rahn/Sanders/Singler paper, or native processes on real files.",
+    )
+    parser.add_argument(
+        "--backend", choices=("sim", "native"), default="sim",
+        help="simulate the paper's cluster, or really sort files with "
+        "worker processes",
     )
     parser.add_argument("--nodes", type=int, default=8, help="number of PEs")
     parser.add_argument(
@@ -48,11 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--algorithm", choices=ALGORITHMS, default="canonical",
-        help="which sorter to run",
+        help="which sorter to run (sim backend only)",
     )
     parser.add_argument(
         "--data-mib", type=float, default=96.0,
-        help="represented data per node, MiB",
+        help="data per node, MiB (represented for sim, real for native)",
     )
     parser.add_argument(
         "--memory-mib", type=float, default=32.0,
@@ -76,30 +95,57 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=12345)
     parser.add_argument(
         "--timeline", action="store_true",
-        help="print the per-PE phase Gantt chart",
+        help="print the per-PE phase Gantt chart (sim backend)",
     )
     parser.add_argument(
         "--utilization", action="store_true",
-        help="print the per-disk utilization heat strips",
+        help="print the per-disk utilization heat strips (sim backend)",
     )
     parser.add_argument(
         "--skip-validation", action="store_true",
         help="skip output validation (timing-only runs)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object (config, phase walls, I/O volume) "
+        "instead of the human-readable report",
+    )
+    # -- native backend -------------------------------------------------------
+    parser.add_argument(
+        "--spill-dir", default=None,
+        help="directory for the native backend's record files (required "
+        "with --backend native)",
+    )
+    parser.add_argument(
+        "--keep-spill", action="store_true",
+        help="keep the native output files instead of deleting the spill dir",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="native per-message receive timeout, seconds",
+    )
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    config = SortConfig(
-        data_per_node_bytes=args.data_mib * MiB,
-        memory_bytes=args.memory_mib * MiB,
-        block_bytes=args.block_mib * MiB,
-        downscale=args.downscale,
-        randomize=not args.no_randomize,
-        selection=args.selection,
-        seed=args.seed,
-    )
+def _config_dict(config: SortConfig, nodes: int) -> dict:
+    return {
+        "n_nodes": nodes,
+        "data_per_node_bytes": config.data_per_node_bytes,
+        "memory_bytes": config.memory_bytes,
+        "block_bytes": config.block_bytes,
+        "downscale": config.downscale,
+        "randomize": config.randomize,
+        "selection": config.selection,
+        "seed": config.seed,
+    }
+
+
+def _emit(args, report: dict) -> None:
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+
+
+def run_sim(args, config: SortConfig) -> int:
     cluster = Cluster(args.nodes)
     tracer = None
     if args.utilization:
@@ -109,7 +155,8 @@ def main(argv=None) -> int:
     em, inputs = generate_input(cluster, config, kind=args.workload)
     before = None if args.skip_validation else input_keys(em, inputs)
 
-    print(
+    say = (lambda *a, **k: None) if args.json else print
+    say(
         f"{args.algorithm} sort: {config.total_bytes(args.nodes) / 2**30:.2f} GiB "
         f"({args.workload}) on {args.nodes} PEs / {cluster.n_disks} disks, "
         f"R = {config.n_runs(cluster.spec)} runs"
@@ -133,24 +180,142 @@ def main(argv=None) -> int:
         outputs = result.output_keys(em)
         balanced = False
 
-    print()
-    print(result.stats.summary())
+    say()
+    say(result.stats.summary())
     if args.timeline:
-        print()
-        print(result.stats.timeline())
+        say()
+        say(result.stats.timeline())
     if tracer is not None:
-        print()
-        print(tracer.utilization_table())
+        say()
+        say(tracer.utilization_table())
+
+    stats_dict = result.stats.to_dict()
+    report = {
+        "backend": "sim",
+        "algorithm": args.algorithm,
+        "workload": args.workload,
+        "config": _config_dict(config, args.nodes),
+        "total_time": stats_dict["total_time_simulated"],
+        "total_time_scaled": stats_dict["total_time_scaled"],
+        "phases": {
+            phase: {
+                "wall": p["wall_max"],
+                "wall_scaled": p["wall_scaled"],
+                "io_bytes": p["bytes"],
+            }
+            for phase, p in stats_dict["phases"].items()
+        },
+        "io_bytes": sum(p["bytes"] for p in stats_dict["phases"].values()),
+        "network_bytes": stats_dict["network_bytes"],
+    }
+
+    code = 0
     if before is not None:
-        report = validate_output(before, outputs, balanced=balanced)
-        if not report.ok:
-            print("\nVALIDATION FAILED:")
-            for issue in report.issues:
-                print(f"  - {issue}")
-            return 1
-        print(f"\noutput valid ({report.total_keys} keys, "
-              f"checksum {report.checksum:#018x})")
-    return 0
+        vreport = validate_output(before, outputs, balanced=balanced)
+        report["validation"] = {"ok": vreport.ok, "issues": vreport.issues,
+                                "total_keys": vreport.total_keys}
+        if not vreport.ok:
+            say("\nVALIDATION FAILED:")
+            for issue in vreport.issues:
+                say(f"  - {issue}")
+            code = 1
+        else:
+            say(f"\noutput valid ({vreport.total_keys} keys, "
+                f"checksum {vreport.checksum:#018x})")
+    _emit(args, report)
+    return code
+
+
+def run_native(args, config: SortConfig) -> int:
+    from .core.config import ConfigError
+    from .native import NativeJob, NativeSorter
+
+    if args.spill_dir is None:
+        print("--backend native requires --spill-dir", file=sys.stderr)
+        return 2
+    if args.workload not in ("random", "skewed"):
+        print(
+            f"--backend native supports workloads 'random' and 'skewed', "
+            f"not {args.workload!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithm != "canonical":
+        print("--backend native only runs the canonical algorithm",
+              file=sys.stderr)
+        return 2
+
+    say = (lambda *a, **k: None) if args.json else print
+    try:
+        job = NativeJob(
+            config=config,
+            n_workers=args.nodes,
+            spill_dir=args.spill_dir,
+            skew=(args.workload == "skewed"),
+            timeout=args.timeout,
+        )
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+
+    say(
+        f"native sort: {job.total_records * job.record_bytes / 2**30:.2f} GiB "
+        f"({args.workload}) on {args.nodes} worker processes, "
+        f"R = {job.n_runs} runs, spill dir {args.spill_dir}"
+    )
+
+    result = NativeSorter(job).run()
+    say()
+    say(result.stats.summary())
+
+    report = result.stats.to_dict()
+    report["config"] = job.describe()
+    report["config"]["workload"] = args.workload
+    report["io_bytes"] = result.stats.total_io_bytes
+    report["phases"] = {
+        phase: {
+            "wall": p["wall_max"],
+            "io_bytes": p["bytes"],
+            "throughput_mb_s": p["throughput_mb_s"],
+        }
+        for phase, p in report["phases"].items()
+    }
+
+    code = 0
+    if not args.skip_validation:
+        vreport = result.validate()
+        report["validation"] = {"ok": vreport.ok, "issues": vreport.issues,
+                                "total_keys": vreport.total_keys}
+        if not vreport.ok:
+            say("\nVALIDATION FAILED:")
+            for issue in vreport.issues:
+                say(f"  - {issue}")
+            code = 1
+        else:
+            say(f"\noutput valid ({vreport.total_keys} records, "
+                f"checksum {vreport.checksum:#018x})")
+    if not args.keep_spill:
+        result.cleanup()
+    else:
+        say(f"\noutputs kept: {args.spill_dir}/output_<rank>.dat")
+    _emit(args, report)
+    return code
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = SortConfig(
+        data_per_node_bytes=args.data_mib * MiB,
+        memory_bytes=args.memory_mib * MiB,
+        block_bytes=args.block_mib * MiB,
+        downscale=args.downscale,
+        randomize=not args.no_randomize,
+        selection=args.selection,
+        seed=args.seed,
+    )
+    if args.backend == "native":
+        return run_native(args, config)
+    return run_sim(args, config)
 
 
 if __name__ == "__main__":

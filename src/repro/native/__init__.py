@@ -1,0 +1,36 @@
+"""Native execution backend: CANONICALMERGESORT on real files.
+
+Where :mod:`repro.core` *simulates* the paper's algorithm against a
+performance model, this package *executes* it: worker processes are the
+PEs, a spill directory is the disk farm, pipes are the interconnect, and
+every phase moves real 16-byte records with ``numpy``.  The phase logic
+is shared — the probe coroutines, warm starts, splitter matrices and
+merge semantics are imported from :mod:`repro.algos` and
+:mod:`repro.core`, so the native backend is an execution of the same
+algorithm, not a reimplementation.
+
+Entry points:
+
+>>> from repro.native import native_sort
+>>> result = native_sort(config, n_workers=4, spill_dir="/tmp/sort")
+>>> result.validate().raise_if_failed()
+
+or ``python -m repro --backend native --spill-dir /tmp/sort``.
+"""
+
+from .driver import NativeSortError, NativeSortResult, NativeSorter, native_sort
+from .job import NativeJob
+from .records import NATIVE_DTYPE, RECORD_BYTES
+from .stats import NativeStats, WorkerStats
+
+__all__ = [
+    "NativeJob",
+    "NativeSorter",
+    "NativeSortResult",
+    "NativeSortError",
+    "NativeStats",
+    "WorkerStats",
+    "native_sort",
+    "NATIVE_DTYPE",
+    "RECORD_BYTES",
+]

@@ -1,0 +1,193 @@
+"""Spill-directory block store: the native counterpart of ``em.blockmanager``.
+
+The simulator's :class:`~repro.em.blockmanager.BlockStore` hands out
+block IDs and charges a performance model; this store hands out *files*
+in a spill directory and moves real bytes with ``numpy`` ``fromfile`` /
+``tofile``.  The same accounting hooks exist — every read and write is
+tagged with the phase that issued it, so the per-phase I/O volumes the
+paper's figures are built from fall out of a real run too.
+
+Layout of one sort's spill directory::
+
+    input_<rank>.dat            gensort-style input slice of one worker
+    run<r>_piece<rank>.dat      phase-1 output: this worker's piece of run r
+    seg<r>_rank<rank>.dat       phase-3 output: this worker's segment of run r
+    output_<rank>.dat           phase-4 output: the rank's sorted slice
+
+All files are flat arrays of :data:`~repro.native.records.NATIVE_DTYPE`
+records.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..em.cache import LRUCache
+from .records import NATIVE_DTYPE, RECORD_BYTES, read_records
+
+__all__ = ["FileBlockStore", "SequentialReader"]
+
+
+class FileBlockStore:
+    """One worker's view of the spill directory, with tagged I/O accounting."""
+
+    def __init__(self, root: str, rank: int, block_records: int):
+        if block_records < 1:
+            raise ValueError(f"block_records must be >= 1, got {block_records}")
+        self.root = str(root)
+        self.rank = rank
+        self.block_records = block_records
+        os.makedirs(self.root, exist_ok=True)
+        self.bytes_read: Dict[str, int] = {}
+        self.bytes_written: Dict[str, int] = {}
+        self.reads: Dict[str, int] = {}
+        self.writes: Dict[str, int] = {}
+
+    # -- paths ----------------------------------------------------------------
+
+    def input_path(self, rank: Optional[int] = None) -> str:
+        rank = self.rank if rank is None else rank
+        return os.path.join(self.root, f"input_{rank}.dat")
+
+    def piece_path(self, run: int, rank: Optional[int] = None) -> str:
+        rank = self.rank if rank is None else rank
+        return os.path.join(self.root, f"run{run}_piece{rank}.dat")
+
+    def segment_path(self, run: int, rank: Optional[int] = None) -> str:
+        rank = self.rank if rank is None else rank
+        return os.path.join(self.root, f"seg{run}_rank{rank}.dat")
+
+    def output_path(self, rank: Optional[int] = None) -> str:
+        rank = self.rank if rank is None else rank
+        return os.path.join(self.root, f"output_{rank}.dat")
+
+    # -- accounting -----------------------------------------------------------
+
+    def _charge(self, table: Dict[str, int], ops: Dict[str, int], tag: str, n: int) -> None:
+        table[tag] = table.get(tag, 0) + n
+        ops[tag] = ops.get(tag, 0) + 1
+
+    def charge_read(self, tag: str, nbytes: int) -> None:
+        self._charge(self.bytes_read, self.reads, tag, nbytes)
+
+    def charge_write(self, tag: str, nbytes: int) -> None:
+        self._charge(self.bytes_written, self.writes, tag, nbytes)
+
+    # -- record I/O -----------------------------------------------------------
+
+    def read_range(self, path: str, start: int, count: int, tag: str) -> np.ndarray:
+        """Read ``count`` records at record offset ``start``."""
+        out = read_records(path, start, count)
+        self.charge_read(tag, out.nbytes)
+        return out
+
+    def read_block(self, path: str, block_idx: int, tag: str) -> np.ndarray:
+        """Read one fixed-size block (the last block may be short)."""
+        return self.read_range(
+            path, block_idx * self.block_records, self.block_records, tag
+        )
+
+    def write_file(self, path: str, records: np.ndarray, tag: str) -> None:
+        """Write a whole record array with ``tofile`` (atomic per call)."""
+        with open(path, "wb") as handle:
+            records.tofile(handle)
+        self.charge_write(tag, records.nbytes)
+
+    def append_records(self, handle, records: np.ndarray, tag: str) -> None:
+        """Append records to an open binary file handle."""
+        records.tofile(handle)
+        self.charge_write(tag, records.nbytes)
+
+    def write_at(self, handle, record_offset: int, payload: bytes, tag: str) -> None:
+        """Place a raw record chunk at a known record offset (phase 3)."""
+        handle.seek(record_offset * RECORD_BYTES)
+        handle.write(payload)
+        self.charge_write(tag, len(payload))
+
+    def preallocate(self, path: str, n_records: int) -> None:
+        """Create ``path`` sized for ``n_records`` (sparse where supported)."""
+        with open(path, "wb") as handle:
+            handle.truncate(n_records * RECORD_BYTES)
+
+    def remove(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    # -- probe reads (multiway selection) -------------------------------------
+
+    def probe_cache(self, capacity_blocks: int) -> "ProbeCache":
+        return ProbeCache(self, capacity_blocks)
+
+
+class ProbeCache:
+    """Block-granular key reads with an LRU — the selection phase's cache.
+
+    Mirrors the simulator's use of :class:`repro.em.cache.LRUCache` in
+    :mod:`repro.core.selection_phase`: a probe at record position ``pos``
+    of a piece file faults in the whole surrounding block once, and the
+    paper's ``R log B`` re-touches hit the cache.
+    """
+
+    def __init__(self, store: FileBlockStore, capacity_blocks: int):
+        self.store = store
+        self.cache = LRUCache(max(1, capacity_blocks))
+        self.block_reads = 0
+
+    @property
+    def hits(self) -> int:
+        return self.cache.hits
+
+    def key_at(self, path: str, pos: int, tag: str) -> int:
+        """The key of record ``pos`` of ``path`` (cached, block-granular)."""
+        block_idx = pos // self.store.block_records
+        cached = self.cache.get((path, block_idx))
+        if cached is None:
+            block = self.store.read_block(path, block_idx, tag)
+            cached = np.ascontiguousarray(block["key"])
+            self.cache.put((path, block_idx), cached)
+            self.block_reads += 1
+        return int(cached[pos - block_idx * self.store.block_records])
+
+
+class SequentialReader:
+    """Stream a record file block by block (the merge phase's run reader)."""
+
+    def __init__(self, store: FileBlockStore, path: str, tag: str,
+                 n_records: Optional[int] = None):
+        self.store = store
+        self.path = path
+        self.tag = tag
+        from .records import record_count
+
+        self.n_records = record_count(path) if n_records is None else n_records
+        self.pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= self.n_records
+
+    def next_block(self) -> Optional[np.ndarray]:
+        """The next block of records, or None at end of file."""
+        if self.exhausted:
+            return None
+        count = min(self.store.block_records, self.n_records - self.pos)
+        out = self.store.read_range(self.path, self.pos, count, self.tag)
+        if len(out) != count:
+            raise IOError(
+                f"{self.path}: short read at record {self.pos} "
+                f"({len(out)} of {count})"
+            )
+        self.pos += count
+        return out
+
+    def blocks(self) -> Iterator[np.ndarray]:
+        while True:
+            block = self.next_block()
+            if block is None:
+                return
+            yield block

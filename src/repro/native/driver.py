@@ -1,0 +1,252 @@
+"""Driver: spawn the worker PEs, wire the pipe mesh, collect the result.
+
+The native counterpart of :class:`repro.core.canonical.CanonicalMergeSort`'s
+top-level ``sort``: it owns process lifecycle and failure handling, while
+all sorting happens inside :mod:`repro.native.worker`.  The driver builds
+one duplex pipe per worker pair (the full mesh the simulator's
+``cluster.mpi`` models), plus one result pipe per worker for stats and
+error reporting.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import SortConfig
+from ..workloads.validation import ValidationReport
+from .job import NativeJob
+from .phases import OutputMeta
+from .records import NATIVE_DTYPE, RECORD_BYTES
+from .stats import NativeStats, WorkerStats
+from .worker import worker_main
+
+__all__ = ["NativeSorter", "NativeSortResult", "NativeSortError", "native_sort"]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+class NativeSortError(RuntimeError):
+    """A worker process failed or disappeared."""
+
+
+@dataclass
+class NativeSortResult:
+    """Outcome of one native sort (files still on disk until cleanup)."""
+
+    job: NativeJob
+    stats: NativeStats
+    outputs: List[OutputMeta]
+    #: Order-independent sum of all input keys, accumulated by the
+    #: workers while they streamed the input during run formation.
+    input_checksum: int
+
+    def validate(self) -> ValidationReport:
+        """Valsort-style verification from the streaming per-rank metadata.
+
+        Works at any scale without re-reading the output: sortedness and
+        checksums were computed while the merge wrote each file.
+        """
+        issues: List[str] = []
+        total = sum(meta.n_records for meta in self.outputs)
+        if total != self.job.total_records:
+            issues.append(
+                f"count mismatch: {self.job.total_records} in, {total} out"
+            )
+        for meta in self.outputs:
+            if not meta.sorted_ok:
+                issues.append(f"rank {meta.rank} output is not sorted")
+        last: Optional[int] = None
+        for meta in self.outputs:
+            if meta.n_records == 0:
+                continue
+            if last is not None and meta.first_key is not None and meta.first_key < last:
+                issues.append(
+                    f"boundary violation between rank {meta.rank - 1} and {meta.rank}"
+                )
+            last = meta.last_key
+        n_workers = len(self.outputs)
+        if total == self.job.total_records:
+            for meta in self.outputs:
+                want = (
+                    (meta.rank + 1) * total // n_workers
+                    - meta.rank * total // n_workers
+                )
+                if meta.n_records != want:
+                    issues.append(
+                        f"rank {meta.rank} holds {meta.n_records} records, "
+                        f"canonical share is {want}"
+                    )
+        out_sum = 0
+        for meta in self.outputs:
+            out_sum = (out_sum + meta.checksum) & _MASK
+        if out_sum != self.input_checksum:
+            issues.append(
+                f"checksum mismatch: {self.input_checksum:#x} in, {out_sum:#x} out"
+            )
+        return ValidationReport(
+            ok=not issues, issues=issues, total_keys=total, checksum=out_sum
+        )
+
+    def output_keys(self) -> List[np.ndarray]:
+        """Per-rank output key arrays (reads the files; test-scale only)."""
+        out = []
+        for meta in self.outputs:
+            records = np.fromfile(meta.path, dtype=NATIVE_DTYPE)
+            out.append(records["key"].copy())
+        return out
+
+    def output_records(self, rank: int) -> np.ndarray:
+        return np.fromfile(self.outputs[rank].path, dtype=NATIVE_DTYPE)
+
+    def cleanup(self) -> None:
+        """Delete the spill directory and everything in it."""
+        shutil.rmtree(self.job.spill_dir, ignore_errors=True)
+
+
+class NativeSorter:
+    """Run CANONICALMERGESORT with ``n_workers`` OS processes as PEs."""
+
+    def __init__(self, job: NativeJob):
+        self.job = job
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _build_mesh(self):
+        """One duplex pipe per worker pair: conns[i][j] is i's end to j."""
+        P = self.job.n_workers
+        conns: List[Dict[int, object]] = [dict() for _ in range(P)]
+        for i in range(P):
+            for j in range(i + 1, P):
+                end_i, end_j = self._ctx.Pipe(duplex=True)
+                conns[i][j] = end_i
+                conns[j][i] = end_j
+        return conns
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> NativeSortResult:
+        job = self.job
+        os.makedirs(job.spill_dir, exist_ok=True)
+        mesh = self._build_mesh()
+        result_pipes = [self._ctx.Pipe(duplex=False) for _ in range(job.n_workers)]
+
+        procs = []
+        start = time.monotonic()
+        for rank in range(job.n_workers):
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(rank, job, mesh[rank], result_pipes[rank][1]),
+                name=f"native-pe-{rank}",
+            )
+            proc.start()
+            procs.append(proc)
+        # The parent's copies of the worker-side pipe ends must close so
+        # a dead worker turns into EOF, not a silent hang.
+        for rank in range(job.n_workers):
+            for conn in mesh[rank].values():
+                conn.close()
+            result_pipes[rank][1].close()
+
+        try:
+            results = self._collect(procs, [rp[0] for rp in result_pipes])
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=10.0)
+            for rp in result_pipes:
+                rp[0].close()
+        total_time = time.monotonic() - start
+
+        workers: List[WorkerStats] = []
+        outputs: List[OutputMeta] = []
+        input_checksum = 0
+        n_runs = 0
+        for payload in results:
+            _tag, stats, out_meta, chk, worker_runs = payload
+            workers.append(stats)
+            outputs.append(out_meta)
+            input_checksum = (input_checksum + chk) & _MASK
+            n_runs = max(n_runs, worker_runs)
+        outputs.sort(key=lambda m: m.rank)
+
+        native_stats = NativeStats(
+            workers,
+            total_time=total_time,
+            n_runs=n_runs,
+            total_records=job.total_records,
+            record_bytes=RECORD_BYTES,
+        )
+        return NativeSortResult(
+            job=job,
+            stats=native_stats,
+            outputs=outputs,
+            input_checksum=input_checksum,
+        )
+
+    def _collect(self, procs, conns) -> List[tuple]:
+        """Wait for every worker's result; fail fast on error or death."""
+        deadline = time.monotonic() + self.job.timeout + 30.0
+        pending = dict(enumerate(conns))
+        results: List[tuple] = []
+        while pending:
+            if time.monotonic() > deadline:
+                raise NativeSortError(
+                    f"timed out waiting for workers {sorted(pending)}"
+                )
+            from multiprocessing.connection import wait as conn_wait
+
+            ready = conn_wait(list(pending.values()), timeout=1.0)
+            if not ready:
+                for rank in list(pending):
+                    if not procs[rank].is_alive():
+                        raise NativeSortError(
+                            f"worker {rank} died (exit code "
+                            f"{procs[rank].exitcode}) without reporting"
+                        )
+                continue
+            by_conn = {id(c): r for r, c in pending.items()}
+            for conn in ready:
+                rank = by_conn[id(conn)]
+                try:
+                    payload = conn.recv()
+                except EOFError:
+                    raise NativeSortError(
+                        f"worker {rank} closed its result pipe (exit code "
+                        f"{procs[rank].exitcode})"
+                    )
+                if payload[0] == "error":
+                    raise NativeSortError(
+                        f"worker {payload[1]} failed:\n{payload[2]}"
+                    )
+                results.append(payload)
+                del pending[rank]
+        return results
+
+
+def native_sort(
+    config: SortConfig,
+    n_workers: int,
+    spill_dir: str,
+    skew: bool = False,
+    timeout: float = 300.0,
+) -> NativeSortResult:
+    """Convenience one-call native sort (generate, sort, return result)."""
+    job = NativeJob(
+        config=config,
+        n_workers=n_workers,
+        spill_dir=spill_dir,
+        skew=skew,
+        timeout=timeout,
+    )
+    return NativeSorter(job).run()

@@ -1,0 +1,159 @@
+"""Native job parameters: a :class:`~repro.core.config.SortConfig` bound
+to real processes and a real spill directory.
+
+The simulator interprets ``SortConfig`` through the scaling discipline
+(simulated keys *represent* paper-scale bytes); the native backend
+interprets the same fields literally:
+
+``data_per_node_bytes``
+    real bytes of 16-byte records generated and sorted per worker;
+``memory_bytes``
+    the per-worker record-memory budget M.  Run formation keeps its
+    working set within M by sizing one run chunk at M/3 (chunk + sorted
+    permutation + received exchange slice — three live copies at the
+    phase's peak);
+``block_bytes``
+    the unit of every file read/write and of every pipe chunk;
+``selection`` / ``sample_every`` / ``randomize`` / ``seed``
+    exactly as in the simulator.
+
+``n_runs`` therefore lands at about ``3·N/M`` — the price of honoring M
+as a *process* budget rather than a bare data volume.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.config import ConfigError, SortConfig
+from .records import RECORD_BYTES
+
+__all__ = ["NativeJob", "SORT_WORKING_COPIES"]
+
+#: Live record-array copies at run formation's memory peak (input chunk,
+#: sorted copy during the permutation, received exchange slice).
+SORT_WORKING_COPIES = 3
+
+#: Fallback per-worker memory when the config leaves it to the machine
+#: spec (the simulator would use the paper machine's RAM — meaningless
+#: for worker processes on one host).
+DEFAULT_MEMORY_BYTES = 64 * 2**20
+
+
+@dataclass
+class NativeJob:
+    """Everything a native worker needs to know (picklable)."""
+
+    config: SortConfig
+    n_workers: int
+    spill_dir: str
+    #: Duplicate-heavy gensort keys (the Daytona-like distribution).
+    skew: bool = False
+    #: Generate the input files inside the workers before sorting.
+    generate: bool = True
+    #: Per-message receive timeout for the pipe mesh.
+    timeout: float = 300.0
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ConfigError(f"need at least one worker, got {self.n_workers}")
+        if self.block_records < 1:
+            raise ConfigError(
+                f"block_bytes {self.config.block_bytes:.0f} holds no whole "
+                f"{RECORD_BYTES}-byte record"
+            )
+        if self.records_per_worker < 1:
+            raise ConfigError("data_per_node_bytes holds no whole record")
+        if self.config.selection not in ("sampled", "basic", "bisect"):
+            raise ConfigError(f"unknown selection strategy {self.config.selection!r}")
+        merge_working = (self.n_runs * 2 + 4) * self.block_records * RECORD_BYTES
+        if merge_working > self.memory_bytes + self.chunk_records * RECORD_BYTES:
+            raise ConfigError(
+                f"merge phase needs ~{merge_working} B of buffers for "
+                f"R = {self.n_runs} runs but M = {self.memory_bytes:.0f}; "
+                "raise memory_bytes or block granularity (the paper's "
+                "N = O(M^2/(P B)) two-pass limit)"
+            )
+
+    # -- derived sizes (all in records unless noted) --------------------------
+
+    @property
+    def record_bytes(self) -> int:
+        return RECORD_BYTES
+
+    @property
+    def memory_bytes(self) -> int:
+        mem = self.config.memory_bytes
+        return int(mem) if mem is not None else DEFAULT_MEMORY_BYTES
+
+    @property
+    def block_records(self) -> int:
+        return int(self.config.block_bytes) // RECORD_BYTES
+
+    @property
+    def records_per_worker(self) -> int:
+        return int(self.config.data_per_node_bytes) // RECORD_BYTES
+
+    @property
+    def total_records(self) -> int:
+        return self.records_per_worker * self.n_workers
+
+    @property
+    def input_blocks(self) -> int:
+        return math.ceil(self.records_per_worker / self.block_records)
+
+    @property
+    def piece_blocks(self) -> int:
+        """Input blocks per run chunk: M / 3 worth of blocks, at least one."""
+        budget = self.memory_bytes // SORT_WORKING_COPIES
+        return max(1, int(budget) // (self.block_records * RECORD_BYTES))
+
+    @property
+    def chunk_records(self) -> int:
+        return self.piece_blocks * self.block_records
+
+    @property
+    def n_runs(self) -> int:
+        return max(1, math.ceil(self.input_blocks / self.piece_blocks))
+
+    @property
+    def sample_every(self) -> int:
+        """Sampling period K in records (default: one sample per block)."""
+        k = self.config.sample_every
+        return max(1, int(k) if k is not None else self.block_records)
+
+    @property
+    def selection_cache_blocks(self) -> int:
+        """Probe-cache capacity: the configured LRU, bounded by memory."""
+        by_memory = max(
+            4, self.memory_bytes // (4 * self.block_records * RECORD_BYTES)
+        )
+        return int(min(self.config.selection_cache_blocks, by_memory))
+
+    def worker_start(self, rank: int) -> int:
+        """Global index of worker ``rank``'s first input record."""
+        return rank * self.records_per_worker
+
+    def describe(self) -> dict:
+        """Config snapshot for JSON reports."""
+        return {
+            "n_workers": self.n_workers,
+            "spill_dir": os.path.abspath(self.spill_dir),
+            "record_bytes": RECORD_BYTES,
+            "records_per_worker": self.records_per_worker,
+            "total_records": self.total_records,
+            "data_per_worker_bytes": self.records_per_worker * RECORD_BYTES,
+            "memory_bytes": self.memory_bytes,
+            "block_bytes": self.block_records * RECORD_BYTES,
+            "block_records": self.block_records,
+            "chunk_records": self.chunk_records,
+            "n_runs": self.n_runs,
+            "sample_every": self.sample_every,
+            "selection": self.config.selection,
+            "randomize": self.config.randomize,
+            "seed": self.config.seed,
+            "skew": self.skew,
+        }

@@ -1,0 +1,547 @@
+"""The four CANONICALMERGESORT phases, executed on real files.
+
+Each function here is the native twin of a module in :mod:`repro.core`
+and reuses its backend-agnostic kernels:
+
+=====================  ===================================  =========================
+native phase           simulator twin                       shared kernels
+=====================  ===================================  =========================
+:func:`run_formation`  ``core.run_formation`` +             ``algos.multiway_selection
+                       ``core.internal_sort``               .select_coroutine``,
+                                                            ``sample_initial_positions``
+:func:`selection`      ``core.selection_phase``             ``select_coroutine``,
+                                                            ``select_bisect_coroutine``,
+                                                            ``warm_start_from_samples``,
+                                                            ``em.cache.LRUCache``
+:func:`all_to_all`     ``core.all_to_all``                  (layout arithmetic only)
+:func:`merge`          ``core.merge_phase``                 batch merge semantics of
+                                                            ``records.arrays``
+=====================  ===================================  =========================
+
+The phase contracts are identical to the simulator's: globally sorted
+runs with one local piece per PE after phase 1, an exact (P+1) × R
+splitter matrix after phase 2, per-run sorted segment files after
+phase 3, and the canonical balanced output after phase 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..algos.multiway_selection import (
+    sample_initial_positions,
+    select_bisect_coroutine,
+    select_coroutine,
+)
+from ..core.selection_phase import _run_samples, warm_start_from_samples
+from .blockstore import FileBlockStore, SequentialReader
+from .comm import PipeComm
+from .job import NativeJob
+from .records import (
+    NATIVE_DTYPE,
+    generate_records,
+    merge_record_arrays,
+    records_from_bytes,
+    sort_records,
+)
+from .stats import WorkerStats
+
+__all__ = [
+    "NativeContext",
+    "PieceMeta",
+    "NativeRun",
+    "OutputMeta",
+    "generate_input",
+    "run_formation",
+    "selection",
+    "all_to_all",
+    "merge",
+]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class NativeContext:
+    """Everything one worker's phases share."""
+
+    rank: int
+    job: NativeJob
+    comm: PipeComm
+    store: FileBlockStore
+    stats: WorkerStats
+    #: Order-independent checksum of this worker's input keys, accumulated
+    #: while run formation streams the input (each record is read once).
+    input_checksum: int = 0
+
+    def _add_checksum(self, keys: np.ndarray) -> None:
+        if len(keys):
+            with np.errstate(over="ignore"):
+                self.input_checksum = (
+                    self.input_checksum + int(np.add.reduce(keys))
+                ) & _MASK
+
+
+@dataclass
+class PieceMeta:
+    """Descriptor of one worker's on-disk piece of one run.
+
+    Attribute-compatible with the simulator's ``LocalRunPiece`` where the
+    selection-phase helpers care (``sample_keys``, ``sample_every``,
+    ``n_keys``), so ``core.selection_phase`` logic applies unchanged.
+    """
+
+    run: int
+    rank: int
+    n_records: int
+    sample_keys: np.ndarray
+    sample_every: int
+
+    @property
+    def n_keys(self) -> int:
+        return self.n_records
+
+
+class NativeRun:
+    """A globally sorted run: one piece per worker, in rank order."""
+
+    def __init__(self, run_id: int, pieces: List[PieceMeta]):
+        self.run_id = run_id
+        self.pieces = pieces
+        self.offsets: List[int] = []
+        acc = 0
+        for piece in pieces:
+            self.offsets.append(acc)
+            acc += piece.n_records
+        self.n_records = acc
+
+    def locate(self, gpos: int) -> Tuple[int, int]:
+        """Map a run-global record position to (rank, piece-local position)."""
+        from bisect import bisect_right
+
+        if not 0 <= gpos < self.n_records:
+            raise IndexError(f"position {gpos} outside run of {self.n_records}")
+        rank = bisect_right(self.offsets, gpos) - 1
+        return rank, gpos - self.offsets[rank]
+
+    def __len__(self) -> int:
+        return self.n_records
+
+
+@dataclass
+class OutputMeta:
+    """Streaming verification data of one rank's sorted output file."""
+
+    rank: int
+    path: str
+    n_records: int
+    first_key: Optional[int]
+    last_key: Optional[int]
+    checksum: int
+    sorted_ok: bool
+
+
+# --------------------------------------------------------------- phase 0
+
+
+def generate_input(ctx: NativeContext) -> None:
+    """Write this worker's gensort-style input slice (index order)."""
+    job = ctx.job
+    start = job.worker_start(ctx.rank)
+    n = job.records_per_worker
+    batch = max(job.block_records, job.chunk_records)
+    path = ctx.store.input_path()
+    with open(path, "wb") as handle:
+        for s in range(0, n, batch):
+            count = min(batch, n - s)
+            records = generate_records(
+                start + s, count, seed=job.config.seed, skew=job.skew
+            )
+            ctx.store.append_records(handle, records, tag="generate")
+
+
+# --------------------------------------------------------------- phase 1
+
+TAG_RF = "run_formation"
+
+
+def _chunk_schedule(ctx: NativeContext) -> List[List[int]]:
+    """Input block IDs per run chunk (randomized, elevator order within)."""
+    job = ctx.job
+    order = list(range(job.input_blocks))
+    if job.config.randomize:
+        rng = np.random.default_rng((job.config.seed, ctx.rank))
+        rng.shuffle(order)
+    piece = job.piece_blocks
+    return [
+        sorted(order[s : s + piece]) for s in range(0, len(order), piece)
+    ]
+
+
+def _distributed_sort_run(
+    ctx: NativeContext, records: np.ndarray, run_id: int
+) -> np.ndarray:
+    """Globally sort one run; returns this rank's exact-quantile piece.
+
+    The native execution of ``core.internal_sort.distributed_sort_run``:
+    local sort (already done by the caller), exact splitting at the P
+    quantiles via the paper's probe-based multiway selection running
+    *between* the worker processes, a chunked all-to-all over the pipes,
+    and a final P-way batch merge.
+    """
+    job, comm, rank = ctx.job, ctx.comm, ctx.rank
+    n_workers = job.n_workers
+    if n_workers == 1:
+        return records
+
+    keys = records["key"]
+    lengths: List[int] = comm.allgather(len(records))
+    total = sum(lengths)
+    target = rank * total // n_workers
+
+    # Sample warm start (Appendix B), then the exact probe selection.
+    samples = [np.asarray(s) for s in comm.allgather(keys[:: job.sample_every].copy())]
+    init_pos, init_step = sample_initial_positions(
+        samples, job.sample_every, target, lengths
+    )
+    gen = select_coroutine(
+        lengths, target, init_positions=init_pos, init_step=init_step
+    )
+    result = comm.selection_round(
+        gen,
+        local_lookup=lambda pos: int(keys[pos]),
+        owner_of=lambda seq: seq,
+    )
+    ctx.stats.add_counter("internal_selection_touches", result.touches)
+
+    positions: List[List[int]] = comm.allgather(result.positions)
+    positions.append(list(lengths))
+
+    # Chunked all-to-all: slice [positions[d][rank], positions[d+1][rank])
+    # goes to destination d, in block-sized chunks.
+    block = job.block_records
+    received: Dict[int, List[Tuple[int, bytes]]] = {
+        j: [] for j in range(n_workers)
+    }
+    recv_bytes = 0
+
+    def outgoing():
+        for dest in range(n_workers):
+            lo = positions[dest][rank]
+            hi = positions[dest + 1][rank]
+            for k, s in enumerate(range(lo, hi, block)):
+                chunk = records[s : min(s + block, hi)]
+                yield dest, ("rfx", run_id, k, chunk.tobytes())
+
+    def on_chunk(peer: int, payload: tuple) -> None:
+        nonlocal recv_bytes
+        kind, rid, k, buf = payload
+        assert kind == "rfx" and rid == run_id
+        received[peer].append((k, buf))
+        recv_bytes += len(buf)
+
+    comm.exchange(outgoing(), on_chunk)
+    ctx.stats.note_resident(records.nbytes + recv_bytes)
+    del records, keys  # the chunk's memory is no longer needed
+
+    parts = []
+    for sender in range(n_workers):
+        bufs = [buf for _k, buf in sorted(received[sender])]
+        received[sender] = []
+        if bufs:
+            parts.append(
+                np.concatenate([records_from_bytes(b) for b in bufs])
+                if len(bufs) > 1
+                else records_from_bytes(bufs[0])
+            )
+    merged = merge_record_arrays(parts)
+    ctx.stats.note_resident(2 * merged.nbytes)
+    ctx.stats.add_counter("internal_sort_sent_records", sum(lengths) // n_workers)
+    return merged
+
+
+def run_formation(ctx: NativeContext) -> List[NativeRun]:
+    """Phase 1: form R globally sorted runs, one local piece file each."""
+    job, comm, store = ctx.job, ctx.comm, ctx.store
+    chunks = _chunk_schedule(ctx)
+    n_runs = comm.allreduce(len(chunks), max)
+    input_path = store.input_path()
+
+    metas: List[PieceMeta] = []
+    for r in range(n_runs):
+        block_ids = chunks[r] if r < len(chunks) else []
+        parts = [
+            store.read_block(input_path, b, TAG_RF) for b in block_ids
+        ]
+        records = (
+            np.concatenate(parts)
+            if len(parts) > 1
+            else (parts[0] if parts else np.empty(0, dtype=NATIVE_DTYPE))
+        )
+        del parts
+        ctx._add_checksum(records["key"])
+        ctx.stats.note_resident(2 * records.nbytes)
+        records = sort_records(records)
+
+        piece = _distributed_sort_run(ctx, records, run_id=r)
+        del records
+
+        store.write_file(store.piece_path(r), piece, TAG_RF)
+        sample = np.ascontiguousarray(piece["key"][:: job.sample_every])
+        metas.append(
+            PieceMeta(
+                run=r,
+                rank=ctx.rank,
+                n_records=len(piece),
+                sample_keys=sample,
+                sample_every=job.sample_every,
+            )
+        )
+        del piece
+    ctx.stats.add_counter("runs_formed", len(metas))
+
+    all_metas: List[List[PieceMeta]] = comm.allgather(metas)
+    return [
+        NativeRun(r, [all_metas[j][r] for j in range(job.n_workers)])
+        for r in range(n_runs)
+    ]
+
+
+# --------------------------------------------------------------- phase 2
+
+TAG_SEL = "selection"
+
+
+def selection(ctx: NativeContext, runs: List[NativeRun]) -> List[List[int]]:
+    """Phase 2: exact splitters for this rank; returns the full matrix.
+
+    Probes are answered by block reads against the piece *files* of any
+    worker — the spill directory is the shared medium, so a remote probe
+    is a real disk access exactly as in the paper, and the LRU cache
+    removes the ``R log B`` re-touches.  Returns ``splits`` with P+1
+    rows: row i is where rank i's output starts in every run, row P holds
+    the run lengths.
+    """
+    job, comm, store = ctx.job, ctx.comm, ctx.store
+    lengths = [run.n_records for run in runs]
+    total = sum(lengths)
+    target = ctx.rank * total // job.n_workers
+
+    if job.config.selection == "sampled":
+        init_pos, init_step = warm_start_from_samples(
+            _run_samples(runs), target, lengths, job.sample_every
+        )
+        gen = select_coroutine(
+            lengths, target, init_positions=init_pos, init_step=init_step
+        )
+    elif job.config.selection == "basic":
+        gen = select_coroutine(lengths, target)
+    else:
+        gen = select_bisect_coroutine(lengths, target)
+
+    cache = store.probe_cache(job.selection_cache_blocks)
+    try:
+        request = next(gen)
+        while True:
+            r, gpos = request
+            owner, lpos = runs[r].locate(gpos)
+            if owner != ctx.rank:
+                ctx.stats.add_counter("selection_remote_probes")
+            key = cache.key_at(store.piece_path(r, owner), lpos, TAG_SEL)
+            request = gen.send(key)
+    except StopIteration as stop:
+        result = stop.value
+
+    ctx.stats.add_counter("selection_touches", result.touches)
+    ctx.stats.add_counter("selection_block_reads", cache.block_reads)
+    ctx.stats.add_counter("selection_cache_hits", cache.hits)
+    ctx.stats.add_counter(
+        "selection_fixup_swaps", getattr(result, "fixup_swaps", 0)
+    )
+
+    all_positions: List[List[int]] = comm.allgather(list(result.positions))
+    splits = [list(p) for p in all_positions]
+    splits.append(list(lengths))
+    return splits
+
+
+# --------------------------------------------------------------- phase 3
+
+TAG_A2A = "all_to_all"
+
+
+def all_to_all(
+    ctx: NativeContext, runs: List[NativeRun], splits: List[List[int]]
+) -> List[int]:
+    """Phase 3: the external all-to-all, disk → pipes → disk.
+
+    Each worker streams its piece of every run in block-sized chunks to
+    the destinations the splitters dictate, and assembles the chunks it
+    receives into one *sorted* segment file per run (arrivals are written
+    at precomputed record offsets, so no post-hoc sorting is needed —
+    the run's global order carries through).  Returns the per-run segment
+    lengths of this rank.
+    """
+    job, comm, store, rank = ctx.job, ctx.comm, ctx.store, ctx.rank
+    n_workers = job.n_workers
+    block = job.block_records
+
+    # Receiver layout: for run r my segment is [splits[rank][r],
+    # splits[rank+1][r]); sender j contributes its piece's overlap, placed
+    # after the contributions of senders 0..j-1 (global order).
+    seg_base: List[List[int]] = []
+    seg_len: List[int] = []
+    for r, run in enumerate(runs):
+        seg_lo, seg_hi = splits[rank][r], splits[rank + 1][r]
+        bases, acc = [], 0
+        for j in range(n_workers):
+            piece_lo = run.offsets[j]
+            piece_hi = piece_lo + run.pieces[j].n_records
+            overlap = max(0, min(seg_hi, piece_hi) - max(seg_lo, piece_lo))
+            bases.append(acc)
+            acc += overlap
+        seg_base.append(bases)
+        seg_len.append(acc)
+        if acc != seg_hi - seg_lo:
+            raise AssertionError(
+                f"run {r}: segment layout {acc} != splitter span {seg_hi - seg_lo}"
+            )
+
+    handles = []
+    for r in range(len(runs)):
+        path = store.segment_path(r)
+        store.preallocate(path, seg_len[r])
+        handles.append(open(path, "r+b"))
+
+    def outgoing():
+        for r, run in enumerate(runs):
+            my_off = run.offsets[rank]
+            my_len = run.pieces[rank].n_records
+            piece_path = store.piece_path(r)
+            for dest in range(n_workers):
+                lo = max(0, splits[dest][r] - my_off)
+                hi = min(my_len, splits[dest + 1][r] - my_off)
+                for k, s in enumerate(range(lo, hi, block)):
+                    count = min(block, hi - s)
+                    chunk = store.read_range(piece_path, s, count, TAG_A2A)
+                    yield dest, ("a2a", r, k, chunk.tobytes())
+
+    def on_chunk(peer: int, payload: tuple) -> None:
+        kind, r, k, buf = payload
+        assert kind == "a2a"
+        offset = seg_base[r][peer] + k * block
+        store.write_at(handles[r], offset, buf, TAG_A2A)
+
+    comm.exchange(outgoing(), on_chunk)
+    for handle in handles:
+        handle.close()
+    # The run pieces have been redistributed; reclaim their disk space.
+    for r in range(len(runs)):
+        store.remove(store.piece_path(r))
+    ctx.stats.note_resident((2 + 4) * block * 16)
+    return seg_len
+
+
+# --------------------------------------------------------------- phase 4
+
+TAG_MERGE = "merge"
+
+
+def merge(ctx: NativeContext, seg_len: List[int]) -> OutputMeta:
+    """Phase 4: R-way merge of the segment files into the final output.
+
+    Streaming batch merge: each run contributes one buffered block; every
+    round emits all records ≤ the smallest buffer-tail key (so at least
+    one buffer drains completely), merged with the same stable batch
+    kernel the simulator's merge phase models.  Verification happens in
+    stream: sortedness, count, first/last key and the valsort checksum
+    are computed as the output is written.
+    """
+    job, store, rank = ctx.job, ctx.store, ctx.rank
+    readers = [
+        SequentialReader(store, store.segment_path(r), TAG_MERGE, n_records=n)
+        for r, n in enumerate(seg_len)
+    ]
+    buffers: List[Optional[np.ndarray]] = []
+    for reader in readers:
+        block = reader.next_block()
+        buffers.append(block)
+
+    out_path = store.output_path()
+    checksum = 0
+    count = 0
+    first_key: Optional[int] = None
+    last_key: Optional[int] = None
+    sorted_ok = True
+
+    with open(out_path, "wb") as out:
+
+        def emit(batch: np.ndarray) -> None:
+            nonlocal checksum, count, first_key, last_key, sorted_ok
+            if not len(batch):
+                return
+            keys = batch["key"]
+            if len(keys) > 1 and not bool(np.all(keys[:-1] <= keys[1:])):
+                sorted_ok = False
+            if last_key is not None and int(keys[0]) < last_key:
+                sorted_ok = False
+            if first_key is None:
+                first_key = int(keys[0])
+            last_key = int(keys[-1])
+            with np.errstate(over="ignore"):
+                checksum = (checksum + int(np.add.reduce(keys))) & _MASK
+            count += len(batch)
+            store.append_records(out, batch, TAG_MERGE)
+
+        while True:
+            active = [i for i, b in enumerate(buffers) if b is not None]
+            if not active:
+                break
+            # Refill any drained-but-not-exhausted buffer first.
+            for i in active:
+                if len(buffers[i]) == 0:
+                    nxt = readers[i].next_block()
+                    buffers[i] = nxt
+            active = [i for i, b in enumerate(buffers) if b is not None and len(b)]
+            if not active:
+                break
+            if len(active) == 1:
+                i = active[0]
+                emit(buffers[i])
+                buffers[i] = np.empty(0, dtype=NATIVE_DTYPE)
+                while True:
+                    nxt = readers[i].next_block()
+                    if nxt is None:
+                        buffers[i] = None
+                        break
+                    emit(nxt)
+                continue
+            bound = min(int(buffers[i]["key"][-1]) for i in active)
+            parts = []
+            for i in active:
+                buf = buffers[i]
+                cut = int(np.searchsorted(buf["key"], bound, side="right"))
+                if cut:
+                    parts.append(buf[:cut])
+                    buffers[i] = buf[cut:]
+            batch = merge_record_arrays(parts)
+            ctx.stats.note_resident(
+                sum(len(b) for b in buffers if b is not None) * 16 + 2 * batch.nbytes
+            )
+            emit(batch)
+
+    for r in range(len(seg_len)):
+        store.remove(store.segment_path(r))
+    ctx.stats.add_counter("merge_arity", float(len(seg_len)))
+    return OutputMeta(
+        rank=rank,
+        path=out_path,
+        n_records=count,
+        first_key=first_key,
+        last_key=last_key,
+        checksum=checksum & _MASK,
+        sorted_ok=sorted_ok,
+    )

@@ -1,0 +1,125 @@
+"""Native on-disk record format and its numpy kernels.
+
+The native backend moves *real bytes*: records are fixed-size binary
+structs written with ``ndarray.tofile`` and read back with
+``numpy.fromfile``.  The layout mirrors the paper's 16-byte element
+(:data:`repro.records.element.ELEM_PAPER_16B`): a little-endian 64-bit
+key followed by a 64-bit payload.  The payload carries the gensort-style
+record index, so a sorted output file can be traced back to the exact
+input permutation during validation.
+
+Keys come from :mod:`repro.workloads.gensort` — records are a pure
+function of ``(seed, index)``, any sub-range can be generated
+independently (each worker process generates its own slice), and the
+order-independent checksum of the whole input is known without reading
+it back.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..records.element import ELEM_PAPER_16B, KEY_DTYPE
+from ..workloads.gensort import record_keys
+
+__all__ = [
+    "NATIVE_DTYPE",
+    "RECORD_BYTES",
+    "make_records",
+    "generate_records",
+    "sort_records",
+    "merge_record_arrays",
+    "read_records",
+    "record_count",
+    "records_from_bytes",
+    "keys_of",
+]
+
+#: One native record: (key, payload), 16 bytes, little-endian.
+NATIVE_DTYPE = np.dtype([("key", "<u8"), ("payload", "<u8")])
+
+#: Bytes per native record (= the paper's 16-byte element).
+RECORD_BYTES = NATIVE_DTYPE.itemsize
+
+assert RECORD_BYTES == ELEM_PAPER_16B.elem_bytes
+
+
+def make_records(keys: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+    """Assemble a structured record array from key/payload columns."""
+    if len(keys) != len(payloads):
+        raise ValueError(f"{len(keys)} keys vs {len(payloads)} payloads")
+    out = np.empty(len(keys), dtype=NATIVE_DTYPE)
+    out["key"] = keys
+    out["payload"] = payloads
+    return out
+
+
+def generate_records(
+    start: int, count: int, seed: int = 0, skew: bool = False
+) -> np.ndarray:
+    """Records ``start .. start+count-1`` of the gensort-style input.
+
+    Keys are the deterministic gensort keys (uniform, or the
+    duplicate-heavy Daytona-like distribution with ``skew=True``); the
+    payload is the global record index.
+    """
+    keys = record_keys(start, count, seed=seed, skew=skew)
+    payloads = np.arange(start, start + count, dtype=np.uint64)
+    return make_records(keys, payloads)
+
+
+def sort_records(records: np.ndarray) -> np.ndarray:
+    """Sort records by key, stable in input position (ties keep order)."""
+    order = np.argsort(records["key"], kind="stable")
+    return records[order]
+
+
+def merge_record_arrays(parts: List[np.ndarray]) -> np.ndarray:
+    """Merge key-sorted record arrays into one key-sorted array.
+
+    Stable across parts in list order, which realizes the package's
+    canonical (key, sequence, position) tie-breaking when the caller
+    passes parts in sequence order.  Like
+    :func:`repro.records.arrays.merge_sorted_arrays` this is implemented
+    as concatenate + stable sort (the paper explicitly allows replacing
+    batch merging by sorting of batches).
+    """
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        return np.empty(0, dtype=NATIVE_DTYPE)
+    if len(parts) == 1:
+        return parts[0]
+    out = np.concatenate(parts)
+    order = np.argsort(out["key"], kind="stable")
+    return out[order]
+
+
+def read_records(path: str, start: int, count: int) -> np.ndarray:
+    """Read ``count`` records from ``path`` beginning at record ``start``."""
+    with open(path, "rb") as handle:
+        handle.seek(start * RECORD_BYTES)
+        return np.fromfile(handle, dtype=NATIVE_DTYPE, count=count)
+
+
+def record_count(path: str) -> int:
+    """Number of whole records stored in ``path``."""
+    import os
+
+    size = os.path.getsize(path)
+    if size % RECORD_BYTES:
+        raise ValueError(f"{path}: {size} bytes is not a whole number of records")
+    return size // RECORD_BYTES
+
+
+def records_from_bytes(buf: bytes) -> np.ndarray:
+    """View a raw byte chunk (as sent over a pipe) as a record array."""
+    if len(buf) % RECORD_BYTES:
+        raise ValueError(f"{len(buf)} bytes is not a whole number of records")
+    return np.frombuffer(buf, dtype=NATIVE_DTYPE)
+
+
+def keys_of(records: np.ndarray) -> np.ndarray:
+    """The key column of a record array (same dtype as the simulator keys)."""
+    return records["key"].astype(KEY_DTYPE, copy=False)

@@ -1,0 +1,215 @@
+"""Per-phase, per-worker statistics of a native sort.
+
+The native twin of :class:`repro.core.stats.SortStats`: the same phase
+names (:data:`repro.core.config.PHASES` plus ``generate``), but every
+number is measured, not simulated — wall times from the monotonic clock,
+I/O volumes from the byte counters of the
+:class:`~repro.native.blockstore.FileBlockStore`, interconnect volumes
+from the pipe mesh, and peak memory from ``getrusage`` where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import PHASES
+
+__all__ = ["WorkerStats", "NativeStats", "NATIVE_PHASES"]
+
+#: Native phase order: input generation happens before the clock that
+#: matters, but its cost is reported alongside the sort phases.
+NATIVE_PHASES = ("generate",) + PHASES
+
+
+@dataclass
+class WorkerStats:
+    """One worker process's measurements (sent to the driver at exit)."""
+
+    rank: int
+    #: Phase -> wall seconds.
+    walls: Dict[str, float] = field(default_factory=dict)
+    #: Phase -> bytes read / written through the block store.
+    bytes_read: Dict[str, int] = field(default_factory=dict)
+    bytes_written: Dict[str, int] = field(default_factory=dict)
+    #: Free-form counters (probe reads, cache hits, runs formed, ...).
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: Bytes pushed through / pulled from the pipe mesh.
+    comm_bytes_sent: int = 0
+    comm_bytes_received: int = 0
+    #: Peak analytically tracked resident record bytes (working-set proof).
+    peak_resident_bytes: int = 0
+    #: OS-reported peak RSS in bytes (0 when unavailable).
+    max_rss_bytes: int = 0
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def note_resident(self, nbytes: int) -> None:
+        """Record a transient record-data working set of ``nbytes``."""
+        if nbytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = int(nbytes)
+
+
+class NativeStats:
+    """Aggregated statistics of one native sort (driver side)."""
+
+    def __init__(self, workers: List[WorkerStats], total_time: float,
+                 n_runs: int, total_records: int, record_bytes: int):
+        self.workers = sorted(workers, key=lambda w: w.rank)
+        self.total_time = total_time
+        self.n_runs = n_runs
+        self.total_records = total_records
+        self.record_bytes = record_bytes
+        self.phases: List[str] = [
+            p for p in NATIVE_PHASES
+            if any(p in w.walls for w in self.workers)
+        ]
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_records * self.record_bytes
+
+    # -- aggregation ----------------------------------------------------------
+
+    def wall_max(self, phase: str) -> float:
+        return max((w.walls.get(phase, 0.0) for w in self.workers), default=0.0)
+
+    def wall_avg(self, phase: str) -> float:
+        if not self.workers:
+            return 0.0
+        return sum(w.walls.get(phase, 0.0) for w in self.workers) / len(self.workers)
+
+    def phase_bytes(self, phase: str) -> int:
+        """Disk traffic (read + write) of a phase across all workers."""
+        return sum(
+            w.bytes_read.get(phase, 0) + w.bytes_written.get(phase, 0)
+            for w in self.workers
+        )
+
+    def phase_throughput(self, phase: str) -> float:
+        """Data-volume throughput of a phase in bytes/s (0 if untimed).
+
+        Volume is the *represented* input size N — the quantity the
+        paper's MB/s-per-phase numbers are normalized by — not the
+        phase's raw disk traffic.
+        """
+        wall = self.wall_max(phase)
+        return self.total_bytes / wall if wall > 0 else 0.0
+
+    def counter_total(self, name: str) -> float:
+        return sum(w.counters.get(name, 0.0) for w in self.workers)
+
+    @property
+    def total_io_bytes(self) -> int:
+        return sum(self.phase_bytes(p) for p in self.phases)
+
+    @property
+    def network_bytes(self) -> int:
+        return sum(w.comm_bytes_sent for w in self.workers)
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        return max((w.peak_resident_bytes for w in self.workers), default=0)
+
+    @property
+    def sort_phases_wall(self) -> float:
+        """Sum of per-phase maxima over the four sort phases (no generate)."""
+        return sum(self.wall_max(p) for p in self.phases if p != "generate")
+
+    # -- reporting ------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "backend": "native",
+            "n_workers": self.n_workers,
+            "n_runs": self.n_runs,
+            "total_records": self.total_records,
+            "total_bytes": self.total_bytes,
+            "total_time": self.total_time,
+            "network_bytes": self.network_bytes,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "phases": {
+                phase: {
+                    "wall_max": self.wall_max(phase),
+                    "wall_avg": self.wall_avg(phase),
+                    "bytes": self.phase_bytes(phase),
+                    "throughput_mb_s": self.phase_throughput(phase) / 1e6,
+                }
+                for phase in self.phases
+            },
+            "per_worker": [
+                {
+                    "rank": w.rank,
+                    "walls": dict(w.walls),
+                    "bytes_read": dict(w.bytes_read),
+                    "bytes_written": dict(w.bytes_written),
+                    "counters": dict(w.counters),
+                    "comm_bytes_sent": w.comm_bytes_sent,
+                    "comm_bytes_received": w.comm_bytes_received,
+                    "peak_resident_bytes": w.peak_resident_bytes,
+                    "max_rss_bytes": w.max_rss_bytes,
+                }
+                for w in self.workers
+            ],
+        }
+
+    def summary(self) -> str:
+        """Human-readable per-phase table (measured seconds and MB/s)."""
+        lines = [
+            f"P={self.n_workers}  native total {self.total_time:8.2f} s   "
+            f"{self.total_bytes / 2**20:.1f} MiB in {self.n_runs} runs"
+        ]
+        for phase in self.phases:
+            wall = self.wall_max(phase)
+            vol = self.phase_bytes(phase)
+            rate = self.phase_throughput(phase) / 1e6
+            lines.append(
+                f"  {phase:<14} wall {wall:8.2f} s   disk {vol / 2**20:9.1f} MiB"
+                f"   {rate:8.1f} MB/s"
+            )
+        lines.append(
+            f"  interconnect   {self.network_bytes / 2**20:9.1f} MiB; "
+            f"peak resident {self.peak_resident_bytes / 2**20:.1f} MiB/worker"
+        )
+        return "\n".join(lines)
+
+
+def max_rss_bytes() -> int:
+    """Peak RSS of the calling process in bytes (0 when unsupported)."""
+    try:
+        import resource
+        import sys
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+    except Exception:  # pragma: no cover - non-POSIX fallback
+        return 0
+
+
+@dataclass
+class PhaseClock:
+    """Context manager recording one phase's wall time into WorkerStats."""
+
+    stats: WorkerStats
+    phase: str
+    _start: Optional[float] = None
+
+    def __enter__(self) -> "PhaseClock":
+        import time
+
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        import time
+
+        assert self._start is not None
+        self.stats.walls[self.phase] = (
+            self.stats.walls.get(self.phase, 0.0) + time.monotonic() - self._start
+        )

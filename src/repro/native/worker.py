@@ -1,0 +1,87 @@
+"""Worker-process entry point: one PE of the native sort.
+
+A worker owns one rank: it generates (or finds) its input slice in the
+spill directory, runs the four phases against its peers over the pipe
+mesh, and reports its :class:`~repro.native.stats.WorkerStats` plus the
+streaming verification data of its output file back to the driver over a
+dedicated result pipe.  Any exception is caught and shipped to the
+driver as a formatted traceback so a crashed PE never hangs the job.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Dict
+
+from .blockstore import FileBlockStore
+from .comm import PipeComm
+from .job import NativeJob
+from .phases import (
+    NativeContext,
+    all_to_all,
+    generate_input,
+    merge,
+    run_formation,
+    selection,
+)
+from .stats import PhaseClock, WorkerStats, max_rss_bytes
+
+__all__ = ["worker_main"]
+
+
+def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> None:
+    """Run rank ``rank`` of ``job``; report ("ok", ...) or ("error", ...)."""
+    comm = None
+    try:
+        stats = WorkerStats(rank=rank)
+        comm = PipeComm(rank, job.n_workers, peer_conns, timeout=job.timeout)
+        store = FileBlockStore(job.spill_dir, rank, job.block_records)
+        ctx = NativeContext(
+            rank=rank, job=job, comm=comm, store=store, stats=stats
+        )
+
+        if job.generate or not os.path.exists(store.input_path()):
+            with PhaseClock(stats, "generate"):
+                generate_input(ctx)
+                comm.barrier()
+
+        with PhaseClock(stats, "run_formation"):
+            runs = run_formation(ctx)
+            comm.barrier()
+        with PhaseClock(stats, "selection"):
+            splits = selection(ctx, runs)
+            comm.barrier()
+        with PhaseClock(stats, "all_to_all"):
+            seg_len = all_to_all(ctx, runs, splits)
+            comm.barrier()
+        with PhaseClock(stats, "merge"):
+            out_meta = merge(ctx, seg_len)
+            comm.barrier()
+
+        for phase, nbytes in store.bytes_read.items():
+            stats.bytes_read[phase] = nbytes
+        for phase, nbytes in store.bytes_written.items():
+            stats.bytes_written[phase] = nbytes
+        stats.comm_bytes_sent = comm.bytes_sent
+        stats.comm_bytes_received = comm.bytes_received
+        stats.max_rss_bytes = max_rss_bytes()
+
+        result_conn.send(
+            ("ok", stats, out_meta, ctx.input_checksum, len(runs))
+        )
+    except Exception:  # pragma: no cover - exercised via driver error tests
+        try:
+            result_conn.send(("error", rank, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if comm is not None:
+            try:
+                comm.close()
+            except Exception:
+                pass
+        try:
+            result_conn.close()
+        except Exception:
+            pass

@@ -32,6 +32,8 @@ class Tracer:
             defaultdict(list)
         )
         self._names: List[str] = []
+        #: Servers this tracer already instruments (attach idempotency).
+        self._attached_servers: set = set()
 
     # -- attachment -----------------------------------------------------------
 
@@ -39,26 +41,49 @@ class Tracer:
     def attach(cls, cluster) -> "Tracer":
         """Instrument every disk of ``cluster``; returns the tracer.
 
-        Wraps each disk server's ``_finish`` (the single point where a
+        Hooks each disk server's ``_finish`` (the single point where a
         request's start/duration are final) — requests already in flight
-        when attaching are captured too.
+        when attaching are captured too.  ``_finish`` is wrapped at most
+        once per server regardless of how many tracers attach (or how
+        often): the wrapper dispatches to a server-level hook list, and a
+        tracer that is already attached to a server never registers a
+        second hook there.
         """
         tracer = cls()
-        for node in cluster.nodes:
-            for disk in node.disks:
-                tracer._instrument(disk.server, disk.name)
+        tracer.attach_to(cluster)
         return tracer
 
+    def attach_to(self, cluster) -> "Tracer":
+        """Attach *this* tracer to ``cluster`` (idempotent); returns self."""
+        for node in cluster.nodes:
+            for disk in node.disks:
+                self._instrument(disk.server, disk.name)
+        return self
+
     def _instrument(self, server, name: str) -> None:
+        if id(server) in self._attached_servers:
+            return
+        self._attached_servers.add(id(server))
+        hooks = getattr(server, "_tracer_hooks", None)
+        if hooks is None:
+            hooks = []
+            server._tracer_hooks = hooks
+            original = server._finish
+
+            def finish(req):
+                original(req)
+                for hook in server._tracer_hooks:
+                    hook(req)
+
+            server._finish = finish
+
         self._names.append(name)
-        original = server._finish
         intervals = self.intervals[name]
 
-        def finish(req):
-            original(req)
+        def record(req):
             intervals.append((req.started_at, req.finished_at, req.tag))
 
-        server._finish = finish
+        hooks.append(record)
 
     # -- queries ------------------------------------------------------------------
 

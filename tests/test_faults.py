@@ -130,6 +130,94 @@ def test_fault_in_the_past_rejected():
     assert cluster.sim.run_process(body()) is True
 
 
+def test_fault_exactly_at_now_is_legal_and_takes_effect():
+    """``at == sim.now`` is a valid injection time (only the past raises)."""
+    cluster = Cluster(1)
+    disk = cluster.nodes[0].disks[0]
+    healthy = disk.bandwidth
+
+    def body():
+        yield cluster.sim.timeout(5.0)
+        inject_disk_slowdown(cluster, 0, 0, factor=2.0, at=cluster.sim.now)
+        yield cluster.sim.timeout(0.0)
+        return disk.bandwidth
+
+    degraded = cluster.sim.run_process(body())
+    assert degraded == pytest.approx(healthy / 2.0)
+
+
+def test_overlapping_slowdown_windows_restore_healthy_bandwidth():
+    """Each injector captures the healthy bandwidth at *call* time.
+
+    Two overlapping windows on the same disk therefore never compound
+    into a permanently degraded disk: when the later window expires, the
+    disk is back at its original bandwidth.  (Mid-overlap, the earlier
+    recovery already restores full speed — the documented last-writer
+    semantics of independent injectors.)
+    """
+    cluster = Cluster(1)
+    disk = cluster.nodes[0].disks[0]
+    healthy = disk.bandwidth
+    inject_disk_slowdown(cluster, 0, 0, factor=4.0, at=0.0, duration=2.0)
+    inject_disk_slowdown(cluster, 0, 0, factor=8.0, at=1.0, duration=3.0)
+
+    probes = {}
+
+    def body():
+        for t in (0.5, 1.5, 2.5, 4.5):
+            yield cluster.sim.timeout(t - cluster.sim.now)
+            probes[t] = disk.bandwidth
+        return True
+
+    assert cluster.sim.run_process(body()) is True
+    assert probes[0.5] == pytest.approx(healthy / 4.0)
+    assert probes[1.5] == pytest.approx(healthy / 8.0)
+    # First window's recovery fires at t=2 and restores the full speed it
+    # captured, even though the second window is still open.
+    assert probes[2.5] == pytest.approx(healthy)
+    assert probes[4.5] == pytest.approx(healthy)
+
+
+def test_overlapping_windows_keep_sort_correct():
+    def overlap(c):
+        inject_disk_slowdown(c, node=1, disk=0, factor=4.0, at=0.0, duration=0.4)
+        inject_disk_slowdown(c, node=1, disk=0, factor=8.0, at=0.2, duration=0.4)
+        inject_disk_slowdown(c, node=1, disk=0, factor=2.0, at=0.3, duration=0.5)
+
+    _cl, _result, report = run_with_faults(overlap)
+    assert report.ok, report.issues
+
+
+@pytest.mark.parametrize("workload", ["random", "skewed", "duplicates", "worstcase"])
+@pytest.mark.parametrize(
+    "inject",
+    [
+        pytest.param(
+            lambda c: inject_disk_slowdown(c, node=0, disk=1, factor=5.0),
+            id="disk-slowdown",
+        ),
+        pytest.param(
+            lambda c: inject_disk_stall(c, node=1, disk=0, at=0.05, duration=0.3),
+            id="disk-stall",
+        ),
+        pytest.param(
+            lambda c: inject_node_slowdown(c, node=2, factor=6.0),
+            id="node-slowdown",
+        ),
+    ],
+)
+def test_every_injector_on_every_workload_keeps_output_valid(workload, inject):
+    """Faults bend timing only: the sorted output is never altered."""
+    cfg = small_config()
+    cluster = Cluster(4)
+    em, inputs = generate_input(cluster, cfg, workload)
+    before = input_keys(em, inputs)
+    inject(cluster)
+    result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    report = validate_output(before, result.output_keys(em))
+    assert report.ok, (workload, report.issues)
+
+
 def test_deterministic_under_identical_faults():
     def inject(c):
         inject_disk_slowdown(c, node=1, disk=0, factor=4.0, at=0.1, duration=1.0)

@@ -77,6 +77,52 @@ def test_mean_utilization_is_meaningfully_high():
     assert mean > 0.5
 
 
+def test_attach_is_idempotent():
+    """Re-attaching the same tracer must not double-record or re-wrap.
+
+    Regression: ``attach`` used to blindly wrap ``server._finish`` on
+    every call, so a second attachment recorded every request twice (and
+    stacked closures forever).
+    """
+    cfg = small_config()
+    cluster = Cluster(2)
+    tracer = Tracer.attach(cluster)
+    finishes = [disk.server._finish for node in cluster.nodes for disk in node.disks]
+    tracer.attach_to(cluster)
+    tracer.attach_to(cluster)
+    # No re-wrap: the installed dispatcher is unchanged.
+    assert finishes == [
+        disk.server._finish for node in cluster.nodes for disk in node.disks
+    ]
+    # No duplicate bookkeeping either.
+    assert len(tracer.disk_names) == cluster.n_disks
+    for disk in cluster.nodes[0].disks:
+        assert len(disk.server._tracer_hooks) == 1
+
+    em, inputs = generate_input(cluster, cfg, "random")
+    result = CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    for node in cluster.nodes:
+        for disk in node.disks:
+            traced = tracer.busy_fraction(
+                disk.name, 0.0, result.stats.total_time
+            ) * result.stats.total_time
+            # Double-recording would double the traced busy time.
+            assert traced == pytest.approx(disk.busy_time, rel=1e-6)
+
+
+def test_two_tracers_record_independently():
+    """Multiple tracers on one cluster each see every request exactly once."""
+    cfg = small_config()
+    cluster = Cluster(2)
+    t1 = Tracer.attach(cluster)
+    t2 = Tracer.attach(cluster)
+    em, inputs = generate_input(cluster, cfg, "random")
+    CanonicalMergeSort(cluster, cfg).sort(em, inputs)
+    for name in t1.disk_names:
+        assert t1.intervals[name] == t2.intervals[name]
+        assert t1.intervals[name]
+
+
 def test_untraced_cluster_unaffected():
     # Plain sorts (everything else in the suite) never see the tracer.
     tracer = Tracer()
