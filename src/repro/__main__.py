@@ -303,6 +303,14 @@ def run_native(args, config: SortConfig) -> int:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "conformance":
+        # The conformance harness has its own parser and exit semantics:
+        # python -m repro conformance --quick | --full | --chaos | ...
+        from .testing.cli import main as conformance_main
+
+        return conformance_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = SortConfig(
         data_per_node_bytes=args.data_mib * MiB,

@@ -34,12 +34,15 @@ __all__ = ["FileBlockStore", "SequentialReader"]
 class FileBlockStore:
     """One worker's view of the spill directory, with tagged I/O accounting."""
 
-    def __init__(self, root: str, rank: int, block_records: int):
+    def __init__(self, root: str, rank: int, block_records: int, chaos=None):
         if block_records < 1:
             raise ValueError(f"block_records must be >= 1, got {block_records}")
         self.root = str(root)
         self.rank = rank
         self.block_records = block_records
+        #: Optional fault-injection spec (duck-typed; may fail writes
+        #: with a torn prefix + ENOSPC, like a really full disk).
+        self.chaos = chaos
         os.makedirs(self.root, exist_ok=True)
         self.bytes_read: Dict[str, int] = {}
         self.bytes_written: Dict[str, int] = {}
@@ -90,20 +93,43 @@ class FileBlockStore:
             path, block_idx * self.block_records, self.block_records, tag
         )
 
+    def _write_gate(self, handle, path: str, nbytes: int):
+        """Consult the chaos spec before a write of ``nbytes``.
+
+        Returns ``None`` to proceed normally; on an injected disk-full
+        fault, writes the torn prefix the spec dictates and raises.
+        """
+        if self.chaos is None:
+            return None
+        clip = self.chaos.clip_write(self.rank, nbytes)
+        return clip
+
     def write_file(self, path: str, records: np.ndarray, tag: str) -> None:
         """Write a whole record array with ``tofile`` (atomic per call)."""
         with open(path, "wb") as handle:
+            clip = self._write_gate(handle, path, records.nbytes)
+            if clip is not None:
+                handle.write(records.tobytes()[:clip])
+                raise self.chaos.enospc_error(path)
             records.tofile(handle)
         self.charge_write(tag, records.nbytes)
 
     def append_records(self, handle, records: np.ndarray, tag: str) -> None:
         """Append records to an open binary file handle."""
+        clip = self._write_gate(handle, getattr(handle, "name", "?"), records.nbytes)
+        if clip is not None:
+            handle.write(records.tobytes()[:clip])
+            raise self.chaos.enospc_error(getattr(handle, "name", "?"))
         records.tofile(handle)
         self.charge_write(tag, records.nbytes)
 
     def write_at(self, handle, record_offset: int, payload: bytes, tag: str) -> None:
         """Place a raw record chunk at a known record offset (phase 3)."""
         handle.seek(record_offset * RECORD_BYTES)
+        clip = self._write_gate(handle, getattr(handle, "name", "?"), len(payload))
+        if clip is not None:
+            handle.write(payload[:clip])
+            raise self.chaos.enospc_error(getattr(handle, "name", "?"))
         handle.write(payload)
         self.charge_write(tag, len(payload))
 

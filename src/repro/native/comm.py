@@ -65,6 +65,7 @@ class PipeComm:
         n_workers: int,
         conns: Dict[int, Connection],
         timeout: float = DEFAULT_TIMEOUT,
+        chaos=None,
     ):
         if sorted(conns) != [p for p in range(n_workers) if p != rank]:
             raise ValueError(
@@ -75,6 +76,8 @@ class PipeComm:
         self.n_workers = n_workers
         self.conns = conns
         self.timeout = timeout
+        #: Optional fault-injection spec (duck-typed; may delay polls).
+        self.chaos = chaos
         self._epoch = 0
         #: Messages received but not yet consumed, per peer, in order.
         self._stash: Dict[int, deque] = {p: deque() for p in conns}
@@ -152,6 +155,8 @@ class PipeComm:
         """Pull every immediately available message into the stash."""
         if not self.conns:
             return False
+        if self.chaos is not None:
+            self.chaos.on_recv_poll(self.rank)
         ready = conn_wait(list(self.conns.values()), timeout=block_timeout)
         if not ready:
             return False
@@ -268,16 +273,25 @@ class PipeComm:
         producing = True
         eof_from = set()
         peers = set(self.conns)
+        deadline = time.monotonic() + self.timeout
 
         def is_mine(p: int, m: tuple) -> bool:
             return m[0] in ("__xch__", "__xeof__") and m[1] == epoch
 
         while True:
+            if time.monotonic() > deadline:
+                owing = sorted(peers - eof_from)
+                raise CommTimeout(
+                    f"rank {self.rank}: exchange made no progress for "
+                    f"{self.timeout:.0f}s; peers {owing} never finished "
+                    "their stream (stalled or dead PE)"
+                )
             # Drain everything receivable right now.
             while True:
                 got = self.try_recv_match(is_mine)
                 if got is None:
                     break
+                deadline = time.monotonic() + self.timeout
                 peer, msg = got
                 if msg[0] == "__xeof__":
                     eof_from.add(peer)

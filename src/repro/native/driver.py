@@ -13,8 +13,10 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import shutil
+import threading
 import time
 from dataclasses import dataclass
+from multiprocessing.connection import wait as conn_wait
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -30,6 +32,12 @@ from .worker import worker_main
 __all__ = ["NativeSorter", "NativeSortResult", "NativeSortError", "native_sort"]
 
 _MASK = 0xFFFFFFFFFFFFFFFF
+
+#: How long the driver will wait for the *rest* of a result message once
+#: its first bytes have arrived.  Results are small; if a complete
+#: message does not materialize in this window the worker died mid-send
+#: (a torn/wedged result pipe) and the job must fail fast, not hang.
+RESULT_RECV_TIMEOUT = 10.0
 
 
 class NativeSortError(RuntimeError):
@@ -159,11 +167,7 @@ class NativeSorter:
         try:
             results = self._collect(procs, [rp[0] for rp in result_pipes])
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in procs:
-                proc.join(timeout=10.0)
+            self._reap(procs)
             for rp in result_pipes:
                 rp[0].close()
         total_time = time.monotonic() - start
@@ -195,43 +199,125 @@ class NativeSorter:
         )
 
     def _collect(self, procs, conns) -> List[tuple]:
-        """Wait for every worker's result; fail fast on error or death."""
+        """Wait for every worker's result; fail fast on error or death.
+
+        Hardened against the ways a worker can die *unhelpfully*:
+
+        * **death without EOF** — under the fork start method sibling
+          workers inherit each other's pipe write-ends, so a dead
+          worker's result pipe never signals EOF while any sibling
+          lives.  The wait therefore includes each pending worker's
+          process *sentinel*: death wakes the driver immediately.
+        * **torn / wedged result message** — a worker killed mid-send
+          can leave a partial frame in the pipe; a bare ``recv`` would
+          block forever on it.  Every ``recv`` runs under
+          :data:`RESULT_RECV_TIMEOUT` (see :meth:`_recv_result`).
+        """
         deadline = time.monotonic() + self.job.timeout + 30.0
         pending = dict(enumerate(conns))
         results: List[tuple] = []
         while pending:
-            if time.monotonic() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                alive = [r for r in sorted(pending) if procs[r].is_alive()]
                 raise NativeSortError(
-                    f"timed out waiting for workers {sorted(pending)}"
+                    f"timed out waiting for workers {sorted(pending)} "
+                    f"(still alive: {alive})"
                 )
-            from multiprocessing.connection import wait as conn_wait
-
-            ready = conn_wait(list(pending.values()), timeout=1.0)
-            if not ready:
-                for rank in list(pending):
-                    if not procs[rank].is_alive():
-                        raise NativeSortError(
-                            f"worker {rank} died (exit code "
-                            f"{procs[rank].exitcode}) without reporting"
-                        )
-                continue
             by_conn = {id(c): r for r, c in pending.items()}
-            for conn in ready:
-                rank = by_conn[id(conn)]
-                try:
-                    payload = conn.recv()
-                except EOFError:
-                    raise NativeSortError(
-                        f"worker {rank} closed its result pipe (exit code "
-                        f"{procs[rank].exitcode})"
-                    )
-                if payload[0] == "error":
-                    raise NativeSortError(
-                        f"worker {payload[1]} failed:\n{payload[2]}"
-                    )
-                results.append(payload)
+            sentinels = {procs[r].sentinel: r for r in pending}
+            ready = conn_wait(
+                list(pending.values()) + list(sentinels),
+                timeout=min(1.0, remaining),
+            )
+            # Results first: a worker that reported and exited promptly
+            # trips both its pipe and its sentinel — that is a success.
+            got_result = False
+            for obj in ready:
+                rank = by_conn.get(id(obj))
+                if rank is None or rank not in pending:
+                    continue
+                results.append(self._recv_result(procs[rank], obj, rank))
                 del pending[rank]
+                got_result = True
+            if got_result:
+                continue
+            for rank in list(pending):
+                proc = procs[rank]
+                if proc.is_alive():
+                    continue
+                conn = pending[rank]
+                if conn.poll(0):
+                    # Death after (or during) the send: drain what there
+                    # is — _recv_result turns a torn frame into an error.
+                    results.append(self._recv_result(proc, conn, rank))
+                    del pending[rank]
+                else:
+                    raise NativeSortError(
+                        f"worker {rank} died (exit code {proc.exitcode}) "
+                        "without reporting a result"
+                    )
         return results
+
+    def _recv_result(self, proc, conn, rank: int) -> tuple:
+        """One result-pipe ``recv`` that cannot hang the driver.
+
+        The receive runs in a helper thread bounded by
+        :data:`RESULT_RECV_TIMEOUT`; a worker that died after sending
+        only part of a message (or a corrupt frame) surfaces as a
+        :class:`NativeSortError` naming the worker and its exit code.
+        """
+        box: Dict[str, object] = {}
+
+        def _target():
+            try:
+                box["payload"] = conn.recv()
+            except BaseException as exc:  # EOF, OSError, UnpicklingError...
+                box["exc"] = exc
+
+        thread = threading.Thread(
+            target=_target, name=f"native-result-recv-{rank}", daemon=True
+        )
+        thread.start()
+        thread.join(RESULT_RECV_TIMEOUT)
+        if thread.is_alive():
+            raise NativeSortError(
+                f"worker {rank} result pipe wedged: a partial message "
+                f"arrived but never completed (worker "
+                f"{'alive' if proc.is_alive() else f'exit code {proc.exitcode}'})"
+            )
+        if "exc" in box:
+            raise NativeSortError(
+                f"worker {rank} result unreadable: {box['exc']!r} "
+                f"(exit code {proc.exitcode})"
+            )
+        payload = box["payload"]
+        if (
+            not isinstance(payload, tuple)
+            or not payload
+            or payload[0] not in ("ok", "error")
+            or (payload[0] == "ok" and len(payload) != 5)
+            or (payload[0] == "error" and len(payload) != 3)
+        ):
+            raise NativeSortError(
+                f"worker {rank} sent a malformed result: {payload!r}"
+            )
+        if payload[0] == "error":
+            raise NativeSortError(f"worker {payload[1]} failed:\n{payload[2]}")
+        return payload
+
+    @staticmethod
+    def _reap(procs) -> None:
+        """Terminate stragglers, escalating to SIGKILL; never wait forever."""
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=10.0)
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - SIGTERM normally works
+                proc.kill()
+                proc.join(timeout=5.0)
 
 
 def native_sort(

@@ -56,6 +56,11 @@ class NativeJob:
     generate: bool = True
     #: Per-message receive timeout for the pipe mesh.
     timeout: float = 300.0
+    #: Optional fault-injection spec (see :mod:`repro.testing.chaos`).
+    #: Duck-typed so the native backend never imports the testing
+    #: subsystem: anything with ``at_point`` / ``on_recv_poll`` /
+    #: ``clip_write`` hooks works.  Must be picklable.
+    chaos: Optional[object] = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -156,4 +161,5 @@ class NativeJob:
             "randomize": self.config.randomize,
             "seed": self.config.seed,
             "skew": self.skew,
+            "chaos": self.chaos is not None,
         }

@@ -6,6 +6,12 @@ mesh, and reports its :class:`~repro.native.stats.WorkerStats` plus the
 streaming verification data of its output file back to the driver over a
 dedicated result pipe.  Any exception is caught and shipped to the
 driver as a formatted traceback so a crashed PE never hangs the job.
+
+Fault-injection hook points (``job.chaos``, see
+:mod:`repro.testing.chaos`) bracket every phase: a chaos spec may kill
+the process, stall it, or corrupt the result pipe at any phase boundary,
+which is how the conformance suite holds the driver to its fail-fast
+contract.
 """
 
 from __future__ import annotations
@@ -30,34 +36,60 @@ from .stats import PhaseClock, WorkerStats, max_rss_bytes
 __all__ = ["worker_main"]
 
 
+def _chaos_point(job: NativeJob, rank: int, point: str, result_conn) -> None:
+    """Fire the fault-injection hook, if a chaos spec rides on the job."""
+    chaos = getattr(job, "chaos", None)
+    if chaos is not None:
+        chaos.at_point(rank, point, result_conn=result_conn)
+
+
 def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> None:
     """Run rank ``rank`` of ``job``; report ("ok", ...) or ("error", ...)."""
     comm = None
+    chaos = getattr(job, "chaos", None)
+
+    def at(point: str) -> None:
+        _chaos_point(job, rank, point, result_conn)
+
     try:
         stats = WorkerStats(rank=rank)
-        comm = PipeComm(rank, job.n_workers, peer_conns, timeout=job.timeout)
-        store = FileBlockStore(job.spill_dir, rank, job.block_records)
+        comm = PipeComm(
+            rank, job.n_workers, peer_conns, timeout=job.timeout, chaos=chaos
+        )
+        store = FileBlockStore(
+            job.spill_dir, rank, job.block_records, chaos=chaos
+        )
         ctx = NativeContext(
             rank=rank, job=job, comm=comm, store=store, stats=stats
         )
 
         if job.generate or not os.path.exists(store.input_path()):
+            at("before:generate")
             with PhaseClock(stats, "generate"):
                 generate_input(ctx)
                 comm.barrier()
+            at("after:generate")
 
+        at("before:run_formation")
         with PhaseClock(stats, "run_formation"):
             runs = run_formation(ctx)
             comm.barrier()
+        at("after:run_formation")
+        at("before:selection")
         with PhaseClock(stats, "selection"):
             splits = selection(ctx, runs)
             comm.barrier()
+        at("after:selection")
+        at("before:all_to_all")
         with PhaseClock(stats, "all_to_all"):
             seg_len = all_to_all(ctx, runs, splits)
             comm.barrier()
+        at("after:all_to_all")
+        at("before:merge")
         with PhaseClock(stats, "merge"):
             out_meta = merge(ctx, seg_len)
             comm.barrier()
+        at("after:merge")
 
         for phase, nbytes in store.bytes_read.items():
             stats.bytes_read[phase] = nbytes
@@ -67,6 +99,7 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
         stats.comm_bytes_received = comm.bytes_received
         stats.max_rss_bytes = max_rss_bytes()
 
+        at("before:report")
         result_conn.send(
             ("ok", stats, out_meta, ctx.input_checksum, len(runs))
         )

@@ -1,0 +1,40 @@
+"""Conformance and stress testing: corpus, oracle, differential, chaos.
+
+The subsystem the ``conformance`` CLI subcommand, the ``-m conformance``
+pytest tier and the tier-1 quick tests all build on:
+
+* :mod:`repro.testing.corpus` — named, seeded adversarial workloads;
+* :mod:`repro.testing.oracle` — ``np.sort`` ground truth + invariants;
+* :mod:`repro.testing.differential` — sim vs native vs oracle cases;
+* :mod:`repro.testing.properties` — seeded property search with
+  shrink-on-failure and replay tokens;
+* :mod:`repro.testing.chaos` — deterministic native fault injection.
+
+Submodules import lazily where they need the backends, so importing
+``repro.testing`` stays cheap.
+"""
+
+from . import corpus, oracle  # noqa: F401
+from .chaos import ChaosInjected, ChaosSpec, kill_points  # noqa: F401
+from .differential import (  # noqa: F401
+    CaseResult,
+    CaseSpec,
+    full_specs,
+    quick_specs,
+    run_case,
+    run_specs,
+)
+
+__all__ = [
+    "corpus",
+    "oracle",
+    "ChaosSpec",
+    "ChaosInjected",
+    "kill_points",
+    "CaseSpec",
+    "CaseResult",
+    "quick_specs",
+    "full_specs",
+    "run_case",
+    "run_specs",
+]

@@ -1,0 +1,287 @@
+"""Deterministic fault injection for the native backend.
+
+The native execution path (``repro.native``) owns real processes, real
+pipes and a real spill directory — three substrates with failure modes
+the simulator cannot model: a PE can die mid-protocol, a pipe can carry
+a torn message, a disk can fill up mid-write.  This module defines the
+*specification* of such faults; the native modules expose hook points
+(``NativeJob.chaos``) that consult the spec, so the spec travels to the
+worker processes by pickling with the job.
+
+The robustness contract being tested is **fail fast, never hang**: any
+injected fault must surface as a diagnosable
+:class:`~repro.native.driver.NativeSortError` (or a worker-reported
+traceback) well inside the job timeout — see ``tests/test_chaos_native.py``
+and ``python -m repro conformance --chaos``.
+
+Fault points are named ``"<when>:<phase>"`` with ``when`` in ``before`` /
+``after`` and ``phase`` one of the native phases (``generate``,
+``run_formation``, ``selection``, ``all_to_all``, ``merge``) plus the
+synthetic ``report`` point just before the result is sent.  This module
+deliberately imports nothing from :mod:`repro.native` so the dependency
+points one way only (native consults testing, never vice versa at import
+time).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import struct
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosInjected",
+    "PHASE_BOUNDARIES",
+    "kill_points",
+    "run_chaos_case",
+    "run_chaos_sweep",
+]
+
+#: Native phase names, in execution order (mirrors
+#: ``repro.native.stats.NATIVE_PHASES`` without importing it).
+_NATIVE_PHASES = ("generate", "run_formation", "selection", "all_to_all", "merge")
+
+#: Every phase-boundary fault point, in execution order.
+PHASE_BOUNDARIES = tuple(
+    f"{when}:{phase}" for phase in _NATIVE_PHASES for when in ("before", "after")
+)
+
+#: Exit code of a chaos-killed worker (distinct from crash/terminate codes).
+KILL_EXIT_CODE = 77
+
+
+class ChaosInjected(OSError):
+    """Raised inside a worker when a spec injects an I/O fault."""
+
+
+def kill_points(include_generate: bool = False) -> List[str]:
+    """The kill-a-worker sweep: one point per phase boundary."""
+    return [
+        p for p in PHASE_BOUNDARIES
+        if include_generate or not p.endswith(":generate")
+    ]
+
+
+@dataclass
+class ChaosSpec:
+    """One deterministic fault, bound to a rank and (usually) a point.
+
+    All fields are plain values so the spec pickles into worker processes
+    with the :class:`~repro.native.job.NativeJob` that carries it.  At
+    most one *terminal* fault fires per run — the point of every scenario
+    is to observe how the rest of the system reacts to a single injected
+    failure.
+    """
+
+    #: Rank the fault applies to (other ranks run clean).
+    rank: int = 0
+
+    # -- process death ---------------------------------------------------------
+    #: ``os._exit`` at this fault point ("before:selection", ...).
+    kill_at: Optional[str] = None
+
+    # -- result-pipe corruption ------------------------------------------------
+    #: At this point, send a truncated pickle on the result pipe, then exit:
+    #: the driver's ``recv`` gets a complete frame of garbage bytes.
+    torn_result_at: Optional[str] = None
+    #: At this point, write a bare message header claiming a large payload
+    #: (and no payload) to the result pipe, then exit: a naive driver
+    #: blocks forever inside ``Connection.recv``.
+    wedged_result_at: Optional[str] = None
+
+    # -- interconnect degradation ---------------------------------------------
+    #: Sleep this long at the fault point (a stalled PE; peers must time
+    #: out with a diagnosable CommTimeout, the driver must not hang).
+    stall_at: Optional[str] = None
+    stall_seconds: float = 3600.0
+    #: Delay every pipe receive poll on this rank by this much (a slow
+    #: link; the sort must still finish correctly).
+    recv_delay_s: float = 0.0
+
+    # -- spill-directory faults ------------------------------------------------
+    #: After this many bytes written by the rank's block store, writes
+    #: fail with ENOSPC.  The failing write is *torn*: a prefix of the
+    #: payload reaches the file first, as a real full disk would leave it.
+    enospc_after_bytes: Optional[int] = None
+    #: Bytes of the failing write that still reach the file (torn write).
+    torn_write_bytes: int = 64
+
+    # -- internal mutable state (per worker process, post-pickle) --------------
+    _written: int = 0
+
+    # -- hook entry points (called from repro.native) --------------------------
+
+    def at_point(self, rank: int, point: str, result_conn=None) -> None:
+        """Phase-boundary hook; called by the worker between phases."""
+        if rank != self.rank:
+            return
+        if self.stall_at == point:
+            time.sleep(self.stall_seconds)
+        if self.torn_result_at == point and result_conn is not None:
+            import pickle
+
+            payload = pickle.dumps(("ok", "chaos-torn-result", rank))
+            result_conn.send_bytes(payload[: max(1, len(payload) // 2)])
+            os._exit(KILL_EXIT_CODE)
+        if self.wedged_result_at == point and result_conn is not None:
+            # A frame header promising 1 MiB that never arrives: the
+            # hang-on-worker-death case the driver must survive.
+            os.write(result_conn.fileno(), struct.pack("!i", 1 << 20))
+            os._exit(KILL_EXIT_CODE)
+        if self.kill_at == point:
+            os._exit(KILL_EXIT_CODE)
+
+    def on_recv_poll(self, rank: int) -> None:
+        """Interconnect hook; called before each receive poll."""
+        if rank == self.rank and self.recv_delay_s > 0:
+            time.sleep(self.recv_delay_s)
+
+    def clip_write(self, rank: int, nbytes: int) -> Optional[int]:
+        """Spill-dir hook; called before a write of ``nbytes``.
+
+        Returns ``None`` to let the write proceed, or the number of bytes
+        that should still reach the file before :class:`ChaosInjected`
+        (ENOSPC) is raised — the caller performs the torn prefix write
+        and raises.
+        """
+        if rank != self.rank or self.enospc_after_bytes is None:
+            return None
+        if self._written + nbytes <= self.enospc_after_bytes:
+            self._written += nbytes
+            return None
+        return min(nbytes, max(0, self.torn_write_bytes))
+
+    def enospc_error(self, path: str) -> ChaosInjected:
+        return ChaosInjected(
+            errno.ENOSPC, f"chaos: spill device full writing {path}"
+        )
+
+
+# ----------------------------------------------------------------- the sweep
+
+
+def run_chaos_case(
+    spec: ChaosSpec,
+    spill_dir: str,
+    n_workers: int = 2,
+    n_per_rank: int = 512,
+    block_records: int = 32,
+    memory_records: int = 384,
+    job_timeout: float = 15.0,
+    budget: float = 30.0,
+) -> dict:
+    """One native sort with ``spec`` injected; the contract is *fail fast*.
+
+    Returns a verdict dict: ``ok`` means the run surfaced a clean
+    :class:`~repro.native.driver.NativeSortError` within ``budget``
+    seconds (or, for non-terminal faults like ``recv_delay_s``, finished
+    with a valid output).  ``ok=False`` captures the two failure modes
+    this harness exists to catch — a hang past the budget, or a sort
+    that silently "succeeds" despite a terminal fault.
+    """
+    from ..core.config import SortConfig
+    from ..native import NativeJob, NativeSorter
+    from ..native.driver import NativeSortError
+
+    rb = 16
+    job = NativeJob(
+        config=SortConfig(
+            data_per_node_bytes=n_per_rank * rb,
+            memory_bytes=memory_records * rb,
+            block_bytes=block_records * rb,
+            block_elems=block_records,
+            seed=7,
+        ),
+        n_workers=n_workers,
+        spill_dir=spill_dir,
+        timeout=job_timeout,
+        chaos=spec,
+    )
+    terminal = any(
+        (spec.kill_at, spec.torn_result_at, spec.wedged_result_at,
+         spec.stall_at, spec.enospc_after_bytes is not None)
+    )
+    start = time.monotonic()
+    verdict = {
+        "fault": _describe_spec(spec),
+        "ok": False,
+        "elapsed": 0.0,
+        "outcome": "",
+    }
+    try:
+        result = NativeSorter(job).run()
+    except NativeSortError as exc:
+        verdict["elapsed"] = time.monotonic() - start
+        verdict["outcome"] = f"NativeSortError: {exc}"
+        verdict["ok"] = terminal and verdict["elapsed"] <= budget
+        if not terminal:
+            verdict["outcome"] = f"clean run failed: {exc}"
+        elif verdict["elapsed"] > budget:
+            verdict["outcome"] = (
+                f"error took {verdict['elapsed']:.1f}s > budget {budget}s: {exc}"
+            )
+        return verdict
+    verdict["elapsed"] = time.monotonic() - start
+    if terminal:
+        verdict["outcome"] = "sort 'succeeded' despite a terminal fault"
+        return verdict
+    report = result.validate()
+    verdict["ok"] = report.ok and verdict["elapsed"] <= budget
+    verdict["outcome"] = "valid output" if report.ok else "; ".join(report.issues)
+    return verdict
+
+
+def _describe_spec(spec: ChaosSpec) -> str:
+    for attr in ("kill_at", "torn_result_at", "wedged_result_at", "stall_at"):
+        value = getattr(spec, attr)
+        if value is not None:
+            return f"{attr}={value} rank={spec.rank}"
+    if spec.enospc_after_bytes is not None:
+        return f"enospc_after_bytes={spec.enospc_after_bytes} rank={spec.rank}"
+    if spec.recv_delay_s:
+        return f"recv_delay_s={spec.recv_delay_s} rank={spec.rank}"
+    return "no-op spec"
+
+
+def run_chaos_sweep(
+    spill_root: str,
+    n_workers: int = 2,
+    points=None,
+    job_timeout: float = 15.0,
+    budget: float = 30.0,
+    progress=None,
+) -> List[dict]:
+    """Kill one worker at every phase boundary; every run must fail fast.
+
+    This is the acceptance sweep behind ``python -m repro conformance
+    --chaos``: a worker death at *any* boundary terminates the job with
+    a diagnostic :class:`NativeSortError` inside ``budget`` seconds —
+    never a hang, never a bogus success.
+    """
+    import shutil
+    import tempfile
+
+    points = kill_points() if points is None else list(points)
+    verdicts = []
+    for i, point in enumerate(points):
+        if progress is not None:
+            progress(i, len(points), point)
+        spill = tempfile.mkdtemp(prefix=f"chaos-{point.replace(':', '-')}-",
+                                 dir=spill_root)
+        try:
+            verdicts.append(
+                run_chaos_case(
+                    ChaosSpec(rank=0, kill_at=point),
+                    spill,
+                    n_workers=n_workers,
+                    job_timeout=job_timeout,
+                    budget=budget,
+                )
+            )
+        finally:
+            shutil.rmtree(spill, ignore_errors=True)
+    return verdicts

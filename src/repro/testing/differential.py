@@ -1,0 +1,410 @@
+"""Differential conformance: sim backend vs native backend vs ``np.sort``.
+
+One :class:`CaseSpec` pins *everything* — corpus entry, sizing, worker
+count, seed, randomization, selection strategy — so a failing case is a
+replayable token (``python -m repro conformance --replay <token>``).
+Each case feeds the identical per-rank key arrays to:
+
+* the **native** backend (real worker processes, real files, real pipes),
+* the **sim** backend (the discrete-event cluster model), and
+* the **oracle** — ``np.sort`` of the concatenated input, cut at the
+  paper's canonical boundaries ``i·N/P`` (:mod:`repro.testing.oracle`).
+
+Both backends must reproduce the oracle's per-rank key sequences
+*byte-identically*, match its order-independent checksum, and satisfy
+the conservation invariant (every phase moves exactly N·16 bytes through
+the block store).  The native backend additionally proves payload
+integrity: the output payload column is a permutation of the global
+input indices and every (key, payload) pair round-trips.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import corpus, oracle
+
+__all__ = [
+    "CaseSpec",
+    "CaseResult",
+    "specs_for_matrix",
+    "quick_specs",
+    "full_specs",
+    "run_case",
+    "run_sim_case",
+    "run_native_case",
+    "run_specs",
+]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: Everything a native worker may legitimately read/write besides the
+#: conserved data stream, keyed by phase tag.
+_CONSERVED_NATIVE = {
+    # phase tag     -> (reads must sum to N*16, writes must sum to N*16)
+    "run_formation": (True, True),   # reads input, writes run pieces
+    "all_to_all": (True, True),      # reads pieces, writes segments
+    "merge": (True, True),           # reads segments, writes output
+}
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One fully pinned conformance case (replayable from its token)."""
+
+    entry: str
+    sizing: str
+    n_workers: int = 2
+    seed: int = 42
+    randomize: bool = True
+    selection: str = "sampled"
+    backends: Tuple[str, ...] = ("native", "sim")
+
+    def __post_init__(self):
+        if self.entry not in corpus.ENTRIES:
+            raise ValueError(f"unknown corpus entry {self.entry!r}")
+        corpus.resolve_sizing(self.sizing)  # raises on an unknown name
+        for backend in self.backends:
+            if backend not in ("native", "sim"):
+                raise ValueError(f"unknown backend {backend!r}")
+
+    # -- replay tokens --------------------------------------------------------
+
+    def to_token(self) -> str:
+        """Compact replay token, e.g. ``uniform:base:p2:s42:rand:sampled``."""
+        rand = "rand" if self.randomize else "norand"
+        token = f"{self.entry}:{self.sizing}:p{self.n_workers}:s{self.seed}:{rand}:{self.selection}"
+        if self.backends != ("native", "sim"):
+            token += ":" + "+".join(self.backends)
+        return token
+
+    @classmethod
+    def from_token(cls, token: str) -> "CaseSpec":
+        parts = token.strip().split(":")
+        if len(parts) < 6:
+            raise ValueError(
+                f"bad replay token {token!r}: want "
+                "entry:sizing:p<P>:s<seed>:rand|norand:selection[:backends]"
+            )
+        entry, sizing, p, s, rand, selection = parts[:6]
+        if not p.startswith("p") or not s.startswith("s"):
+            raise ValueError(f"bad replay token {token!r}: p/s fields malformed")
+        backends: Tuple[str, ...] = ("native", "sim")
+        if len(parts) > 6:
+            backends = tuple(parts[6].split("+"))
+        return cls(
+            entry=entry,
+            sizing=sizing,
+            n_workers=int(p[1:]),
+            seed=int(s[1:]),
+            randomize=(rand == "rand"),
+            selection=selection,
+            backends=backends,
+        )
+
+    def replay_command(self) -> str:
+        return f"python -m repro conformance --replay {self.to_token()}"
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def sizing_obj(self) -> corpus.Sizing:
+        return corpus.resolve_sizing(self.sizing)
+
+    def input_parts(self) -> List[np.ndarray]:
+        """The per-rank key arrays this case sorts (pure, seeded)."""
+        n = self.sizing_obj.n_per_rank
+        return [
+            corpus.generate(self.entry, n, rank, self.n_workers, self.seed)
+            for rank in range(self.n_workers)
+        ]
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one case on one backend."""
+
+    spec: CaseSpec
+    backend: str
+    divergences: List[str] = field(default_factory=list)
+    checksum: int = 0
+    total_records: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "token": self.spec.to_token(),
+            "backend": self.backend,
+            "ok": self.ok,
+            "divergences": list(self.divergences),
+            "total_records": self.total_records,
+            "checksum": f"{self.checksum:#018x}",
+            "replay": self.spec.replay_command(),
+        }
+
+
+# ---------------------------------------------------------------- spec lists
+
+
+def specs_for_matrix(
+    matrix: Sequence[Tuple[str, str]],
+    n_workers: int = 2,
+    seed: int = 42,
+    fig6_variants: bool = True,
+    backends: Tuple[str, ...] = ("native", "sim"),
+) -> List[CaseSpec]:
+    """Expand (entry, sizing) pairs to pinned specs.
+
+    Entries flagged ``fig6_mode`` additionally run with ``randomize=False``
+    (the paper's Figure 6 configuration) when ``fig6_variants`` is set —
+    the adversarial inputs were built for exactly that regime.
+    """
+    specs: List[CaseSpec] = []
+    for entry_name, sizing_name in matrix:
+        base = CaseSpec(
+            entry=entry_name,
+            sizing=sizing_name,
+            n_workers=n_workers,
+            seed=seed,
+            backends=backends,
+        )
+        specs.append(base)
+        if fig6_variants and corpus.ENTRIES[entry_name].fig6_mode:
+            specs.append(replace(base, randomize=False))
+    return specs
+
+
+def quick_specs(seed: int = 42) -> List[CaseSpec]:
+    """The tier-1 pruned matrix (8 cases + fig6 variant, small N, P=2)."""
+    return specs_for_matrix(corpus.quick_matrix(), n_workers=2, seed=seed)
+
+
+def full_specs(seed: int = 42) -> List[CaseSpec]:
+    """The nightly matrix: every entry × sizing, P=3, fig6 variants."""
+    return specs_for_matrix(corpus.full_matrix(), n_workers=3, seed=seed)
+
+
+# ------------------------------------------------------------------ backends
+
+
+def _config_for(spec: CaseSpec):
+    """The SortConfig both backends share: record-literal sizing.
+
+    ``block_elems == block_records`` makes one simulated key stand for
+    one real 16-byte record, so the sim and the native backend interpret
+    the identical config identically.
+    """
+    from ..core.config import SortConfig
+
+    sz = spec.sizing_obj
+    rb = 16
+    return SortConfig(
+        data_per_node_bytes=sz.n_per_rank * rb,
+        memory_bytes=sz.memory_records * rb,
+        block_bytes=sz.block_records * rb,
+        block_elems=sz.block_records,
+        randomize=spec.randomize,
+        selection=spec.selection,
+        seed=spec.seed,
+    )
+
+
+def _compare_to_oracle(
+    outputs: Sequence[np.ndarray], expect: Sequence[np.ndarray], backend: str
+) -> List[str]:
+    """Byte-identical per-rank comparison against the oracle slices."""
+    issues: List[str] = []
+    for rank, (got, want) in enumerate(zip(outputs, expect)):
+        got = np.asarray(got, dtype=np.uint64)
+        if len(got) != len(want):
+            issues.append(
+                f"{backend}: rank {rank} holds {len(got)} records, "
+                f"canonical share is {len(want)}"
+            )
+            continue
+        if not np.array_equal(got, want):
+            bad = int(np.flatnonzero(got != want)[0])
+            issues.append(
+                f"{backend}: rank {rank} diverges from np.sort oracle at "
+                f"record {bad}: got {int(got[bad])}, want {int(want[bad])}"
+            )
+    return issues
+
+
+def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult:
+    """One case through the native backend, checked against the oracle."""
+    from ..native import NativeJob, NativeSorter
+    from ..native.records import NATIVE_DTYPE, make_records
+
+    parts = spec.input_parts()
+    expect = oracle.expected_outputs(parts)
+    want_checksum = oracle.multiset_checksum(np.concatenate(parts))
+    n = spec.sizing_obj.n_per_rank
+    total = n * spec.n_workers
+    result = CaseResult(spec=spec, backend="native", total_records=total)
+
+    own_dir = workdir is None
+    spill = workdir or tempfile.mkdtemp(prefix="repro-conf-")
+    try:
+        os.makedirs(spill, exist_ok=True)
+        # Pre-write the inputs: payload = global input index, so the
+        # output can be traced back to the exact input permutation.
+        for rank, keys in enumerate(parts):
+            payloads = np.arange(rank * n, rank * n + n, dtype=np.uint64)
+            make_records(keys, payloads).tofile(
+                os.path.join(spill, f"input_{rank}.dat")
+            )
+        job = NativeJob(
+            config=_config_for(spec),
+            n_workers=spec.n_workers,
+            spill_dir=spill,
+            generate=False,
+            timeout=120.0,
+        )
+        sort = NativeSorter(job).run()
+
+        result.checksum = sort.input_checksum
+        if sort.input_checksum != want_checksum:
+            result.divergences.append(
+                f"native: streamed input checksum {sort.input_checksum:#x} "
+                f"!= oracle {want_checksum:#x}"
+            )
+        report = sort.validate()
+        if not report.ok:
+            result.divergences.extend(f"native validate: {i}" for i in report.issues)
+        result.divergences.extend(
+            _compare_to_oracle(sort.output_keys(), expect, "native")
+        )
+
+        # Payload integrity: the output must be a permutation of the
+        # input, pair-exact.
+        keys_in = np.concatenate(parts)
+        recs = [
+            np.fromfile(meta.path, dtype=NATIVE_DTYPE) for meta in sort.outputs
+        ]
+        payloads = np.concatenate([r["payload"] for r in recs]) if recs else []
+        if len(payloads) == total:
+            if not np.array_equal(np.sort(payloads), np.arange(total, dtype=np.uint64)):
+                result.divergences.append(
+                    "native: output payloads are not a permutation of the "
+                    "global input indices"
+                )
+            else:
+                out_keys = np.concatenate([r["key"] for r in recs])
+                if not np.array_equal(keys_in[payloads], out_keys):
+                    result.divergences.append(
+                        "native: some output record's (key, payload) pair "
+                        "does not round-trip to the input"
+                    )
+
+        # Conservation: every conserved phase moved exactly N*16 bytes
+        # through the block store, summed over the workers.
+        nbytes = total * 16
+        for phase, (check_r, check_w) in _CONSERVED_NATIVE.items():
+            got_r = sum(w.bytes_read.get(phase, 0) for w in sort.stats.workers)
+            got_w = sum(w.bytes_written.get(phase, 0) for w in sort.stats.workers)
+            if check_r and got_r != nbytes:
+                result.divergences.append(
+                    f"native conservation: {phase} read {got_r} bytes, "
+                    f"want exactly N*16 = {nbytes}"
+                )
+            if check_w and got_w != nbytes:
+                result.divergences.append(
+                    f"native conservation: {phase} wrote {got_w} bytes, "
+                    f"want exactly N*16 = {nbytes}"
+                )
+    finally:
+        if own_dir:
+            shutil.rmtree(spill, ignore_errors=True)
+    return result
+
+
+def run_sim_case(spec: CaseSpec) -> CaseResult:
+    """One case through the simulator, checked against the oracle.
+
+    Blocks are placed directly (bypassing ``generate_input``) so the sim
+    sorts the *identical* per-rank key arrays the native backend sorts —
+    including a ragged final block when N is not block-aligned.
+    """
+    from ..cluster.cluster import Cluster
+    from ..core.canonical import CanonicalMergeSort
+    from ..em.context import ExternalMemory
+    from ..workloads.validation import validate_output
+
+    parts = spec.input_parts()
+    expect = oracle.expected_outputs(parts)
+    config = _config_for(spec)
+    total = sum(len(p) for p in parts)
+    result = CaseResult(spec=spec, backend="sim", total_records=total)
+
+    cluster = Cluster(spec.n_workers)
+    em = ExternalMemory(cluster, config.block_bytes, config.block_elems)
+    be = spec.sizing_obj.block_records
+    inputs = []
+    for rank, keys in enumerate(parts):
+        store = em.store(rank)
+        blocks = []
+        for start in range(0, len(keys), be):
+            bid = store.allocate()
+            store.store_without_io(bid, keys[start : start + be])
+            blocks.append(bid)
+        inputs.append(blocks)
+
+    sort = CanonicalMergeSort(cluster, config).sort(em, inputs)
+    outputs = sort.output_keys(em)
+    result.checksum = oracle.multiset_checksum(
+        np.concatenate(outputs) if outputs else np.empty(0, dtype=np.uint64)
+    )
+    want_checksum = oracle.multiset_checksum(np.concatenate(parts))
+    if result.checksum != want_checksum:
+        result.divergences.append(
+            f"sim: output checksum {result.checksum:#x} != oracle "
+            f"{want_checksum:#x}"
+        )
+    report = validate_output(parts, outputs, balanced=True)
+    if not report.ok:
+        result.divergences.extend(f"sim validate: {i}" for i in report.issues)
+    result.divergences.extend(_compare_to_oracle(outputs, expect, "sim"))
+    return result
+
+
+def run_case(spec: CaseSpec, workdir: Optional[str] = None) -> List[CaseResult]:
+    """One case through every backend the spec names."""
+    results: List[CaseResult] = []
+    for backend in spec.backends:
+        if backend == "native":
+            results.append(run_native_case(spec, workdir=workdir))
+        else:
+            results.append(run_sim_case(spec))
+    # Cross-backend: identical checksums (both already byte-checked
+    # against the oracle; the checksum check catches a double failure).
+    sums = {r.backend: r.checksum for r in results}
+    if len(set(sums.values())) > 1:
+        results[0].divergences.append(
+            f"cross-backend checksum mismatch: "
+            + ", ".join(f"{b}={c:#x}" for b, c in sorted(sums.items()))
+        )
+    return results
+
+
+def run_specs(
+    specs: Sequence[CaseSpec],
+    workdir: Optional[str] = None,
+    progress=None,
+) -> List[CaseResult]:
+    """Run a spec list; returns the flat per-backend result list."""
+    out: List[CaseResult] = []
+    for i, spec in enumerate(specs):
+        if progress is not None:
+            progress(i, len(specs), spec)
+        out.extend(run_case(spec, workdir=workdir))
+    return out

@@ -1,0 +1,140 @@
+"""The reference oracle: what a correct canonical sort *must* produce.
+
+Ground truth is ``np.sort`` over the concatenated input plus the paper's
+canonical output specification — PE *i* gets exactly the elements of
+global ranks ``i·N/P .. (i+1)·N/P − 1`` (Section IV).  The oracle also
+owns the reusable invariant checkers the differential harness and the
+unit tests share:
+
+* exact splitter ranks: a splitter matrix must cut every run at
+  positions summing to exactly ``i·N/P`` — not ±1 (Section IV-A);
+* valsort-style order-independent checksums;
+* conservation: records in == records out, per phase and end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "canonical_share",
+    "canonical_targets",
+    "expected_outputs",
+    "multiset_checksum",
+    "splitter_rank_issues",
+    "partition_issues",
+]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def canonical_share(total: int, n_ranks: int, rank: int) -> int:
+    """Record count rank ``rank`` must hold in the canonical output."""
+    return (rank + 1) * total // n_ranks - rank * total // n_ranks
+
+
+def canonical_targets(total: int, n_ranks: int) -> List[int]:
+    """The exact global ranks ``i·N/P`` where each PE's output starts."""
+    return [rank * total // n_ranks for rank in range(n_ranks)]
+
+
+def expected_outputs(parts: Sequence[np.ndarray], n_ranks: int = None) -> List[np.ndarray]:
+    """The canonical per-rank outputs for per-rank inputs ``parts``.
+
+    ``n_ranks`` defaults to ``len(parts)`` (outputs on the same PEs the
+    input lived on, the usual configuration).
+    """
+    n_ranks = len(parts) if n_ranks is None else n_ranks
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if parts:
+        whole = np.sort(np.concatenate([np.asarray(p) for p in parts]), kind="stable")
+    else:
+        whole = np.empty(0, dtype=np.uint64)
+    total = len(whole)
+    return [
+        whole[rank * total // n_ranks : (rank + 1) * total // n_ranks]
+        for rank in range(n_ranks)
+    ]
+
+
+def multiset_checksum(keys: np.ndarray) -> int:
+    """Order-independent valsort-style checksum (sum of keys mod 2^64)."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    if len(keys) == 0:
+        return 0
+    with np.errstate(over="ignore"):
+        return int(np.add.reduce(keys)) & _MASK
+
+
+def splitter_rank_issues(
+    splits: Sequence[Sequence[int]], lengths: Sequence[int], n_ranks: int
+) -> List[str]:
+    """Check a (P+1) × R splitter matrix for *exact* iN/P ranks.
+
+    ``splits[i][r]`` is where rank i's output starts in run r; row P must
+    hold the run lengths.  Returns human-readable violations (empty ==
+    the invariant holds).  The paper's correctness argument needs the
+    ranks exact — off-by-one splitters silently unbalance the output.
+    """
+    issues: List[str] = []
+    total = sum(int(n) for n in lengths)
+    if len(splits) != n_ranks + 1:
+        return [f"splitter matrix has {len(splits)} rows, want P+1 = {n_ranks + 1}"]
+    for i, row in enumerate(splits):
+        if len(row) != len(lengths):
+            issues.append(f"row {i} has {len(row)} runs, want {len(lengths)}")
+            continue
+        want = total if i == n_ranks else i * total // n_ranks
+        got = sum(int(p) for p in row)
+        if got != want:
+            issues.append(
+                f"row {i}: splitter ranks sum to {got}, exact target is "
+                f"{want} (i*N/P with N={total}, P={n_ranks})"
+            )
+        for r, pos in enumerate(row):
+            if not 0 <= int(pos) <= int(lengths[r]):
+                issues.append(f"row {i} run {r}: position {pos} outside 0..{lengths[r]}")
+        if i > 0:
+            for r in range(len(lengths)):
+                if int(row[r]) < int(splits[i - 1][r]):
+                    issues.append(
+                        f"run {r}: row {i} position {row[r]} behind row "
+                        f"{i - 1} position {splits[i - 1][r]}"
+                    )
+    return issues
+
+
+def partition_issues(
+    seqs: Sequence[np.ndarray], positions: Sequence[int], rank: int
+) -> List[str]:
+    """Check one selection result for exactness and the partition property.
+
+    ``sum(positions)`` must equal ``rank`` *exactly*, and every element
+    left of a splitter must precede every element right of one under the
+    (key, sequence, position) order.
+    """
+    issues: List[str] = []
+    got = sum(int(p) for p in positions)
+    if got != rank:
+        issues.append(f"positions sum to {got}, exact rank is {rank}")
+    left_max = None
+    right_min = None
+    for j, seq in enumerate(seqs):
+        p = int(positions[j])
+        if not 0 <= p <= len(seq):
+            issues.append(f"sequence {j}: position {p} outside 0..{len(seq)}")
+            continue
+        if p > 0:
+            cand = (int(seq[p - 1]), j, p - 1)
+            left_max = cand if left_max is None or cand > left_max else left_max
+        if p < len(seq):
+            cand = (int(seq[p]), j, p)
+            right_min = cand if right_min is None or cand < right_min else right_min
+    if left_max is not None and right_min is not None and left_max >= right_min:
+        issues.append(
+            f"partition property violated: left max {left_max} >= right min {right_min}"
+        )
+    return issues

@@ -1,0 +1,212 @@
+"""Property-based conformance search with shrink-on-failure.
+
+A lightweight, dependency-free engine in the QuickCheck mold: draw
+random-but-seeded :class:`~repro.testing.differential.CaseSpec` values,
+run each through the differential harness, and on the first failure
+*shrink* — greedily simplify the spec while it keeps failing — so the
+reported reproducer is (locally) minimal.  Every result carries the
+exact replay command::
+
+    python -m repro conformance --replay <token>
+
+``hypothesis`` is deliberately **not** required; the nightly tests use
+it opportunistically (``pytest.importorskip``) for extra generator
+diversity, but this module is what the CLI and CI depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from . import corpus
+from .differential import CaseResult, CaseSpec, run_case
+
+__all__ = ["PropertyFailure", "SearchReport", "draw_spec", "shrink", "search"]
+
+#: Bounds of the random sizing draw (records).  Small enough that one
+#: case runs in well under a second, large enough to cross block, run
+#: and memory boundaries.
+_N_RANGE = (1, 900)
+_BLOCKS = (4, 8, 16, 32, 64)
+_MEMORIES = (96, 192, 384, 768)
+_WORKERS = (1, 2, 3, 4, 7)
+
+
+def draw_spec(rng: random.Random, backends: Tuple[str, ...] = ("native", "sim")) -> CaseSpec:
+    """One random, feasible, fully pinned case."""
+    while True:
+        n = rng.randint(*_N_RANGE)
+        b = rng.choice(_BLOCKS)
+        m = rng.choice(_MEMORIES)
+        sizing = corpus.Sizing(corpus.ad_hoc_name(n, b, m), n, b, m)
+        if not corpus.sizing_feasible(sizing):
+            continue
+        entry = rng.choice(sorted(corpus.ENTRIES))
+        return CaseSpec(
+            entry=entry,
+            sizing=sizing.name,
+            n_workers=rng.choice(_WORKERS),
+            seed=rng.randint(0, 2**31 - 1),
+            randomize=(rng.random() < 0.75 or not corpus.ENTRIES[entry].fig6_mode),
+            selection=rng.choice(("sampled", "sampled", "basic", "bisect")),
+            backends=backends,
+        )
+
+
+@dataclass
+class PropertyFailure:
+    """A failing case, minimized, with its replay command."""
+
+    original: CaseSpec
+    minimized: CaseSpec
+    divergences: List[str]
+    shrink_steps: int
+
+    @property
+    def replay(self) -> str:
+        return self.minimized.replay_command()
+
+    def describe(self) -> dict:
+        return {
+            "original": self.original.to_token(),
+            "minimized": self.minimized.to_token(),
+            "shrink_steps": self.shrink_steps,
+            "divergences": list(self.divergences),
+            "replay": self.replay,
+        }
+
+
+@dataclass
+class SearchReport:
+    """Outcome of one property search."""
+
+    seed: int
+    cases_run: int
+    failures: List[PropertyFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _fails(spec: CaseSpec) -> Optional[List[str]]:
+    """The divergence list if ``spec`` fails, else None.
+
+    A backend crash (not just a divergence) also counts as a failure —
+    the shrinker should minimize crashes too, not abort on them.
+    """
+    try:
+        results = run_case(spec)
+    except Exception as exc:  # noqa: BLE001 - any backend error is a finding
+        return [f"{type(exc).__name__}: {exc}"]
+    issues = [d for r in results for d in r.divergences]
+    return issues or None
+
+
+def _candidates(spec: CaseSpec) -> List[CaseSpec]:
+    """Simpler variants of ``spec``, most aggressive first.
+
+    Shrink order: fewer workers, then fewer records (halving), then a
+    coarser sizing (larger blocks relative to N are simpler to eyeball),
+    then the boring entry/selection/randomize defaults.
+    """
+    out: List[CaseSpec] = []
+    sz = spec.sizing_obj
+
+    def with_sizing(n: int, b: int, m: int) -> Optional[CaseSpec]:
+        cand = corpus.Sizing(corpus.ad_hoc_name(n, b, m), n, b, m)
+        if not corpus.sizing_feasible(cand):
+            return None
+        return replace(spec, sizing=cand.name)
+
+    if spec.n_workers > 1:
+        out.append(replace(spec, n_workers=1))
+        out.append(replace(spec, n_workers=spec.n_workers // 2))
+        out.append(replace(spec, n_workers=spec.n_workers - 1))
+    # Candidate record counts n - d for d = n-1, (n-1)/2, ..., 1: the
+    # greedy loop then converges in O(log n) accepted steps instead of
+    # decrementing one record at a time.
+    delta = sz.n_per_rank - 1
+    while delta >= 1:
+        cand = with_sizing(
+            sz.n_per_rank - delta, sz.block_records, sz.memory_records
+        )
+        if cand is not None:
+            out.append(cand)
+        delta //= 2
+    if spec.entry != "uniform":
+        out.append(replace(spec, entry="uniform"))
+    if spec.selection != "sampled":
+        out.append(replace(spec, selection="sampled"))
+    if not spec.randomize:
+        out.append(replace(spec, randomize=True))
+    # Dedup, preserving order.
+    seen = set()
+    uniq = []
+    for cand in out:
+        token = cand.to_token()
+        if token not in seen and token != spec.to_token():
+            seen.add(token)
+            uniq.append(cand)
+    return uniq
+
+
+def shrink(
+    spec: CaseSpec,
+    fails: Callable[[CaseSpec], Optional[List[str]]] = _fails,
+    max_steps: int = 64,
+) -> Tuple[CaseSpec, List[str], int]:
+    """Greedy shrink: keep the first simpler variant that still fails.
+
+    Deterministic — the candidate order is fixed — so a given failure
+    always minimizes to the same reproducer.  Returns the minimized
+    spec, its divergences, and the number of accepted shrink steps.
+    """
+    issues = fails(spec)
+    if issues is None:
+        raise ValueError(f"shrink() called on a passing spec {spec.to_token()}")
+    steps = 0
+    while steps < max_steps:
+        for cand in _candidates(spec):
+            cand_issues = fails(cand)
+            if cand_issues is not None:
+                spec, issues = cand, cand_issues
+                steps += 1
+                break
+        else:
+            break
+    return spec, issues, steps
+
+
+def search(
+    n_cases: int = 25,
+    seed: int = 0,
+    backends: Tuple[str, ...] = ("native", "sim"),
+    stop_on_first: bool = True,
+    progress=None,
+) -> SearchReport:
+    """Run ``n_cases`` random differential cases; shrink any failure."""
+    rng = random.Random(seed)
+    report = SearchReport(seed=seed, cases_run=0)
+    for i in range(n_cases):
+        spec = draw_spec(rng, backends=backends)
+        if progress is not None:
+            progress(i, n_cases, spec)
+        report.cases_run += 1
+        issues = _fails(spec)
+        if issues is None:
+            continue
+        minimized, min_issues, steps = shrink(spec)
+        report.failures.append(
+            PropertyFailure(
+                original=spec,
+                minimized=minimized,
+                divergences=min_issues,
+                shrink_steps=steps,
+            )
+        )
+        if stop_on_first:
+            break
+    return report

@@ -1,0 +1,88 @@
+"""Nightly conformance tier: the full matrix, property search, hypothesis.
+
+Everything here is marked ``conformance`` and therefore excluded from
+the default (tier-1) pytest run — select it with::
+
+    pytest -m conformance
+
+(the explicit ``-m`` on the command line overrides the ``not
+conformance`` in ``addopts``; CI's nightly job does exactly this.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.testing import corpus, differential, oracle, properties
+
+pytestmark = pytest.mark.conformance
+
+FULL = differential.full_specs(seed=42)
+
+
+@pytest.mark.parametrize("spec", FULL, ids=[s.to_token() for s in FULL])
+def test_full_matrix_case(spec, tmp_path):
+    for result in differential.run_case(spec, workdir=str(tmp_path / "spill")):
+        assert result.ok, (
+            f"[{result.backend}] {spec.to_token()} diverged:\n  "
+            + "\n  ".join(result.divergences)
+            + f"\nreplay: {spec.replay_command()}"
+        )
+
+
+@pytest.mark.parametrize("selection", ["basic", "bisect"])
+def test_alternate_selection_strategies(selection, tmp_path):
+    spec = differential.CaseSpec(
+        "dup_tiny_domain", "base", n_workers=3, seed=9, selection=selection
+    )
+    for result in differential.run_case(spec, workdir=str(tmp_path / "s")):
+        assert result.ok, result.divergences
+
+
+def test_property_search_clean():
+    report = properties.search(n_cases=40, seed=20260805)
+    assert report.ok, "\n".join(
+        f"{f.minimized.to_token()}: {f.divergences} (replay: {f.replay})"
+        for f in report.failures
+    )
+    assert report.cases_run == 40
+
+
+def test_hypothesis_driven_differential(tmp_path):
+    """Opportunistic extra generator diversity when hypothesis is present."""
+    hyp = pytest.importorskip("hypothesis")
+    st = pytest.importorskip("hypothesis.strategies")
+
+    @hyp.settings(max_examples=10, deadline=None)
+    @hyp.given(
+        n=st.integers(8, 400),
+        seed=st.integers(0, 2**31 - 1),
+        entry=st.sampled_from(corpus.entry_names()),
+        workers=st.integers(1, 4),
+    )
+    def run(n, seed, entry, workers):
+        sizing = corpus.Sizing(corpus.ad_hoc_name(n, 8, 192), n, 8, 192)
+        hyp.assume(corpus.sizing_feasible(sizing))
+        spec = differential.CaseSpec(
+            entry, sizing.name, n_workers=workers, seed=seed
+        )
+        for result in differential.run_case(spec):
+            assert result.ok, (
+                "\n".join(result.divergences)
+                + f"\nreplay: {spec.replay_command()}"
+            )
+
+    run()
+
+
+def test_oracle_against_plain_numpy_on_random_splits():
+    rng = np.random.default_rng(0)
+    for _ in range(25):
+        n_ranks = int(rng.integers(1, 8))
+        parts = [
+            rng.integers(0, 1000, int(rng.integers(0, 200))).astype(np.uint64)
+            for _ in range(n_ranks)
+        ]
+        out = oracle.expected_outputs(parts)
+        whole = np.concatenate([p for p in parts]) if parts else np.empty(0)
+        assert np.array_equal(np.concatenate(out), np.sort(whole))
+        assert sum(len(o) for o in out) == len(whole)

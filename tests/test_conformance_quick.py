@@ -1,0 +1,89 @@
+"""Tier-1 conformance: the pruned differential matrix, every commit.
+
+Each case runs the identical corpus input through the native backend
+(real processes and files) and the simulator, asserting both reproduce
+the ``np.sort`` oracle byte-identically with exact canonical balance,
+matching valsort checksums and per-phase conservation.  The full
+entry × sizing matrix runs nightly (``pytest -m conformance``, see
+tests/test_conformance_full.py); this file must stay fast.
+"""
+
+import pytest
+
+from repro.testing import differential
+
+QUICK = differential.quick_specs(seed=42)
+
+
+@pytest.mark.parametrize(
+    "spec", QUICK, ids=[s.to_token() for s in QUICK]
+)
+def test_quick_matrix_case(spec, tmp_path):
+    for result in differential.run_case(spec, workdir=str(tmp_path / "spill")):
+        assert result.ok, (
+            f"[{result.backend}] {spec.to_token()} diverged:\n  "
+            + "\n  ".join(result.divergences)
+            + f"\nreplay: {spec.replay_command()}"
+        )
+
+
+def test_quick_matrix_is_tier1_sized():
+    # The matrix the CLI and this file share: <= 8 corpus pairs, plus
+    # fig6 (no-randomization) variants of the flagged entries only.
+    from repro.testing import corpus
+
+    assert len(corpus.quick_matrix()) <= 8
+    assert len(QUICK) <= 12
+
+
+def test_backends_agree_on_checksum(tmp_path):
+    spec = differential.CaseSpec("gensort", "base", n_workers=2, seed=7)
+    native, sim = differential.run_case(spec, workdir=str(tmp_path / "s"))
+    assert native.ok and sim.ok
+    assert native.checksum == sim.checksum
+
+
+def test_single_worker_degenerate_case(tmp_path):
+    spec = differential.CaseSpec("dup_all", "single_run", n_workers=1, seed=3)
+    for result in differential.run_case(spec, workdir=str(tmp_path / "s")):
+        assert result.ok, result.divergences
+
+
+def test_conformance_cli_quick_exits_zero(capsys):
+    from repro.__main__ import main
+
+    assert main(["conformance", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "0 divergences" in out
+
+
+def test_conformance_cli_replay_round_trips(capsys):
+    from repro.__main__ import main
+
+    token = "uniform:n64b8m96:p2:s5:rand:sampled"
+    assert main(["conformance", "--replay", token]) == 0
+
+
+def test_divergence_is_actually_detected(tmp_path, monkeypatch):
+    """The harness must not vacuously pass: corrupt one output record
+    behind the native backend's back and the case must diverge."""
+    import numpy as np
+
+    from repro.native.driver import NativeSortResult
+
+    real_keys = NativeSortResult.output_keys
+
+    def corrupted(self):
+        out = real_keys(self)
+        out[0] = out[0].copy()
+        if len(out[0]):
+            out[0][0] += np.uint64(1)
+        return out
+
+    monkeypatch.setattr(NativeSortResult, "output_keys", corrupted)
+    spec = differential.CaseSpec(
+        "uniform", "base", n_workers=2, seed=11, backends=("native",)
+    )
+    (result,) = differential.run_case(spec, workdir=str(tmp_path / "s"))
+    assert not result.ok
+    assert any("diverges from np.sort oracle" in d for d in result.divergences)

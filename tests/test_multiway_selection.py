@@ -212,3 +212,72 @@ def test_fixup_swaps_reported():
     seqs = [np.sort(rng.integers(0, 1000, 50)).astype(KEY_DTYPE) for _ in range(4)]
     res = multiway_select(seqs, 100)
     assert res.fixup_swaps >= 0  # field exists and is non-negative
+
+
+# ------------------------- splitter exactness on the conformance corpus
+
+
+def corpus_runs(entry: str, n_runs: int, n_per_run: int, seed: int):
+    """Sorted runs built from a conformance-corpus key distribution —
+    the run shapes the selection phase actually faces."""
+    from repro.testing import corpus
+
+    return [
+        np.sort(corpus.generate(entry, n_per_run, r, n_runs, seed))
+        for r in range(n_runs)
+    ]
+
+
+WORST_CASES = ["dup_all", "staircase", "presorted", "zipf", "gensort_dup"]
+
+
+@pytest.mark.parametrize("entry", WORST_CASES)
+@pytest.mark.parametrize("n_workers", [1, 2, 3, 7])
+def test_splitter_ranks_exactly_iN_over_P(entry, n_workers):
+    """The paper's §IV-A invariant, not weakened to ±1: on every corpus
+    worst case the selected splitters hit global rank i·N/P *exactly*,
+    for every i and every run count."""
+    from repro.testing import oracle
+
+    runs = corpus_runs(entry, n_runs=4, n_per_run=97, seed=13)
+    total = sum(len(s) for s in runs)
+    splits = []
+    for i in range(n_workers + 1):
+        target = total if i == n_workers else i * total // n_workers
+        res = multiway_select(runs, target)
+        assert sum(res.positions) == target  # exact, not ±1
+        assert oracle.partition_issues(runs, res.positions, target) == []
+        splits.append(res.positions)
+    assert oracle.splitter_rank_issues(splits, [len(s) for s in runs], n_workers) == []
+
+
+@pytest.mark.parametrize("entry", WORST_CASES)
+@pytest.mark.parametrize("n_workers", [2, 3, 7])
+def test_bisect_splitters_match_step_halving_on_corpus(entry, n_workers):
+    runs = corpus_runs(entry, n_runs=3, n_per_run=64, seed=8)
+    total = sum(len(s) for s in runs)
+    for i in range(1, n_workers):
+        target = i * total // n_workers
+        assert (
+            multiway_select_bisect(runs, target).positions
+            == multiway_select(runs, target).positions
+            == exact_multiway_partition(runs, target)
+        )
+
+
+@pytest.mark.parametrize("entry", ["dup_all", "staircase"])
+def test_sampled_warm_start_exact_on_duplicate_plateaus(entry):
+    """The warm start (Appendix B) must not cost exactness on inputs
+    where whole sample windows carry one repeated key."""
+    runs = corpus_runs(entry, n_runs=4, n_per_run=128, seed=3)
+    total = sum(len(s) for s in runs)
+    for n_workers in (2, 3, 7):
+        for i in range(1, n_workers):
+            target = i * total // n_workers
+            samples = [s[::16] for s in runs]
+            pos0, step0 = sample_initial_positions(
+                samples, 16, target, [len(s) for s in runs]
+            )
+            res = multiway_select(runs, target, init_positions=pos0, init_step=step0)
+            assert sum(res.positions) == target
+            assert res.positions == exact_multiway_partition(runs, target)

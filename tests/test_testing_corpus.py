@@ -1,0 +1,225 @@
+"""Tests for the conformance subsystem's corpus, oracle and shrinker."""
+
+import numpy as np
+import pytest
+
+from repro.testing import corpus, oracle
+from repro.testing.differential import CaseSpec
+from repro.testing import properties
+
+
+# ---------------------------------------------------------------- the corpus
+
+
+@pytest.mark.parametrize("name", corpus.entry_names())
+def test_corpus_entries_deterministic(name):
+    a = corpus.generate(name, 200, rank=1, n_ranks=3, seed=9)
+    b = corpus.generate(name, 200, rank=1, n_ranks=3, seed=9)
+    assert a.dtype == np.uint64
+    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("name", corpus.entry_names())
+def test_corpus_entries_exact_count(name):
+    for n in (0, 1, 31, 257):
+        assert len(corpus.generate(name, n, 0, 2, seed=5)) == n
+
+
+def test_corpus_seed_changes_random_entries():
+    a = corpus.generate("uniform", 128, 0, 2, seed=1)
+    b = corpus.generate("uniform", 128, 0, 2, seed=2)
+    assert not np.array_equal(a, b)
+
+
+def test_dup_all_is_constant():
+    keys = corpus.generate("dup_all", 64, 0, 2, seed=0)
+    assert len(np.unique(keys)) == 1
+
+
+def test_presorted_is_globally_sorted():
+    parts = [corpus.generate("presorted", 100, r, 3, seed=4) for r in range(3)]
+    whole = np.concatenate(parts)
+    assert np.array_equal(whole, np.sort(whole))
+
+
+def test_reversed_is_globally_reverse_sorted():
+    parts = [corpus.generate("reversed", 100, r, 3, seed=4) for r in range(3)]
+    whole = np.concatenate(parts)
+    assert np.array_equal(whole[::-1], np.sort(whole))
+
+
+def test_staircase_is_locally_sorted_with_plateaus():
+    keys = corpus.generate("staircase", 96, 1, 2, seed=0)
+    assert np.array_equal(keys, np.sort(keys))
+    assert len(np.unique(keys)) == 3  # 96 records / 32-record plateaus
+
+
+def test_fig6_entries_are_flagged():
+    assert corpus.ENTRIES["fig6_local_sorted"].fig6_mode
+    assert corpus.ENTRIES["staircase"].fig6_mode
+    assert not corpus.ENTRIES["uniform"].fig6_mode
+
+
+def test_unknown_entry_rejected():
+    with pytest.raises(ValueError, match="unknown corpus entry"):
+        corpus.generate("quantum", 8, 0, 1, seed=0)
+
+
+# ------------------------------------------------------------------- sizings
+
+
+@pytest.mark.parametrize("name", sorted(corpus.SIZINGS))
+def test_registry_sizings_feasible_on_both_backends(name):
+    assert corpus.sizing_feasible(corpus.SIZINGS[name])
+
+
+def test_sizings_straddle_the_boundaries():
+    assert corpus.SIZINGS["m_minus_1"].n_per_rank == corpus.SIZINGS["m_plus_1"].n_per_rank - 2
+    base_b = corpus.SIZINGS["block_minus_1"].block_records
+    assert corpus.SIZINGS["block_minus_1"].n_per_rank % base_b == base_b - 1
+    assert corpus.SIZINGS["block_plus_1"].n_per_rank % base_b == 1
+
+
+def test_resolve_sizing_ad_hoc():
+    sz = corpus.resolve_sizing("n511b32m384")
+    assert (sz.n_per_rank, sz.block_records, sz.memory_records) == (511, 32, 384)
+    assert corpus.resolve_sizing("base") is corpus.SIZINGS["base"]
+    with pytest.raises(ValueError, match="unknown sizing"):
+        corpus.resolve_sizing("n511")
+
+
+def test_sizing_feasibility_rejects_pathologies():
+    assert not corpus.sizing_feasible(corpus.Sizing("x", 0, 32, 384))
+    assert not corpus.sizing_feasible(corpus.Sizing("x", 100, 1, 384))
+    # Way past the two-pass limit: tiny memory, huge input.
+    assert not corpus.sizing_feasible(corpus.Sizing("x", 10**6, 8, 96))
+
+
+def test_quick_matrix_is_pruned():
+    matrix = corpus.quick_matrix()
+    assert len(matrix) <= 8
+    assert all(e in corpus.ENTRIES and s in corpus.SIZINGS for e, s in matrix)
+
+
+def test_full_matrix_covers_everything():
+    matrix = corpus.full_matrix()
+    assert len(matrix) == len(corpus.ENTRIES) * len(corpus.SIZINGS)
+
+
+# ---------------------------------------------------------------- the oracle
+
+
+def test_oracle_slices_sum_to_whole():
+    parts = [corpus.generate("zipf", n, r, 3, seed=1) for r, n in enumerate((50, 61, 40))]
+    out = oracle.expected_outputs(parts)
+    assert [len(o) for o in out] == [
+        oracle.canonical_share(151, 3, r) for r in range(3)
+    ]
+    assert np.array_equal(np.concatenate(out), np.sort(np.concatenate(parts)))
+
+
+def test_oracle_empty_input():
+    out = oracle.expected_outputs([], n_ranks=2)
+    assert len(out) == 2 and all(len(o) == 0 for o in out)
+    assert oracle.multiset_checksum(np.empty(0, dtype=np.uint64)) == 0
+
+
+def test_multiset_checksum_order_independent_and_wraps():
+    keys = np.array([2**64 - 1, 5, 7], dtype=np.uint64)
+    assert oracle.multiset_checksum(keys) == oracle.multiset_checksum(keys[::-1])
+    assert oracle.multiset_checksum(keys) == (2**64 - 1 + 5 + 7) % 2**64
+
+
+def test_splitter_rank_issues_accepts_exact():
+    # Two runs of lengths 4 and 6; P = 2; exact targets 0, 5, 10.
+    splits = [[0, 0], [2, 3], [4, 6]]
+    assert oracle.splitter_rank_issues(splits, [4, 6], 2) == []
+
+
+def test_splitter_rank_issues_rejects_off_by_one():
+    splits = [[0, 0], [2, 4], [4, 6]]  # row 1 sums to 6, target is 5
+    issues = oracle.splitter_rank_issues(splits, [4, 6], 2)
+    assert any("exact target" in i for i in issues)
+
+
+def test_splitter_rank_issues_rejects_regression():
+    splits = [[0, 0], [3, 2], [2, 6]]  # row 2 behind row 1 in run 0
+    issues = oracle.splitter_rank_issues(splits, [4, 6], 2)
+    assert any("behind" in i for i in issues)
+
+
+def test_partition_issues_exactness():
+    seqs = [np.array([1, 2, 3], dtype=np.uint64), np.array([2, 4], dtype=np.uint64)]
+    assert oracle.partition_issues(seqs, [2, 1], 3) == []
+    assert any("exact rank" in i for i in oracle.partition_issues(seqs, [2, 0], 3))
+    bad = oracle.partition_issues(seqs, [1, 2], 3)  # left max 4 > right min 2
+    assert any("partition property" in i for i in bad)
+
+
+# ------------------------------------------------------------- replay tokens
+
+
+def test_case_token_round_trip():
+    spec = CaseSpec("staircase", "m_plus_1", n_workers=7, seed=123,
+                    randomize=False, selection="bisect", backends=("sim",))
+    assert CaseSpec.from_token(spec.to_token()) == spec
+    assert "--replay" in spec.replay_command()
+
+
+def test_case_token_ad_hoc_sizing():
+    spec = CaseSpec("uniform", "n77b8m96", n_workers=1)
+    back = CaseSpec.from_token(spec.to_token())
+    assert back.sizing_obj.n_per_rank == 77
+
+
+def test_bad_tokens_rejected():
+    with pytest.raises(ValueError):
+        CaseSpec.from_token("uniform:base")
+    with pytest.raises(ValueError):
+        CaseSpec.from_token("uniform:base:x2:s1:rand:sampled")
+    with pytest.raises(ValueError):
+        CaseSpec("uniform", "base", backends=("gpu",))
+
+
+# ------------------------------------------------------------- the shrinker
+
+
+def _synthetic_fails(spec):
+    sz = spec.sizing_obj
+    if sz.n_per_rank >= 50 and spec.n_workers >= 2:
+        return ["synthetic failure"]
+    return None
+
+
+def test_shrinker_reaches_minimal_reproducer():
+    big = CaseSpec("zipf", "n700b16m384", n_workers=7, selection="bisect")
+    mini, issues, steps = properties.shrink(big, fails=_synthetic_fails)
+    assert mini.sizing_obj.n_per_rank == 50
+    assert mini.n_workers == 2
+    assert mini.entry == "uniform" and mini.selection == "sampled"
+    assert issues == ["synthetic failure"]
+    assert steps <= 20  # logarithmic, not linear, in N
+
+
+def test_shrinker_is_deterministic():
+    big = CaseSpec("gensort_dup", "n600b8m192", n_workers=4)
+    a = properties.shrink(big, fails=_synthetic_fails)[0]
+    b = properties.shrink(big, fails=_synthetic_fails)[0]
+    assert a == b
+
+
+def test_shrinker_rejects_passing_spec():
+    with pytest.raises(ValueError, match="passing spec"):
+        properties.shrink(
+            CaseSpec("uniform", "n10b8m96", n_workers=1), fails=_synthetic_fails
+        )
+
+
+def test_draw_spec_feasible_and_seeded():
+    import random
+
+    specs_a = [properties.draw_spec(random.Random(3)) for _ in range(10)]
+    specs_b = [properties.draw_spec(random.Random(3)) for _ in range(10)]
+    assert specs_a == specs_b
+    for spec in specs_a:
+        assert corpus.sizing_feasible(spec.sizing_obj)

@@ -11,6 +11,7 @@ from repro.workloads import (
     input_keys,
     validate_output,
 )
+from repro.testing import corpus as conformance_corpus
 from tests.helpers import small_config
 
 
@@ -155,3 +156,82 @@ def test_validator_raise_if_failed():
 
 def test_validator_empty_everything():
     assert validate_output([], []).ok
+
+
+# ------------------------------------- agreement with the differential oracle
+
+
+@pytest.mark.parametrize("name", conformance_corpus.entry_names())
+def test_valsort_checksum_agrees_with_oracle_per_corpus_entry(name):
+    """The validator's valsort checksum and the differential oracle's
+    multiset checksum are computed independently; they must agree on
+    every corpus entry — including the all-duplicate ones."""
+    from repro.testing import corpus, oracle
+
+    parts = [corpus.generate(name, 120, r, 3, seed=11) for r in range(3)]
+    expected = oracle.expected_outputs(parts)
+    report = validate_output(parts, expected, balanced=True)
+    assert report.ok, report.issues
+    assert report.checksum == oracle.multiset_checksum(np.concatenate(parts))
+
+
+def test_valsort_checksum_agrees_with_oracle_on_empty_input():
+    from repro.testing import oracle
+
+    report = validate_output([], [])
+    assert report.ok
+    assert report.checksum == oracle.multiset_checksum(np.empty(0, np.uint64)) == 0
+
+
+def test_validator_rejects_oracle_slices_shifted_by_one():
+    """Rotating one key across a rank boundary must trip the balanced
+    (exact iN/P) check even though order and multiset stay intact."""
+    from repro.testing import corpus, oracle
+
+    parts = [corpus.generate("uniform", 50, r, 2, seed=2) for r in range(2)]
+    a, b = oracle.expected_outputs(parts)
+    shifted = [a[:-1], np.concatenate([a[-1:], b])]
+    report = validate_output(parts, shifted, balanced=True)
+    assert any("canonical share" in i for i in report.issues)
+
+
+# ----------------------------------------------------- gensort round-trips
+
+
+def test_gensort_record_checksum_matches_oracle_multiset():
+    from repro.testing import oracle
+    from repro.workloads.gensort import record_checksum, record_keys
+
+    for start, count, seed in [(0, 257, 0), (1000, 64, 9), (5, 0, 3)]:
+        keys = record_keys(start, count, seed=seed)
+        assert record_checksum(start, count, seed=seed) == \
+            oracle.multiset_checksum(keys)
+
+
+def test_gensort_skip_ahead_round_trip():
+    """Generating a range in pieces equals generating it whole, so the
+    per-worker generation of the native backend is exact."""
+    from repro.workloads.gensort import record_keys
+
+    whole = record_keys(0, 300, seed=4)
+    pieces = np.concatenate([record_keys(s, 100, seed=4) for s in (0, 100, 200)])
+    assert np.array_equal(whole, pieces)
+    whole_skew = record_keys(0, 300, seed=4, skew=True)
+    pieces_skew = np.concatenate(
+        [record_keys(s, 100, seed=4, skew=True) for s in (0, 100, 200)]
+    )
+    assert np.array_equal(whole_skew, pieces_skew)
+
+
+def test_gensort_corpus_entries_round_trip_through_validator():
+    """Sorting the gensort corpus entries (uniform and duplicate-heavy)
+    and validating against the generated input closes the loop the
+    differential harness relies on."""
+    from repro.testing import corpus, oracle
+
+    for name in ("gensort", "gensort_dup"):
+        parts = [corpus.generate(name, 90, r, 2, seed=5) for r in range(2)]
+        out = oracle.expected_outputs(parts)
+        report = validate_output(parts, out, balanced=True)
+        assert report.ok, (name, report.issues)
+        report.raise_if_failed()
