@@ -124,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0,
         help="native per-message receive timeout, seconds",
     )
+    parser.add_argument(
+        "--prefetch-blocks", type=int, default=0, metavar="W",
+        help="native read-ahead budget in blocks (0 = synchronous reads); "
+        "fetches follow the paper's optimal prefetch schedule",
+    )
+    parser.add_argument(
+        "--write-behind", type=int, default=0, metavar="BLOCKS",
+        help="native write-behind budget in blocks (0 = synchronous writes)",
+    )
     return parser
 
 
@@ -253,6 +262,8 @@ def run_native(args, config: SortConfig) -> int:
             spill_dir=args.spill_dir,
             skew=(args.workload == "skewed"),
             timeout=args.timeout,
+            prefetch_blocks=args.prefetch_blocks,
+            write_behind_blocks=args.write_behind,
         )
     except ConfigError as exc:
         print(f"config error: {exc}", file=sys.stderr)
@@ -277,6 +288,8 @@ def run_native(args, config: SortConfig) -> int:
             "wall": p["wall_max"],
             "io_bytes": p["bytes"],
             "throughput_mb_s": p["throughput_mb_s"],
+            "stall_s": p["stall_s"],
+            "overlap_ratio": p["overlap_ratio"],
         }
         for phase, p in report["phases"].items()
     }

@@ -63,11 +63,13 @@ def optimal_prefetch_schedule(
     n = len(disk_ids)
     if n_buffers < 1:
         raise ValueError(f"need at least one prefetch buffer, got {n_buffers}")
+    if n == 0:
+        return []
+    if n_disks < 1:
+        raise ValueError(f"need at least one disk, got {n_disks}")
     for d in disk_ids:
         if not 0 <= d < n_disks:
             raise ValueError(f"disk id {d} outside 0..{n_disks - 1}")
-    if n == 0:
-        return []
 
     # Simulate buffered writing of the reversed sequence.
     queues: List[deque] = [deque() for _ in range(n_disks)]

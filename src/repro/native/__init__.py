@@ -20,6 +20,7 @@ or ``python -m repro --backend native --spill-dir /tmp/sort``.
 
 from .driver import NativeSortError, NativeSortResult, NativeSorter, native_sort
 from .job import NativeJob
+from .pipeline import Prefetcher, WriteBehind
 from .records import NATIVE_DTYPE, RECORD_BYTES
 from .stats import NativeStats, WorkerStats
 
@@ -30,6 +31,8 @@ __all__ = [
     "NativeSortError",
     "NativeStats",
     "WorkerStats",
+    "Prefetcher",
+    "WriteBehind",
     "native_sort",
     "NATIVE_DTYPE",
     "RECORD_BYTES",

@@ -21,6 +21,8 @@ records.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
@@ -48,6 +50,23 @@ class FileBlockStore:
         self.bytes_written: Dict[str, int] = {}
         self.reads: Dict[str, int] = {}
         self.writes: Dict[str, int] = {}
+        # The pipelined I/O layer (native.pipeline) issues reads and
+        # writes from background threads; the counters stay exact under
+        # this lock, and only *main-thread* I/O time counts as stall.
+        self._lock = threading.Lock()
+        self._stats = None
+        self._main_thread: Optional[int] = None
+
+    def attach_stats(self, stats) -> None:
+        """Route I/O wait times into ``stats`` (a ``WorkerStats``).
+
+        Records the calling thread as the worker's main thread: store
+        operations issued from it are charged as per-phase I/O stall;
+        operations from background pipeline threads are not — their
+        duration is exactly the overlap the pipeline buys.
+        """
+        self._stats = stats
+        self._main_thread = threading.get_ident()
 
     # -- paths ----------------------------------------------------------------
 
@@ -70,8 +89,9 @@ class FileBlockStore:
     # -- accounting -----------------------------------------------------------
 
     def _charge(self, table: Dict[str, int], ops: Dict[str, int], tag: str, n: int) -> None:
-        table[tag] = table.get(tag, 0) + n
-        ops[tag] = ops.get(tag, 0) + 1
+        with self._lock:
+            table[tag] = table.get(tag, 0) + n
+            ops[tag] = ops.get(tag, 0) + 1
 
     def charge_read(self, tag: str, nbytes: int) -> None:
         self._charge(self.bytes_read, self.reads, tag, nbytes)
@@ -79,11 +99,21 @@ class FileBlockStore:
     def charge_write(self, tag: str, nbytes: int) -> None:
         self._charge(self.bytes_written, self.writes, tag, nbytes)
 
+    def _charge_stall(self, tag: str, seconds: float) -> None:
+        """Count ``seconds`` as phase stall iff on the main thread."""
+        if (
+            self._stats is not None
+            and threading.get_ident() == self._main_thread
+        ):
+            self._stats.add_stall(tag, seconds)
+
     # -- record I/O -----------------------------------------------------------
 
     def read_range(self, path: str, start: int, count: int, tag: str) -> np.ndarray:
         """Read ``count`` records at record offset ``start``."""
+        t0 = time.monotonic()
         out = read_records(path, start, count)
+        self._charge_stall(tag, time.monotonic() - t0)
         self.charge_read(tag, out.nbytes)
         return out
 
@@ -106,31 +136,37 @@ class FileBlockStore:
 
     def write_file(self, path: str, records: np.ndarray, tag: str) -> None:
         """Write a whole record array with ``tofile`` (atomic per call)."""
+        t0 = time.monotonic()
         with open(path, "wb") as handle:
             clip = self._write_gate(handle, path, records.nbytes)
             if clip is not None:
                 handle.write(records.tobytes()[:clip])
                 raise self.chaos.enospc_error(path)
             records.tofile(handle)
+        self._charge_stall(tag, time.monotonic() - t0)
         self.charge_write(tag, records.nbytes)
 
     def append_records(self, handle, records: np.ndarray, tag: str) -> None:
         """Append records to an open binary file handle."""
+        t0 = time.monotonic()
         clip = self._write_gate(handle, getattr(handle, "name", "?"), records.nbytes)
         if clip is not None:
             handle.write(records.tobytes()[:clip])
             raise self.chaos.enospc_error(getattr(handle, "name", "?"))
         records.tofile(handle)
+        self._charge_stall(tag, time.monotonic() - t0)
         self.charge_write(tag, records.nbytes)
 
     def write_at(self, handle, record_offset: int, payload: bytes, tag: str) -> None:
         """Place a raw record chunk at a known record offset (phase 3)."""
+        t0 = time.monotonic()
         handle.seek(record_offset * RECORD_BYTES)
         clip = self._write_gate(handle, getattr(handle, "name", "?"), len(payload))
         if clip is not None:
             handle.write(payload[:clip])
             raise self.chaos.enospc_error(getattr(handle, "name", "?"))
         handle.write(payload)
+        self._charge_stall(tag, time.monotonic() - t0)
         self.charge_write(tag, len(payload))
 
     def preallocate(self, path: str, n_records: int) -> None:
@@ -139,6 +175,13 @@ class FileBlockStore:
             handle.truncate(n_records * RECORD_BYTES)
 
     def remove(self, path: str) -> None:
+        """Remove a spill file; **idempotent** by contract.
+
+        Phase teardown calls this unconditionally on every piece/segment
+        path, and a rerun after a mid-phase crash (e.g. a chaos kill)
+        may find some already gone — a missing file is success, not an
+        error.  Covered by the rerun-after-kill regression test.
+        """
         try:
             os.remove(path)
         except FileNotFoundError:

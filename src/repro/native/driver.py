@@ -326,13 +326,22 @@ def native_sort(
     spill_dir: str,
     skew: bool = False,
     timeout: float = 300.0,
+    prefetch_blocks: int = 0,
+    write_behind_blocks: int = 0,
 ) -> NativeSortResult:
-    """Convenience one-call native sort (generate, sort, return result)."""
+    """Convenience one-call native sort (generate, sort, return result).
+
+    ``prefetch_blocks`` / ``write_behind_blocks`` enable the pipelined
+    I/O layer (:mod:`repro.native.pipeline`); both default to 0, the
+    synchronous path.
+    """
     job = NativeJob(
         config=config,
         n_workers=n_workers,
         spill_dir=spill_dir,
         skew=skew,
         timeout=timeout,
+        prefetch_blocks=prefetch_blocks,
+        write_behind_blocks=write_behind_blocks,
     )
     return NativeSorter(job).run()

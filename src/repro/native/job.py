@@ -56,6 +56,18 @@ class NativeJob:
     generate: bool = True
     #: Per-message receive timeout for the pipe mesh.
     timeout: float = 300.0
+    #: Read-ahead budget W in blocks (0 = synchronous reads).  When > 0,
+    #: the merge and all-to-all phases fetch blocks on background threads
+    #: in the order of the paper's optimal prefetch schedule (Appendix A),
+    #: keeping at most W fetched-but-unconsumed blocks.  These buffers
+    #: are *additional* to M (the paper folds its prefetch pool into M;
+    #: we keep M's meaning from PR 1 and account the pool separately).
+    prefetch_blocks: int = 0
+    #: Write-behind budget in blocks (0 = synchronous writes).  When > 0,
+    #: spill writes of run formation, all-to-all and the merge are queued
+    #: to one background writer thread per phase, parking at most this
+    #: many blocks' worth of record bytes in user space.
+    write_behind_blocks: int = 0
     #: Optional fault-injection spec (see :mod:`repro.testing.chaos`).
     #: Duck-typed so the native backend never imports the testing
     #: subsystem: anything with ``at_point`` / ``on_recv_poll`` /
@@ -74,6 +86,14 @@ class NativeJob:
             raise ConfigError("data_per_node_bytes holds no whole record")
         if self.config.selection not in ("sampled", "basic", "bisect"):
             raise ConfigError(f"unknown selection strategy {self.config.selection!r}")
+        if self.prefetch_blocks < 0:
+            raise ConfigError(
+                f"prefetch_blocks must be >= 0, got {self.prefetch_blocks}"
+            )
+        if self.write_behind_blocks < 0:
+            raise ConfigError(
+                f"write_behind_blocks must be >= 0, got {self.write_behind_blocks}"
+            )
         merge_working = (self.n_runs * 2 + 4) * self.block_records * RECORD_BYTES
         if merge_working > self.memory_bytes + self.chunk_records * RECORD_BYTES:
             raise ConfigError(
@@ -138,6 +158,16 @@ class NativeJob:
         )
         return int(min(self.config.selection_cache_blocks, by_memory))
 
+    @property
+    def pipelined(self) -> bool:
+        """Whether any part of the pipelined I/O layer is enabled."""
+        return self.prefetch_blocks > 0 or self.write_behind_blocks > 0
+
+    @property
+    def write_behind_bytes(self) -> int:
+        """Write-behind byte budget (0 when write-behind is off)."""
+        return self.write_behind_blocks * self.block_records * RECORD_BYTES
+
     def worker_start(self, rank: int) -> int:
         """Global index of worker ``rank``'s first input record."""
         return rank * self.records_per_worker
@@ -161,5 +191,7 @@ class NativeJob:
             "randomize": self.config.randomize,
             "seed": self.config.seed,
             "skew": self.skew,
+            "prefetch_blocks": self.prefetch_blocks,
+            "write_behind_blocks": self.write_behind_blocks,
             "chaos": self.chaos is not None,
         }

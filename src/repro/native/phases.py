@@ -26,6 +26,7 @@ phase 3, and the canonical balanced output after phase 4.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -40,6 +41,13 @@ from ..core.selection_phase import _run_samples, warm_start_from_samples
 from .blockstore import FileBlockStore, SequentialReader
 from .comm import PipeComm
 from .job import NativeJob
+from .pipeline import (
+    Prefetcher,
+    PrefetchReader,
+    WriteBehind,
+    plan_fetch_order,
+    sequential_fetch_order,
+)
 from .records import (
     NATIVE_DTYPE,
     generate_records,
@@ -264,43 +272,69 @@ def _distributed_sort_run(
 
 
 def run_formation(ctx: NativeContext) -> List[NativeRun]:
-    """Phase 1: form R globally sorted runs, one local piece file each."""
+    """Phase 1: form R globally sorted runs, one local piece file each.
+
+    With write-behind enabled, the spill of each finished piece file is
+    handed to a background writer so the next chunk's read + sort overlap
+    the previous piece's write — the paper's overlapping of run formation
+    I/O with internal work.  The buffer is flushed (and any deferred
+    write error raised here) *before* the piece metadata is allgathered:
+    peers read the piece files during selection, so a piece must be
+    durable before its existence is announced.
+    """
     job, comm, store = ctx.job, ctx.comm, ctx.store
     chunks = _chunk_schedule(ctx)
     n_runs = comm.allreduce(len(chunks), max)
     input_path = store.input_path()
 
+    wb: Optional[WriteBehind] = None
+    if job.write_behind_blocks > 0:
+        wb = WriteBehind(
+            store, TAG_RF, max(job.write_behind_bytes, 1), stats=ctx.stats
+        )
     metas: List[PieceMeta] = []
-    for r in range(n_runs):
-        block_ids = chunks[r] if r < len(chunks) else []
-        parts = [
-            store.read_block(input_path, b, TAG_RF) for b in block_ids
-        ]
-        records = (
-            np.concatenate(parts)
-            if len(parts) > 1
-            else (parts[0] if parts else np.empty(0, dtype=NATIVE_DTYPE))
-        )
-        del parts
-        ctx._add_checksum(records["key"])
-        ctx.stats.note_resident(2 * records.nbytes)
-        records = sort_records(records)
-
-        piece = _distributed_sort_run(ctx, records, run_id=r)
-        del records
-
-        store.write_file(store.piece_path(r), piece, TAG_RF)
-        sample = np.ascontiguousarray(piece["key"][:: job.sample_every])
-        metas.append(
-            PieceMeta(
-                run=r,
-                rank=ctx.rank,
-                n_records=len(piece),
-                sample_keys=sample,
-                sample_every=job.sample_every,
+    try:
+        for r in range(n_runs):
+            block_ids = chunks[r] if r < len(chunks) else []
+            parts = [
+                store.read_block(input_path, b, TAG_RF) for b in block_ids
+            ]
+            records = (
+                np.concatenate(parts)
+                if len(parts) > 1
+                else (parts[0] if parts else np.empty(0, dtype=NATIVE_DTYPE))
             )
-        )
-        del piece
+            del parts
+            ctx._add_checksum(records["key"])
+            ctx.stats.note_resident(
+                2 * records.nbytes + (wb.queued_bytes() if wb else 0)
+            )
+            records = sort_records(records)
+
+            piece = _distributed_sort_run(ctx, records, run_id=r)
+            del records
+
+            if wb is not None:
+                wb.write_file(store.piece_path(r), piece)
+            else:
+                store.write_file(store.piece_path(r), piece, TAG_RF)
+            sample = np.ascontiguousarray(piece["key"][:: job.sample_every])
+            metas.append(
+                PieceMeta(
+                    run=r,
+                    rank=ctx.rank,
+                    n_records=len(piece),
+                    sample_keys=sample,
+                    sample_every=job.sample_every,
+                )
+            )
+            del piece
+        if wb is not None:
+            wb.close()
+            wb = None
+    finally:
+        if wb is not None:  # error path: stop the thread, keep the exception
+            wb.close(raise_error=False)
     ctx.stats.add_counter("runs_formed", len(metas))
 
     all_metas: List[List[PieceMeta]] = comm.allgather(metas)
@@ -375,15 +409,29 @@ TAG_A2A = "all_to_all"
 
 def all_to_all(
     ctx: NativeContext, runs: List[NativeRun], splits: List[List[int]]
-) -> List[int]:
+) -> Tuple[List[int], List[List[int]]]:
     """Phase 3: the external all-to-all, disk → pipes → disk.
 
     Each worker streams its piece of every run in block-sized chunks to
     the destinations the splitters dictate, and assembles the chunks it
     receives into one *sorted* segment file per run (arrivals are written
     at precomputed record offsets, so no post-hoc sorting is needed —
-    the run's global order carries through).  Returns the per-run segment
-    lengths of this rank.
+    the run's global order carries through).
+
+    Returns ``(seg_len, block_first_keys)``: the per-run segment lengths
+    of this rank, and — for free, harvested from the arriving chunks at
+    the merge's block boundaries — the smallest key of every merge-phase
+    block of every segment.  That is exactly the prediction sequence the
+    merge's optimal prefetch schedule (Appendix A) needs, obtained with
+    zero extra I/O because every segment byte passes through this phase
+    anyway.
+
+    With ``job.prefetch_blocks > 0`` the piece reads feeding the send
+    stream run on background threads (the send order is the prediction
+    sequence of this phase, so :func:`sequential_fetch_order` applies);
+    with ``job.write_behind_blocks > 0`` the positioned segment writes
+    are deferred to a writer thread and flushed before the pieces are
+    deleted.
     """
     job, comm, store, rank = ctx.job, ctx.comm, ctx.store, ctx.rank
     n_workers = job.n_workers
@@ -416,33 +464,102 @@ def all_to_all(
         store.preallocate(path, seg_len[r])
         handles.append(open(path, "r+b"))
 
+    # The exact (run, piece-offset, count) read sequence of the send
+    # stream, precomputed so a prefetcher can run ahead of the pipes.
+    send_plan: List[Tuple[int, int, int, int]] = []  # (dest, run, start, count)
+    for r, run in enumerate(runs):
+        my_off = run.offsets[rank]
+        my_len = run.pieces[rank].n_records
+        for dest in range(n_workers):
+            lo = max(0, splits[dest][r] - my_off)
+            hi = min(my_len, splits[dest + 1][r] - my_off)
+            for s in range(lo, hi, block):
+                send_plan.append((dest, r, s, min(block, hi - s)))
+
+    prefetcher: Optional[Prefetcher] = None
+    if job.prefetch_blocks > 0 and send_plan:
+        requests = [
+            (store.piece_path(r), s, count) for _d, r, s, count in send_plan
+        ]
+        order = sequential_fetch_order(
+            [r for _d, r, _s, _c in send_plan], job.prefetch_blocks
+        )
+        prefetcher = Prefetcher(
+            store, requests, order, TAG_A2A, job.prefetch_blocks,
+            stats=ctx.stats,
+        )
+
+    wb: Optional[WriteBehind] = None
+    if job.write_behind_blocks > 0:
+        wb = WriteBehind(
+            store, TAG_A2A, max(job.write_behind_bytes, 1), stats=ctx.stats
+        )
+
+    # Chunk counter k within each (run, dest) stream, matching the
+    # receiver's offset arithmetic.
     def outgoing():
-        for r, run in enumerate(runs):
-            my_off = run.offsets[rank]
-            my_len = run.pieces[rank].n_records
-            piece_path = store.piece_path(r)
-            for dest in range(n_workers):
-                lo = max(0, splits[dest][r] - my_off)
-                hi = min(my_len, splits[dest + 1][r] - my_off)
-                for k, s in enumerate(range(lo, hi, block)):
-                    count = min(block, hi - s)
-                    chunk = store.read_range(piece_path, s, count, TAG_A2A)
-                    yield dest, ("a2a", r, k, chunk.tobytes())
+        k_of: Dict[Tuple[int, int], int] = {}
+        for idx, (dest, r, s, count) in enumerate(send_plan):
+            k = k_of.get((r, dest), 0)
+            k_of[(r, dest)] = k + 1
+            if prefetcher is not None:
+                chunk = prefetcher.get(idx)
+            else:
+                chunk = store.read_range(store.piece_path(r), s, count, TAG_A2A)
+            yield dest, ("a2a", r, k, chunk.tobytes())
+
+    # Harvest the merge's prediction sequence from the arriving bytes:
+    # each chunk lands at a known record offset of the segment, so every
+    # merge-block boundary it covers yields that block's first key.
+    first_keys: List[Dict[int, int]] = [dict() for _ in runs]
 
     def on_chunk(peer: int, payload: tuple) -> None:
         kind, r, k, buf = payload
         assert kind == "a2a"
         offset = seg_base[r][peer] + k * block
-        store.write_at(handles[r], offset, buf, TAG_A2A)
+        n_recs = len(buf) // 16
+        first_block = -(-offset // block)  # first block starting in the chunk
+        for b in range(first_block, (offset + n_recs + block - 1) // block):
+            pos = b * block
+            if pos < offset + n_recs:
+                first_keys[r][b] = struct.unpack_from(
+                    "<Q", buf, (pos - offset) * 16
+                )[0]
+        if wb is not None:
+            wb.write_at(handles[r], offset, buf)
+        else:
+            store.write_at(handles[r], offset, buf, TAG_A2A)
 
-    comm.exchange(outgoing(), on_chunk)
+    try:
+        comm.exchange(outgoing(), on_chunk)
+        if wb is not None:
+            wb.close()
+            wb = None
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
+        if wb is not None:  # error path
+            wb.close(raise_error=False)
     for handle in handles:
         handle.close()
-    # The run pieces have been redistributed; reclaim their disk space.
+    # The run pieces have been redistributed; reclaim their disk space
+    # (idempotent: a rerun over a crashed attempt may find some gone).
     for r in range(len(runs)):
         store.remove(store.piece_path(r))
-    ctx.stats.note_resident((2 + 4) * block * 16)
-    return seg_len
+    ctx.stats.note_resident(
+        (2 + 4 + job.prefetch_blocks + job.write_behind_blocks) * block * 16
+    )
+
+    block_first_keys: List[List[int]] = []
+    for r in range(len(runs)):
+        n_blocks = -(-seg_len[r] // block)
+        if len(first_keys[r]) != n_blocks:
+            raise AssertionError(
+                f"run {r}: harvested {len(first_keys[r])} block keys, "
+                f"expected {n_blocks}"
+            )
+        block_first_keys.append([first_keys[r][b] for b in range(n_blocks)])
+    return seg_len, block_first_keys
 
 
 # --------------------------------------------------------------- phase 4
@@ -450,7 +567,11 @@ def all_to_all(
 TAG_MERGE = "merge"
 
 
-def merge(ctx: NativeContext, seg_len: List[int]) -> OutputMeta:
+def merge(
+    ctx: NativeContext,
+    seg_len: List[int],
+    block_first_keys: Optional[List[List[int]]] = None,
+) -> OutputMeta:
     """Phase 4: R-way merge of the segment files into the final output.
 
     Streaming batch merge: each run contributes one buffered block; every
@@ -459,16 +580,56 @@ def merge(ctx: NativeContext, seg_len: List[int]) -> OutputMeta:
     kernel the simulator's merge phase models.  Verification happens in
     stream: sortedness, count, first/last key and the valsort checksum
     are computed as the output is written.
+
+    With ``job.prefetch_blocks > 0``, segment blocks are fetched by
+    background threads in the order given by the prediction sequence
+    (``block_first_keys``, harvested for free during the all-to-all) fed
+    through the optimal prefetch schedule of Appendix A; output writes go
+    through a bounded write-behind buffer when ``job.write_behind_blocks
+    > 0``.  Both layers are bitwise-transparent: the merge consumes and
+    emits the identical record stream either way.
     """
     job, store, rank = ctx.job, ctx.store, ctx.rank
-    readers = [
-        SequentialReader(store, store.segment_path(r), TAG_MERGE, n_records=n)
-        for r, n in enumerate(seg_len)
-    ]
-    buffers: List[Optional[np.ndarray]] = []
-    for reader in readers:
-        block = reader.next_block()
-        buffers.append(block)
+    block = job.block_records
+
+    prefetcher: Optional[Prefetcher] = None
+    if job.prefetch_blocks > 0 and sum(seg_len) > 0:
+        # One read request per (run, block), triple-keyed for the
+        # prediction order.  Without harvested first keys (merge called
+        # standalone), (0, r, b) degrades to run-major fetch order —
+        # still a valid schedule, just without the cross-run interleave.
+        requests: List[Tuple[str, int, int]] = []
+        triples: List[Tuple[int, int, int]] = []
+        file_ids: List[int] = []
+        per_run: List[List[int]] = []
+        for r, n in enumerate(seg_len):
+            path = store.segment_path(r)
+            indices: List[int] = []
+            for b in range(-(-n // block)):
+                start = b * block
+                indices.append(len(requests))
+                requests.append((path, start, min(block, n - start)))
+                key = (
+                    block_first_keys[r][b]
+                    if block_first_keys is not None
+                    else 0
+                )
+                triples.append((key, r, b))
+                file_ids.append(r)
+            per_run.append(indices)
+        order = plan_fetch_order(triples, file_ids, job.prefetch_blocks)
+        prefetcher = Prefetcher(
+            store, requests, order, TAG_MERGE, job.prefetch_blocks,
+            stats=ctx.stats,
+        )
+        readers: List[object] = [
+            PrefetchReader(prefetcher, per_run[r]) for r in range(len(seg_len))
+        ]
+    else:
+        readers = [
+            SequentialReader(store, store.segment_path(r), TAG_MERGE, n_records=n)
+            for r, n in enumerate(seg_len)
+        ]
 
     out_path = store.output_path()
     checksum = 0
@@ -476,62 +637,98 @@ def merge(ctx: NativeContext, seg_len: List[int]) -> OutputMeta:
     first_key: Optional[int] = None
     last_key: Optional[int] = None
     sorted_ok = True
+    wb: Optional[WriteBehind] = None
 
-    with open(out_path, "wb") as out:
+    try:
+        buffers: List[Optional[np.ndarray]] = []
+        for reader in readers:
+            buffers.append(reader.next_block())
 
-        def emit(batch: np.ndarray) -> None:
-            nonlocal checksum, count, first_key, last_key, sorted_ok
-            if not len(batch):
-                return
-            keys = batch["key"]
-            if len(keys) > 1 and not bool(np.all(keys[:-1] <= keys[1:])):
-                sorted_ok = False
-            if last_key is not None and int(keys[0]) < last_key:
-                sorted_ok = False
-            if first_key is None:
-                first_key = int(keys[0])
-            last_key = int(keys[-1])
-            with np.errstate(over="ignore"):
-                checksum = (checksum + int(np.add.reduce(keys))) & _MASK
-            count += len(batch)
-            store.append_records(out, batch, TAG_MERGE)
+        with open(out_path, "wb") as out:
+            if job.write_behind_blocks > 0:
+                wb = WriteBehind(
+                    store, TAG_MERGE, max(job.write_behind_bytes, 1),
+                    stats=ctx.stats,
+                )
 
-        while True:
-            active = [i for i, b in enumerate(buffers) if b is not None]
-            if not active:
-                break
-            # Refill any drained-but-not-exhausted buffer first.
-            for i in active:
-                if len(buffers[i]) == 0:
-                    nxt = readers[i].next_block()
-                    buffers[i] = nxt
-            active = [i for i, b in enumerate(buffers) if b is not None and len(b)]
-            if not active:
-                break
-            if len(active) == 1:
-                i = active[0]
-                emit(buffers[i])
-                buffers[i] = np.empty(0, dtype=NATIVE_DTYPE)
-                while True:
-                    nxt = readers[i].next_block()
-                    if nxt is None:
-                        buffers[i] = None
-                        break
-                    emit(nxt)
-                continue
-            bound = min(int(buffers[i]["key"][-1]) for i in active)
-            parts = []
-            for i in active:
-                buf = buffers[i]
-                cut = int(np.searchsorted(buf["key"], bound, side="right"))
-                if cut:
-                    parts.append(buf[:cut])
-                    buffers[i] = buf[cut:]
-            batch = merge_record_arrays(parts)
-            ctx.stats.note_resident(
-                sum(len(b) for b in buffers if b is not None) * 16 + 2 * batch.nbytes
-            )
-            emit(batch)
+            def emit(batch: np.ndarray) -> None:
+                nonlocal checksum, count, first_key, last_key, sorted_ok
+                if not len(batch):
+                    return
+                keys = batch["key"]
+                if len(keys) > 1 and not bool(np.all(keys[:-1] <= keys[1:])):
+                    sorted_ok = False
+                if last_key is not None and int(keys[0]) < last_key:
+                    sorted_ok = False
+                if first_key is None:
+                    first_key = int(keys[0])
+                last_key = int(keys[-1])
+                with np.errstate(over="ignore"):
+                    checksum = (checksum + int(np.add.reduce(keys))) & _MASK
+                count += len(batch)
+                if wb is not None:
+                    wb.append(out, batch)
+                else:
+                    store.append_records(out, batch, TAG_MERGE)
+
+            def note_working_set(batch_bytes: int) -> None:
+                ctx.stats.note_resident(
+                    sum(len(b) for b in buffers if b is not None) * 16
+                    + 2 * batch_bytes
+                    + (prefetcher.buffered_bytes() if prefetcher else 0)
+                    + (wb.queued_bytes() if wb else 0)
+                )
+
+            while True:
+                active = [i for i, b in enumerate(buffers) if b is not None]
+                if not active:
+                    break
+                # Refill any drained-but-not-exhausted buffer first.
+                for i in active:
+                    if len(buffers[i]) == 0:
+                        nxt = readers[i].next_block()
+                        buffers[i] = nxt
+                active = [
+                    i for i, b in enumerate(buffers) if b is not None and len(b)
+                ]
+                if not active:
+                    break
+                if len(active) == 1:
+                    # Single-run fast path: stream the remainder through.
+                    # It moves the same bytes as the general path, so it
+                    # must keep the same resident/byte accounting.
+                    i = active[0]
+                    note_working_set(buffers[i].nbytes)
+                    emit(buffers[i])
+                    buffers[i] = np.empty(0, dtype=NATIVE_DTYPE)
+                    while True:
+                        nxt = readers[i].next_block()
+                        if nxt is None:
+                            buffers[i] = None
+                            break
+                        note_working_set(nxt.nbytes)
+                        emit(nxt)
+                    continue
+                bound = min(int(buffers[i]["key"][-1]) for i in active)
+                parts = []
+                for i in active:
+                    buf = buffers[i]
+                    cut = int(np.searchsorted(buf["key"], bound, side="right"))
+                    if cut:
+                        parts.append(buf[:cut])
+                        buffers[i] = buf[cut:]
+                batch = merge_record_arrays(parts)
+                note_working_set(batch.nbytes)
+                emit(batch)
+
+            if wb is not None:
+                wb.close()  # flush inside the with-block: out must stay open
+                wb = None
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
+        if wb is not None:  # error path
+            wb.close(raise_error=False)
 
     for r in range(len(seg_len)):
         store.remove(store.segment_path(r))

@@ -32,6 +32,11 @@ class WorkerStats:
     #: Phase -> bytes read / written through the block store.
     bytes_read: Dict[str, int] = field(default_factory=dict)
     bytes_written: Dict[str, int] = field(default_factory=dict)
+    #: Phase -> seconds the phase's *main thread* spent blocked on I/O
+    #: (synchronous reads/writes, prefetch waits, write-behind backpressure).
+    #: Background pipeline threads never count here — their I/O time is
+    #: the overlap the pipelined path exists to create.
+    io_stall_s: Dict[str, float] = field(default_factory=dict)
     #: Free-form counters (probe reads, cache hits, runs formed, ...).
     counters: Dict[str, float] = field(default_factory=dict)
     #: Bytes pushed through / pulled from the pipe mesh.
@@ -44,6 +49,16 @@ class WorkerStats:
 
     def add_counter(self, name: str, value: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def note_max(self, name: str, value: float) -> None:
+        """High-water-mark counter: keep the maximum observed value."""
+        if value > self.counters.get(name, 0.0):
+            self.counters[name] = float(value)
+
+    def add_stall(self, phase: str, seconds: float) -> None:
+        """Charge main-thread I/O wait time to ``phase``."""
+        if seconds > 0:
+            self.io_stall_s[phase] = self.io_stall_s.get(phase, 0.0) + seconds
 
     def note_resident(self, nbytes: int) -> None:
         """Record a transient record-data working set of ``nbytes``."""
@@ -104,6 +119,24 @@ class NativeStats:
     def counter_total(self, name: str) -> float:
         return sum(w.counters.get(name, 0.0) for w in self.workers)
 
+    def stall_max(self, phase: str) -> float:
+        """Worst per-worker main-thread I/O stall of a phase, seconds."""
+        return max(
+            (w.io_stall_s.get(phase, 0.0) for w in self.workers), default=0.0
+        )
+
+    def overlap_ratio(self, phase: str) -> float:
+        """Fraction of the phase's wall time *not* spent stalled on I/O.
+
+        1.0 means I/O was fully hidden behind computation (or there was
+        none); 0.0 means the phase did nothing but wait for the disk.
+        Computed from the slowest worker's wall and stall.
+        """
+        wall = self.wall_max(phase)
+        if wall <= 0:
+            return 1.0
+        return max(0.0, min(1.0, 1.0 - self.stall_max(phase) / wall))
+
     @property
     def total_io_bytes(self) -> int:
         return sum(self.phase_bytes(p) for p in self.phases)
@@ -139,6 +172,8 @@ class NativeStats:
                     "wall_avg": self.wall_avg(phase),
                     "bytes": self.phase_bytes(phase),
                     "throughput_mb_s": self.phase_throughput(phase) / 1e6,
+                    "stall_s": self.stall_max(phase),
+                    "overlap_ratio": self.overlap_ratio(phase),
                 }
                 for phase in self.phases
             },
@@ -148,6 +183,7 @@ class NativeStats:
                     "walls": dict(w.walls),
                     "bytes_read": dict(w.bytes_read),
                     "bytes_written": dict(w.bytes_written),
+                    "io_stall_s": dict(w.io_stall_s),
                     "counters": dict(w.counters),
                     "comm_bytes_sent": w.comm_bytes_sent,
                     "comm_bytes_received": w.comm_bytes_received,
@@ -170,7 +206,8 @@ class NativeStats:
             rate = self.phase_throughput(phase) / 1e6
             lines.append(
                 f"  {phase:<14} wall {wall:8.2f} s   disk {vol / 2**20:9.1f} MiB"
-                f"   {rate:8.1f} MB/s"
+                f"   {rate:8.1f} MB/s   stall {self.stall_max(phase):6.2f} s"
+                f"  overlap {self.overlap_ratio(phase):4.0%}"
             )
         lines.append(
             f"  interconnect   {self.network_bytes / 2**20:9.1f} MiB; "

@@ -59,6 +59,9 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
         store = FileBlockStore(
             job.spill_dir, rank, job.block_records, chaos=chaos
         )
+        # I/O stall attribution: store ops on *this* thread count as
+        # per-phase stall; background pipeline threads' ops do not.
+        store.attach_stats(stats)
         ctx = NativeContext(
             rank=rank, job=job, comm=comm, store=store, stats=stats
         )
@@ -82,12 +85,12 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
         at("after:selection")
         at("before:all_to_all")
         with PhaseClock(stats, "all_to_all"):
-            seg_len = all_to_all(ctx, runs, splits)
+            seg_len, block_first_keys = all_to_all(ctx, runs, splits)
             comm.barrier()
         at("after:all_to_all")
         at("before:merge")
         with PhaseClock(stats, "merge"):
-            out_meta = merge(ctx, seg_len)
+            out_meta = merge(ctx, seg_len, block_first_keys)
             comm.barrier()
         at("after:merge")
 

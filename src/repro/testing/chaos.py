@@ -173,6 +173,8 @@ def run_chaos_case(
     memory_records: int = 384,
     job_timeout: float = 15.0,
     budget: float = 30.0,
+    prefetch_blocks: int = 0,
+    write_behind_blocks: int = 0,
 ) -> dict:
     """One native sort with ``spec`` injected; the contract is *fail fast*.
 
@@ -200,6 +202,8 @@ def run_chaos_case(
         spill_dir=spill_dir,
         timeout=job_timeout,
         chaos=spec,
+        prefetch_blocks=prefetch_blocks,
+        write_behind_blocks=write_behind_blocks,
     )
     terminal = any(
         (spec.kill_at, spec.torn_result_at, spec.wedged_result_at,
@@ -254,6 +258,7 @@ def run_chaos_sweep(
     job_timeout: float = 15.0,
     budget: float = 30.0,
     progress=None,
+    pipelined: bool = False,
 ) -> List[dict]:
     """Kill one worker at every phase boundary; every run must fail fast.
 
@@ -261,27 +266,47 @@ def run_chaos_sweep(
     --chaos``: a worker death at *any* boundary terminates the job with
     a diagnostic :class:`NativeSortError` inside ``budget`` seconds —
     never a hang, never a bogus success.
+
+    With ``pipelined=True`` every case runs with read-ahead and
+    write-behind enabled, and one extra case injects a torn ENOSPC
+    write — which then fires *inside the write-behind thread* and must
+    still fail fast (the error is latched and re-raised on the worker's
+    main thread).
     """
     import shutil
     import tempfile
 
     points = kill_points() if points is None else list(points)
+    pipe_kw = (
+        {"prefetch_blocks": 4, "write_behind_blocks": 4} if pipelined else {}
+    )
+    specs = [ChaosSpec(rank=0, kill_at=point) for point in points]
+    if pipelined:
+        # Torn disk-full write, deferred into the writer thread: the
+        # threshold sits past the 8 KiB input (written synchronously
+        # during generate), so the failing write is a run-formation
+        # piece spill — executed by the write-behind thread.
+        specs.append(ChaosSpec(rank=0, enospc_after_bytes=9000))
     verdicts = []
-    for i, point in enumerate(points):
+    for i, spec in enumerate(specs):
         if progress is not None:
-            progress(i, len(points), point)
-        spill = tempfile.mkdtemp(prefix=f"chaos-{point.replace(':', '-')}-",
-                                 dir=spill_root)
+            progress(i, len(specs), _describe_spec(spec))
+        spill = tempfile.mkdtemp(
+            prefix=f"chaos-{_describe_spec(spec).split()[0].replace(':', '-').replace('=', '-')}-",
+            dir=spill_root,
+        )
         try:
-            verdicts.append(
-                run_chaos_case(
-                    ChaosSpec(rank=0, kill_at=point),
-                    spill,
-                    n_workers=n_workers,
-                    job_timeout=job_timeout,
-                    budget=budget,
-                )
+            verdict = run_chaos_case(
+                spec,
+                spill,
+                n_workers=n_workers,
+                job_timeout=job_timeout,
+                budget=budget,
+                **pipe_kw,
             )
+            if pipelined:
+                verdict["fault"] += " [pipelined]"
+            verdicts.append(verdict)
         finally:
             shutil.rmtree(spill, ignore_errors=True)
     return verdicts

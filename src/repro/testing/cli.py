@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         "fail fast with a clean diagnostic",
     )
     parser.add_argument(
+        "--pipelined", action="store_true",
+        help="additionally run native-only pipelined twins (read-ahead + "
+        "write-behind) of every matrix case, and run the chaos sweep with "
+        "pipelined I/O plus a torn-write-inside-write-behind case",
+    )
+    parser.add_argument(
         "--search", type=int, metavar="N", default=0,
         help="run N random property-based cases (shrunk on failure)",
     )
@@ -138,6 +144,8 @@ def main(argv: List[str] = None) -> int:
             specs.extend(differential.quick_specs(seed=args.seed))
         if args.full:
             specs.extend(differential.full_specs(seed=args.seed))
+        if args.pipelined and specs:
+            specs.extend(differential.pipelined_variants(specs))
         if specs:
             results = differential.run_specs(specs)
             n_div = 0
@@ -180,7 +188,8 @@ def main(argv: List[str] = None) -> int:
         # -- chaos sweep -------------------------------------------------------
         if args.chaos:
             verdicts = chaos.run_chaos_sweep(
-                spill_root, budget=args.chaos_budget
+                spill_root, budget=args.chaos_budget,
+                pipelined=args.pipelined,
             )
             bad = [v for v in verdicts if not v["ok"]]
             for v in verdicts:

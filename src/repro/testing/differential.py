@@ -36,6 +36,7 @@ __all__ = [
     "specs_for_matrix",
     "quick_specs",
     "full_specs",
+    "pipelined_variants",
     "run_case",
     "run_sim_case",
     "run_native_case",
@@ -65,6 +66,10 @@ class CaseSpec:
     randomize: bool = True
     selection: str = "sampled"
     backends: Tuple[str, ...] = ("native", "sim")
+    #: Run the native backend with the pipelined I/O layer on (read-ahead
+    #: + write-behind).  The oracle comparison is unchanged — pipelining
+    #: must be bitwise-invisible.
+    pipelined: bool = False
 
     def __post_init__(self):
         if self.entry not in corpus.ENTRIES:
@@ -82,6 +87,8 @@ class CaseSpec:
         token = f"{self.entry}:{self.sizing}:p{self.n_workers}:s{self.seed}:{rand}:{self.selection}"
         if self.backends != ("native", "sim"):
             token += ":" + "+".join(self.backends)
+        if self.pipelined:
+            token += ":pipe"
         return token
 
     @classmethod
@@ -90,14 +97,19 @@ class CaseSpec:
         if len(parts) < 6:
             raise ValueError(
                 f"bad replay token {token!r}: want "
-                "entry:sizing:p<P>:s<seed>:rand|norand:selection[:backends]"
+                "entry:sizing:p<P>:s<seed>:rand|norand:selection"
+                "[:backends][:pipe]"
             )
         entry, sizing, p, s, rand, selection = parts[:6]
         if not p.startswith("p") or not s.startswith("s"):
             raise ValueError(f"bad replay token {token!r}: p/s fields malformed")
         backends: Tuple[str, ...] = ("native", "sim")
-        if len(parts) > 6:
-            backends = tuple(parts[6].split("+"))
+        pipelined = False
+        for part in parts[6:]:
+            if part == "pipe":
+                pipelined = True
+            else:
+                backends = tuple(part.split("+"))
         return cls(
             entry=entry,
             sizing=sizing,
@@ -106,6 +118,7 @@ class CaseSpec:
             randomize=(rand == "rand"),
             selection=selection,
             backends=backends,
+            pipelined=pipelined,
         )
 
     def replay_command(self) -> str:
@@ -193,6 +206,20 @@ def full_specs(seed: int = 42) -> List[CaseSpec]:
     return specs_for_matrix(corpus.full_matrix(), n_workers=3, seed=seed)
 
 
+def pipelined_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+    """Native-only pipelined twins of ``specs`` (read-ahead + write-behind).
+
+    The sim backend has no pipelined I/O layer, so the twins run native
+    only; the oracle byte-comparison is what proves the pipelined path
+    produces the identical output the synchronous path (already in
+    ``specs``) produced, and the cross-checksum in :func:`run_case`
+    binds the two together.
+    """
+    return [
+        replace(spec, backends=("native",), pipelined=True) for spec in specs
+    ]
+
+
 # ------------------------------------------------------------------ backends
 
 
@@ -269,6 +296,8 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
             spill_dir=spill,
             generate=False,
             timeout=120.0,
+            prefetch_blocks=4 if spec.pipelined else 0,
+            write_behind_blocks=4 if spec.pipelined else 0,
         )
         sort = NativeSorter(job).run()
 

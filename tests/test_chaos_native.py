@@ -27,7 +27,7 @@ RB = 16
 
 
 def chaos_job(tmp_path, spec, n_per_rank=512, n_workers=2, timeout=8.0,
-              block=32, mem=384):
+              block=32, mem=384, **job_kw):
     return NativeJob(
         config=SortConfig(
             data_per_node_bytes=n_per_rank * RB,
@@ -40,6 +40,7 @@ def chaos_job(tmp_path, spec, n_per_rank=512, n_workers=2, timeout=8.0,
         spill_dir=str(tmp_path / "spill"),
         timeout=timeout,
         chaos=spec,
+        **job_kw,
     )
 
 
@@ -147,6 +148,48 @@ def test_run_chaos_case_flags_hang_and_bogus_success(tmp_path):
         budget=0.0,
     )
     assert not verdict["ok"]
+
+
+@pytest.mark.parametrize("pipelined", [False, True], ids=["sync", "pipelined"])
+def test_rerun_after_kill_in_same_spill_dir(tmp_path, pipelined):
+    """A clean rerun over a crashed attempt's spill dir must succeed.
+
+    The kill leaves the directory mid-redistribution — some run pieces
+    already deleted, segments half-written.  The rerun regenerates and
+    overwrites everything; ``store.remove()`` being idempotent is what
+    keeps its teardown from tripping over the already-missing files.
+    """
+    knobs = (
+        {"prefetch_blocks": 4, "write_behind_blocks": 4} if pipelined else {}
+    )
+    job = chaos_job(
+        tmp_path, ChaosSpec(rank=0, kill_at="after:all_to_all"), **knobs
+    )
+    assert_fails_fast(job, match="worker 0")
+    clean = chaos_job(tmp_path, None, **knobs)
+    result = NativeSorter(clean).run()
+    report = result.validate()
+    assert report.ok, report.issues
+    result.cleanup()
+
+
+def test_enospc_inside_write_behind_thread_fails_fast(tmp_path):
+    """The torn disk-full write fires on the write-behind *thread*.
+
+    The threshold sits past the 8 KiB input slice (written synchronously
+    by generate), so the failing write is a run-formation piece spill —
+    deferred to the writer thread when write-behind is on.  The latched
+    error must re-raise on the worker's main thread and surface as a
+    NativeSortError, not a hang or a silent success.
+    """
+    job = chaos_job(
+        tmp_path,
+        ChaosSpec(rank=0, enospc_after_bytes=9000),
+        prefetch_blocks=4,
+        write_behind_blocks=4,
+    )
+    err = assert_fails_fast(job, match="worker 0 failed")
+    assert "ENOSPC" in str(err) or "spill device full" in str(err)
 
 
 def test_kill_points_cover_every_phase_boundary():

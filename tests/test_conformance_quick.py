@@ -27,6 +27,51 @@ def test_quick_matrix_case(spec, tmp_path):
         )
 
 
+# Pipelined twins of a quick-matrix slice: read-ahead + write-behind on,
+# same oracle byte-comparison — the pipeline must be bitwise-invisible.
+# (The full pipelined matrix runs nightly via `conformance --pipelined`.)
+PIPE_QUICK = differential.pipelined_variants(QUICK[:3])
+
+
+@pytest.mark.parametrize(
+    "spec", PIPE_QUICK, ids=[s.to_token() for s in PIPE_QUICK]
+)
+def test_quick_matrix_pipelined_twin(spec, tmp_path):
+    assert spec.pipelined and spec.backends == ("native",)
+    for result in differential.run_case(spec, workdir=str(tmp_path / "spill")):
+        assert result.ok, (
+            f"[{result.backend}] {spec.to_token()} diverged:\n  "
+            + "\n  ".join(result.divergences)
+            + f"\nreplay: {spec.replay_command()}"
+        )
+
+
+def test_pipelined_output_matches_synchronous(tmp_path):
+    spec = differential.CaseSpec(
+        "uniform", "base", n_workers=2, seed=7, backends=("native",)
+    )
+    (sync,) = differential.run_case(spec, workdir=str(tmp_path / "a"))
+    (pipe,) = differential.run_case(
+        differential.pipelined_variants([spec])[0],
+        workdir=str(tmp_path / "b"),
+    )
+    # Both byte-checked against the same oracle (so transitively
+    # byte-identical to each other) and checksum-equal directly.
+    assert sync.ok, sync.divergences
+    assert pipe.ok, pipe.divergences
+    assert sync.checksum == pipe.checksum
+
+
+def test_pipelined_token_round_trips():
+    spec = differential.CaseSpec(
+        "uniform", "base", n_workers=2, seed=5,
+        backends=("native",), pipelined=True,
+    )
+    token = spec.to_token()
+    assert token.endswith(":pipe")
+    assert differential.CaseSpec.from_token(token) == spec
+
+
 def test_quick_matrix_is_tier1_sized():
     # The matrix the CLI and this file share: <= 8 corpus pairs, plus
     # fig6 (no-randomization) variants of the flagged entries only.

@@ -120,6 +120,95 @@ def test_naive_never_faster_than_optimal_randomized():
             assert so <= sn
 
 
+# -- edge cases: W < D, idle disks, degenerate disk counts --------------------
+
+
+def test_empty_sequence_allows_zero_disks():
+    # n == 0 has nothing to validate: no blocks, no disks, empty schedule.
+    assert optimal_prefetch_schedule([], 4, 0) == []
+
+
+def test_nonempty_sequence_rejects_nonpositive_disk_count():
+    with pytest.raises(ValueError):
+        optimal_prefetch_schedule([0], 2, 0)
+    with pytest.raises(ValueError):
+        optimal_prefetch_schedule([0], 2, -1)
+
+
+def test_idle_disks_are_harmless():
+    # All blocks queue on one disk of four; three disks are empty the
+    # whole time.  The schedule degrades to prediction order.
+    sched = optimal_prefetch_schedule([2] * 10, 3, 4)
+    assert sched == list(range(10))
+    assert schedule_is_valid(sched, [2] * 10, 3, 4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    disks=st.lists(st.integers(0, 7), min_size=1, max_size=60),
+    buffers=st.integers(1, 3),
+)
+def test_schedule_valid_with_fewer_buffers_than_disks(disks, buffers):
+    """W < D: the pool cannot cover the disks, yet the duality still
+    yields a valid never-starving schedule (it just stripes narrower)."""
+    sched = optimal_prefetch_schedule(disks, buffers, 8)
+    assert sorted(sched) == list(range(len(disks)))
+    assert schedule_is_valid(sched, disks, buffers, 8)
+    assert schedule_steps(sched, disks, buffers, 8) is not None
+
+
+# -- the native planner obeys the same invariants -----------------------------
+#
+# repro.native.pipeline builds its fetch orders from these primitives;
+# the properties below are the ones its Prefetcher relies on: the plan
+# is a permutation of the requests and, replayed against the prediction
+# sequence, never starves a W-block buffer pool.
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    reqs=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 3)),
+        min_size=1,
+        max_size=40,
+    ),
+    buffers=st.integers(1, 8),
+)
+def test_plan_fetch_order_is_valid_schedule(reqs, buffers):
+    from repro.native.pipeline import plan_fetch_order
+
+    file_ids = [f for _k, f in reqs]
+    seen: dict = {}
+    triples = []
+    for key, f in reqs:
+        b = seen.get(f, 0)  # block index within its file: triples unique
+        seen[f] = b + 1
+        triples.append((key, f, b))
+    order = plan_fetch_order(triples, file_ids, buffers)
+    assert sorted(order) == list(range(len(reqs)))
+    pred = prediction_order(triples)
+    pos_in_pred = {req: pos for pos, req in enumerate(pred)}
+    sched = [pos_in_pred[i] for i in order]
+    disks = [file_ids[req] for req in pred]
+    n_disks = max(file_ids) + 1
+    assert schedule_is_valid(sched, disks, buffers, n_disks)
+    assert schedule_steps(sched, disks, buffers, n_disks) is not None
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    file_ids=st.lists(st.integers(0, 3), min_size=1, max_size=40),
+    buffers=st.integers(1, 8),
+)
+def test_sequential_fetch_order_never_starves(file_ids, buffers):
+    from repro.native.pipeline import sequential_fetch_order
+
+    order = sequential_fetch_order(file_ids, buffers)
+    assert sorted(order) == list(range(len(file_ids)))
+    # Identity prediction: request indices double as prediction positions.
+    assert schedule_is_valid(order, file_ids, buffers, max(file_ids) + 1)
+
+
 def test_schedule_steps_counts_parallel_disks():
     # 4 blocks on 4 different disks with ample buffers: one step each,
     # plus the pipeline fill.
