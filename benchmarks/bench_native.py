@@ -58,6 +58,7 @@ def run_native_bench(
     skew: bool = False,
     seed: int = 12345,
     timeout: float = 600.0,
+    transport: str = "pipe",
     prefetch_blocks: int = 0,
     write_behind_blocks: int = 0,
     baseline: bool = True,
@@ -74,7 +75,7 @@ def run_native_bench(
     try:
         result = native_sort(
             config, n_workers=n_workers, spill_dir=root,
-            skew=skew, timeout=timeout,
+            skew=skew, timeout=timeout, transport=transport,
             prefetch_blocks=prefetch_blocks,
             write_behind_blocks=write_behind_blocks,
         )
@@ -92,12 +93,15 @@ def run_native_bench(
                     "mb_s": stats.phase_throughput(phase) / 1e6,
                     "stall_s": stats.stall_max(phase),
                     "overlap_ratio": stats.overlap_ratio(phase),
+                    "wire_mib": stats.wire_sent(phase) / MiB,
+                    "wire_volume_mib": stats.wire_volume(phase) / MiB,
                 }
             )
         out = {
             "ok": report.ok,
             "issues": report.issues,
             "n_workers": n_workers,
+            "transport": transport,
             "prefetch_blocks": prefetch_blocks,
             "write_behind_blocks": write_behind_blocks,
             "total_mib": stats.total_bytes / MiB,
@@ -109,6 +113,19 @@ def run_native_bench(
                 (w.max_rss_bytes for w in stats.workers), default=0
             ) / MiB,
             "interconnect_mib": stats.network_bytes / MiB,
+            # The paper's communication bound: the all-to-all moves the
+            # full data volume N exactly once (wire + locally kept
+            # share); everything else — samples, probes, barriers — is
+            # the o(N) term.
+            "a2a_volume_mib": stats.wire_volume("all_to_all") / MiB,
+            "a2a_volume_over_n": (
+                stats.wire_volume("all_to_all") / stats.total_bytes
+                if stats.total_bytes else 0.0
+            ),
+            "o_n_overhead_mib": max(
+                0, stats.network_bytes - stats.wire_sent("all_to_all")
+            ) / MiB,
+            "socket_mib_sent": stats.socket_bytes_sent / MiB,
             "phases": rows,
             "outputs": [
                 {
@@ -213,6 +230,16 @@ def render(result: dict) -> str:
         f"(max RSS {result['max_rss_mib']:.0f} MiB); "
         f"interconnect {result['interconnect_mib']:.1f} MiB"
     )
+    lines.append(
+        f"all-to-all volume {result['a2a_volume_mib']:.1f} MiB "
+        f"({result['a2a_volume_over_n']:.2f}x N, paper bound: 1.00x) + "
+        f"{result['o_n_overhead_mib']:.2f} MiB o(N) control traffic"
+        + (
+            f"; socket wire {result['socket_mib_sent']:.1f} MiB"
+            if result.get("socket_mib_sent")
+            else ""
+        )
+    )
     return "\n".join(lines)
 
 
@@ -244,6 +271,8 @@ def test_bench_native_quick(benchmark):
         assert row["mb_s"] > 0.0
         assert row["stall_s"] >= 0.0
         assert 0.0 <= row["overlap_ratio"] <= 1.0
+    # The paper's bound: the all-to-all moves N exactly once.
+    assert abs(result["a2a_volume_over_n"] - 1.0) < 1e-9
     # External sorting with one time-sliced CPU cannot beat RAM sorting.
     assert result["baseline_np_sort"]["wall"] > 0.0
 
@@ -275,6 +304,10 @@ def main(argv=None) -> int:
     parser.add_argument("--memory-mib", type=float, default=32.0)
     parser.add_argument("--block-kib", type=float, default=256.0)
     parser.add_argument("--spill-dir", default=None)
+    parser.add_argument(
+        "--transport", choices=("pipe", "tcp"), default="pipe",
+        help="native interconnect substrate",
+    )
     parser.add_argument("--skew", action="store_true")
     parser.add_argument("--seed", type=int, default=12345)
     parser.add_argument(
@@ -300,6 +333,7 @@ def main(argv=None) -> int:
         memory_mib=args.memory_mib,
         block_kib=args.block_kib,
         spill_dir=args.spill_dir,
+        transport=args.transport,
         skew=args.skew,
         seed=args.seed,
     )

@@ -17,6 +17,9 @@ Usage::
     python -m repro --backend native --nodes 4 --spill-dir /tmp/sort \\
         --data-mib 64 --memory-mib 16
     python -m repro --backend native --nodes 2 --spill-dir /tmp/sort --json
+    python -m repro --backend native --nodes 4 --spill-dir /tmp/sort \\
+        --transport tcp
+    python -m repro worker --connect 127.0.0.1:7070 --rank 1
 
 Data sizes are given in MiB per node — *represented* bytes for the
 simulator, real record bytes for the native backend.  ``--json`` replaces
@@ -123,6 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timeout", type=float, default=300.0,
         help="native per-message receive timeout, seconds",
+    )
+    parser.add_argument(
+        "--transport", choices=("pipe", "tcp"), default="pipe",
+        help="native interconnect: multiprocessing pipes (single host) "
+        "or real TCP sockets with rendezvous (see docs/TRANSPORT.md)",
+    )
+    parser.add_argument(
+        "--pending-sends", type=int, default=4, metavar="N",
+        help="native exchange backpressure: at most N chunks queued to "
+        "the sender before the producer blocks",
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="TCP transport: rendezvous endpoint the driver listens on "
+        "(port 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--no-spawn", action="store_true",
+        help="TCP transport: spawn no worker processes; wait for "
+        "externally launched 'python -m repro worker' PEs instead",
     )
     parser.add_argument(
         "--prefetch-blocks", type=int, default=0, metavar="W",
@@ -262,6 +285,10 @@ def run_native(args, config: SortConfig) -> int:
             spill_dir=args.spill_dir,
             skew=(args.workload == "skewed"),
             timeout=args.timeout,
+            transport=args.transport,
+            pending_sends=args.pending_sends,
+            listen=args.listen,
+            spawn_workers=not args.no_spawn,
             prefetch_blocks=args.prefetch_blocks,
             write_behind_blocks=args.write_behind,
         )
@@ -290,6 +317,9 @@ def run_native(args, config: SortConfig) -> int:
             "throughput_mb_s": p["throughput_mb_s"],
             "stall_s": p["stall_s"],
             "overlap_ratio": p["overlap_ratio"],
+            "wire_sent": p["wire_sent"],
+            "wire_recv": p["wire_recv"],
+            "wire_volume": p["wire_volume"],
         }
         for phase, p in report["phases"].items()
     }
@@ -315,6 +345,45 @@ def run_native(args, config: SortConfig) -> int:
     return code
 
 
+def run_worker(argv) -> int:
+    """``python -m repro worker``: join a TCP sort as one externally
+    launched PE (another terminal, another host — see docs/TRANSPORT.md).
+
+    The driver side runs ``--backend native --transport tcp --no-spawn``;
+    this side dials its rendezvous endpoint, receives the job and the
+    peer table over the wire, sorts, and reports back.
+    """
+    from .native.worker import tcp_worker_main
+    from .net.rendezvous import parse_hostport
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Join a native TCP sort as one worker PE.",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the driver's rendezvous endpoint",
+    )
+    parser.add_argument(
+        "--rank", type=int, required=True, help="this PE's rank (0-based)"
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=60.0,
+        help="seconds to keep retrying the rendezvous dial (with backoff)",
+    )
+    args = parser.parse_args(argv)
+    if args.rank < 0:
+        print(f"--rank must be >= 0, got {args.rank}", file=sys.stderr)
+        return 2
+    try:
+        addr = parse_hostport(args.connect)
+    except ValueError as exc:
+        print(f"bad --connect: {exc}", file=sys.stderr)
+        return 2
+    tcp_worker_main(args.rank, addr, connect_timeout=args.connect_timeout)
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -324,6 +393,8 @@ def main(argv=None) -> int:
         from .testing.cli import main as conformance_main
 
         return conformance_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return run_worker(argv[1:])
     args = build_parser().parse_args(argv)
     config = SortConfig(
         data_per_node_bytes=args.data_mib * MiB,

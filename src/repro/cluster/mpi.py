@@ -16,6 +16,16 @@ operation kinds raise immediately instead of deadlocking.
 Because the real data volumes are *represented* (a simulated block stands
 for an 8 MiB paper block), every operation takes explicit byte counts; the
 arrays carried alongside are only the keys the algorithms actually need.
+
+This simulated ``Comm`` is the modeled sibling of the native backend's
+*executed* communicators — :class:`repro.native.comm.PipeComm` and
+:class:`repro.net.tcp.TcpComm`, which implement the
+:class:`repro.native.comm_api.Comm` protocol over real channels.  The
+surfaces differ (simulated collectives carry explicit represented byte
+counts; the native protocol moves real payloads), but phase for phase
+they express the same communication pattern, so the simulator's traffic
+predictions can be checked against the native transports' measured
+per-phase wire bytes.
 """
 
 from __future__ import annotations

@@ -2,7 +2,8 @@
 
 Where :mod:`repro.core` *simulates* the paper's algorithm against a
 performance model, this package *executes* it: worker processes are the
-PEs, a spill directory is the disk farm, pipes are the interconnect, and
+PEs, a spill directory is the disk farm, the interconnect is either a
+multiprocessing pipe mesh or real TCP sockets (:mod:`repro.net`), and
 every phase moves real 16-byte records with ``numpy``.  The phase logic
 is shared — the probe coroutines, warm starts, splitter matrices and
 merge semantics are imported from :mod:`repro.algos` and
@@ -18,13 +19,18 @@ Entry points:
 or ``python -m repro --backend native --spill-dir /tmp/sort``.
 """
 
+from .comm_api import Comm, CommError, CommTimeout, MeshComm
 from .driver import NativeSortError, NativeSortResult, NativeSorter, native_sort
-from .job import NativeJob
+from .job import TRANSPORTS, NativeJob
 from .pipeline import Prefetcher, WriteBehind
 from .records import NATIVE_DTYPE, RECORD_BYTES
 from .stats import NativeStats, WorkerStats
 
 __all__ = [
+    "Comm",
+    "CommError",
+    "CommTimeout",
+    "MeshComm",
     "NativeJob",
     "NativeSorter",
     "NativeSortResult",
@@ -33,6 +39,7 @@ __all__ = [
     "WorkerStats",
     "Prefetcher",
     "WriteBehind",
+    "TRANSPORTS",
     "native_sort",
     "NATIVE_DTYPE",
     "RECORD_BYTES",

@@ -1,8 +1,13 @@
-"""Interconnect for native worker processes: a full mesh of pipes.
+"""Pipe transport for native worker processes: a full mesh of pipes.
 
 This module plays the role :mod:`repro.cluster.mpi` plays for the
 simulator — collectives and point-to-point transfers between PEs — but
-over real :mod:`multiprocessing` pipes between real processes.
+over real :mod:`multiprocessing` pipes between real processes on one
+host.  All protocol logic (collectives, stash-aware receives, the
+chunked exchange, the probe service, the sender thread) lives in
+:class:`repro.native.comm_api.MeshComm`; :class:`PipeComm` contributes
+only the pipe-specific channel primitives.  :class:`repro.net.tcp.TcpComm`
+is the multi-host sibling over the same core.
 
 Design notes
 ------------
@@ -17,47 +22,46 @@ Design notes
   while its own inbox backed up, the mesh would deadlock.  All sends are
   therefore executed by a background thread fed from a queue, and the
   main thread is always free to drain incoming traffic.  The bulk
-  exchange additionally keeps the queue short (``PENDING_SENDS``) so the
-  amount of record data parked in user space stays bounded — the
-  external-memory discipline extends to the interconnect.
+  exchange additionally keeps the queue short (``pending_sends``,
+  default :data:`PENDING_SENDS`) so the amount of record data parked in
+  user space stays bounded — the external-memory discipline extends to
+  the interconnect.
 
 * **Stash-aware receives.**  A fast peer may already be sending its next
   phase's traffic while a slow peer still owes this phase's message.
-  :meth:`PipeComm.recv_match` parks non-matching messages per peer and
+  :meth:`MeshComm.recv_match` parks non-matching messages per peer and
   replays them in order, which keeps every protocol loop simple and
   starvation-free.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-import time
-from collections import deque
 from multiprocessing.connection import Connection, wait as conn_wait
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict
 
-__all__ = ["PipeComm", "CommError", "CommTimeout"]
+from .comm_api import (
+    DEFAULT_PENDING_SENDS,
+    DEFAULT_TIMEOUT,
+    CommError,
+    CommTimeout,
+    MeshComm,
+)
 
-#: Default receive timeout: generous, only to turn a wedged cluster into
-#: a diagnosable error instead of a hang.
-DEFAULT_TIMEOUT = 300.0
+__all__ = [
+    "PipeComm",
+    "CommError",
+    "CommTimeout",
+    "DEFAULT_TIMEOUT",
+    "PENDING_SENDS",
+]
 
-#: Bulk-exchange backpressure: at most this many chunks parked in the
-#: send queue before the producer is throttled.
-PENDING_SENDS = 4
-
-
-class CommError(RuntimeError):
-    """A peer misbehaved (protocol violation or dead connection)."""
-
-
-class CommTimeout(CommError):
-    """No expected message arrived within the timeout."""
+#: Backwards-compatible name for the default exchange backpressure bound
+#: (now per-job via ``NativeJob.pending_sends``).
+PENDING_SENDS = DEFAULT_PENDING_SENDS
 
 
-class PipeComm:
-    """Point-to-point and collective communication for one worker."""
+class PipeComm(MeshComm):
+    """Point-to-point and collective communication over a pipe mesh."""
 
     def __init__(
         self,
@@ -66,97 +70,29 @@ class PipeComm:
         conns: Dict[int, Connection],
         timeout: float = DEFAULT_TIMEOUT,
         chaos=None,
+        pending_sends: int = DEFAULT_PENDING_SENDS,
     ):
-        if sorted(conns) != [p for p in range(n_workers) if p != rank]:
-            raise ValueError(
-                f"rank {rank}/{n_workers}: need one connection per peer, "
-                f"got {sorted(conns)}"
-            )
-        self.rank = rank
-        self.n_workers = n_workers
         self.conns = conns
-        self.timeout = timeout
-        #: Optional fault-injection spec (duck-typed; may delay polls).
-        self.chaos = chaos
-        self._epoch = 0
-        #: Messages received but not yet consumed, per peer, in order.
-        self._stash: Dict[int, deque] = {p: deque() for p in conns}
-        self._sendq: "queue.Queue" = queue.Queue()
-        self._send_lock = threading.Condition()
-        self._enqueued = 0
-        self._sent = 0
-        self._send_error: Optional[BaseException] = None
-        self._sender = threading.Thread(
-            target=self._send_loop, name=f"native-send-{rank}", daemon=True
+        super().__init__(
+            rank,
+            n_workers,
+            peers=list(conns),
+            timeout=timeout,
+            pending_sends=pending_sends,
+            chaos=chaos,
         )
-        self._sender.start()
-        #: Bytes moved through the mesh (payload estimate), for stats.
-        self.bytes_sent = 0
-        self.bytes_received = 0
+        self._start_sender()
 
-    # -- low-level send/recv --------------------------------------------------
+    # -- channel primitives ---------------------------------------------------
 
-    def _send_loop(self) -> None:
-        while True:
-            item = self._sendq.get()
-            if item is None:
-                return
-            peer, msg = item
-            try:
-                self.conns[peer].send(msg)
-            except BaseException as exc:  # surface on the main thread
-                with self._send_lock:
-                    self._send_error = exc
-                    self._send_lock.notify_all()
-                return
-            with self._send_lock:
-                self._sent += 1
-                self._send_lock.notify_all()
-
-    def post(self, peer: int, msg: tuple) -> None:
-        """Queue a message for ``peer`` (self-sends loop back locally)."""
-        if self._send_error is not None:
-            raise CommError(f"sender thread died: {self._send_error!r}")
-        if peer == self.rank:
-            self._stash.setdefault(peer, deque()).append(msg)
-            return
-        self._enqueued += 1
-        self._sendq.put((peer, msg))
-
-    def pending_sends(self) -> int:
-        """Messages queued but not yet pushed into a pipe."""
-        with self._send_lock:
-            return self._enqueued - self._sent
-
-    def flush(self, timeout: Optional[float] = None) -> None:
-        """Block until every queued message has entered its pipe."""
-        deadline = timeout if timeout is not None else self.timeout
-        with self._send_lock:
-            ok = self._send_lock.wait_for(
-                lambda: self._send_error is not None
-                or self._sent >= self._enqueued,
-                timeout=deadline,
-            )
-        if self._send_error is not None:
-            raise CommError(f"sender thread died: {self._send_error!r}")
-        if not ok:
-            raise CommTimeout(f"rank {self.rank}: flush timed out")
-
-    def close(self) -> None:
-        """Stop the sender thread (queued messages are flushed first)."""
-        try:
-            self.flush(timeout=5.0)
-        except CommError:
-            pass
-        self._sendq.put(None)
-        self._sender.join(timeout=5.0)
+    def _transmit(self, peer: int, msg: tuple) -> None:
+        self.conns[peer].send(msg)
 
     def _poll_once(self, block_timeout: float) -> bool:
         """Pull every immediately available message into the stash."""
         if not self.conns:
             return False
-        if self.chaos is not None:
-            self.chaos.on_recv_poll(self.rank)
+        self._chaos_poll()
         ready = conn_wait(list(self.conns.values()), timeout=block_timeout)
         if not ready:
             return False
@@ -169,243 +105,12 @@ class PipeComm:
                 raise CommError(
                     f"rank {self.rank}: peer {peer} closed its pipe"
                 ) from exc
-            self._stash[peer].append(msg)
+            self._stash_message(peer, msg)
         return True
 
-    def recv_match(
-        self,
-        match: Callable[[int, tuple], bool],
-        timeout: Optional[float] = None,
-    ) -> Tuple[int, tuple]:
-        """Next message satisfying ``match(peer, msg)``, stashing the rest.
-
-        Scans parked messages first (preserving per-peer order), then
-        blocks on the pipes.  Raises :class:`CommTimeout` when nothing
-        matching arrives in time.
-        """
-        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
-        while True:
-            for peer, dq in self._stash.items():
-                for i, msg in enumerate(dq):
-                    if match(peer, msg):
-                        del dq[i]
-                        return peer, msg
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise CommTimeout(
-                    f"rank {self.rank}: timed out waiting for a matching message"
-                )
-            if self._send_error is not None:
-                raise CommError(f"sender thread died: {self._send_error!r}")
-            self._poll_once(min(0.25, remaining))
-
-    def try_recv_match(
-        self, match: Callable[[int, tuple], bool]
-    ) -> Optional[Tuple[int, tuple]]:
-        """Non-blocking :meth:`recv_match` (one poll, no waiting)."""
-        for peer, dq in self._stash.items():
-            for i, msg in enumerate(dq):
-                if match(peer, msg):
-                    del dq[i]
-                    return peer, msg
-        if self._poll_once(0.0):
-            for peer, dq in self._stash.items():
-                for i, msg in enumerate(dq):
-                    if match(peer, msg):
-                        del dq[i]
-                        return peer, msg
-        return None
-
-    # -- collectives ----------------------------------------------------------
-
-    def barrier(self) -> None:
-        """Wait until every worker reached this point."""
-        self.allgather(None)
-
-    def allgather(self, obj) -> List:
-        """Everyone contributes ``obj``; everyone gets the rank-ordered list."""
-        self._epoch += 1
-        epoch = self._epoch
-        out: List = [None] * self.n_workers
-        out[self.rank] = obj
-        for peer in self.conns:
-            self.post(peer, ("__ag__", epoch, obj))
-        need = set(self.conns)
-        while need:
-            peer, msg = self.recv_match(
-                lambda p, m: p in need and m[0] == "__ag__" and m[1] == epoch
-            )
-            out[peer] = msg[2]
-            need.discard(peer)
-        return out
-
-    def allreduce(self, value, op: Callable) -> object:
-        """Reduce ``value`` over all workers with binary ``op``."""
-        values = self.allgather(value)
-        acc = values[0]
-        for v in values[1:]:
-            acc = op(acc, v)
-        return acc
-
-    # -- bulk chunked all-to-all ----------------------------------------------
-
-    def exchange(
-        self,
-        outgoing: Iterable[Tuple[int, tuple]],
-        on_chunk: Callable[[int, tuple], None],
-    ) -> None:
-        """Chunked, bounded-memory all-to-all.
-
-        ``outgoing`` lazily yields ``(dest, payload_msg)`` pairs; payloads
-        destined for *this* rank are delivered directly.  ``on_chunk(peer,
-        payload_msg)`` consumes arrivals (e.g. writes them to a spill
-        file).  The producer iterator is only advanced while the send
-        queue is short, so at most ``PENDING_SENDS`` chunks of record
-        data sit in user-space buffers at any time.
-
-        Completion: each worker sends an end-of-stream marker to every
-        peer after its last chunk; the call returns once all markers are
-        in, all local sends are flushed, and a closing barrier passes.
-        """
-        self._epoch += 1
-        epoch = self._epoch
-        it: Iterator[Tuple[int, tuple]] = iter(outgoing)
-        producing = True
-        eof_from = set()
-        peers = set(self.conns)
-        deadline = time.monotonic() + self.timeout
-
-        def is_mine(p: int, m: tuple) -> bool:
-            return m[0] in ("__xch__", "__xeof__") and m[1] == epoch
-
-        while True:
-            if time.monotonic() > deadline:
-                owing = sorted(peers - eof_from)
-                raise CommTimeout(
-                    f"rank {self.rank}: exchange made no progress for "
-                    f"{self.timeout:.0f}s; peers {owing} never finished "
-                    "their stream (stalled or dead PE)"
-                )
-            # Drain everything receivable right now.
-            while True:
-                got = self.try_recv_match(is_mine)
-                if got is None:
-                    break
-                deadline = time.monotonic() + self.timeout
-                peer, msg = got
-                if msg[0] == "__xeof__":
-                    eof_from.add(peer)
-                else:
-                    payload = msg[2]
-                    self.bytes_received += _payload_bytes(payload)
-                    on_chunk(peer, payload)
-            # Feed the sender while there is room.
-            while producing and self.pending_sends() < PENDING_SENDS:
-                try:
-                    dest, payload = next(it)
-                except StopIteration:
-                    producing = False
-                    for peer in peers:
-                        self.post(peer, ("__xeof__", epoch))
-                    break
-                if dest == self.rank:
-                    on_chunk(self.rank, payload)
-                else:
-                    self.bytes_sent += _payload_bytes(payload)
-                    self.post(dest, ("__xch__", epoch, payload))
-            if not producing and eof_from == peers:
-                break
-            if peers or producing:
-                # Nothing immediately actionable: wait briefly for traffic.
-                if producing and self.pending_sends() >= PENDING_SENDS:
-                    self._poll_once(0.005)
-                elif peers and eof_from != peers:
-                    self._poll_once(0.05)
-            else:
-                break
-        self.flush()
-        self.barrier()
-
-    # -- probe service (distributed multiway selection) -----------------------
-
-    def selection_round(
-        self,
-        coroutine,
-        local_lookup: Callable[[int], int],
-        owner_of: Callable[[int], int],
-    ):
-        """Drive a selection coroutine whose probes may live on peers.
-
-        ``coroutine`` yields ``(sequence, position)`` probe requests (the
-        contract of :func:`repro.algos.multiway_selection.select_coroutine`).
-        ``owner_of(seq)`` maps a sequence index to the worker holding it;
-        ``local_lookup(pos)`` answers probes against *this* worker's own
-        sequence.  Every worker must call this exactly once per round:
-        the call keeps answering peers' probes until all of them have
-        finished their own selection, so the collective as a whole cannot
-        starve.  Returns the coroutine's :class:`SelectionResult`.
-        """
-        self._epoch += 1
-        epoch = self._epoch
-        peers = set(self.conns)
-        done_from = set()
-        probe_seq = 0
-
-        def serve(peer: int, msg: tuple) -> bool:
-            """Handle one protocol message; True when it was consumed."""
-            kind = msg[0]
-            if kind == "__prb__" and msg[1] == epoch:
-                self.post(peer, ("__prr__", epoch, msg[2], local_lookup(msg[3])))
-                return True
-            if kind == "__prd__" and msg[1] == epoch:
-                done_from.add(peer)
-                return True
-            return False
-
-        def pump(reply_id: Optional[int]) -> Optional[int]:
-            """Process one message; returns a probe reply if it matches."""
-            def match(p, m):
-                return m[0] in ("__prb__", "__prd__", "__prr__") and m[1] == epoch
-
-            peer, msg = self.recv_match(match)
-            if msg[0] == "__prr__":
-                if reply_id is None or msg[2] != reply_id:
-                    raise CommError(
-                        f"rank {self.rank}: unexpected probe reply {msg[2]}"
-                    )
-                return msg[3]
-            serve(peer, msg)
-            return None
-
-        result = None
-        try:
-            request = next(coroutine)
-            while True:
-                seq, pos = request
-                worker = owner_of(seq)
-                if worker == self.rank:
-                    request = coroutine.send(local_lookup(pos))
-                    continue
-                probe_seq += 1
-                self.post(worker, ("__prb__", epoch, probe_seq, pos))
-                key = None
-                while key is None:
-                    key = pump(probe_seq)
-                request = coroutine.send(key)
-        except StopIteration as stop:
-            result = stop.value
-        # Own selection finished: tell everyone, keep serving until all done.
-        for peer in peers:
-            self.post(peer, ("__prd__", epoch))
-        while done_from != peers:
-            pump(None)
-        return result
-
-
-def _payload_bytes(payload: tuple) -> int:
-    """Rough wire size of a chunk payload (for throughput accounting)."""
-    total = 0
-    for item in payload:
-        if isinstance(item, (bytes, bytearray, memoryview)):
-            total += len(item)
-    return total
+    def _sever_transport(self) -> None:
+        for conn in self.conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass

@@ -1,0 +1,655 @@
+"""The comm contract of the native backend, and its transport-agnostic core.
+
+Two transports carry CANONICALMERGESORT's interconnect traffic today —
+:class:`repro.native.comm.PipeComm` (a full mesh of ``multiprocessing``
+pipes, single host) and :class:`repro.net.tcp.TcpComm` (a full mesh of
+TCP sockets, any host) — and :mod:`repro.native.phases` must run
+unchanged over either.  This module pins that surface down:
+
+* :class:`Comm` is the typed :class:`~typing.Protocol` every transport
+  satisfies (the contract is spelled out in its docstring);
+* :class:`MeshComm` is the shared implementation of everything *above*
+  the transport: the sender thread, the stash, the collectives, the
+  chunked exchange, the probe service, and the wire accounting.  A
+  transport subclasses it and provides exactly two primitives —
+  :meth:`MeshComm._transmit` (push one message to one peer) and
+  :meth:`MeshComm._poll_once` (pull whatever arrived into the stash).
+
+The contract
+------------
+
+**Addressing.**  ``n_workers`` ranks, ``0 .. n_workers-1``; every rank
+holds one bidirectional channel to every other rank (a full mesh).
+
+**Ordering.**  Each channel is FIFO: messages posted to a peer arrive in
+post order.  There is *no* ordering across channels — a fast peer's
+next-phase message can arrive before a slow peer's current-phase one.
+
+**Epochs.**  Every collective increments a per-rank epoch counter and
+tags its protocol messages with it (``("__ag__", epoch, obj)``, ...).
+Because all ranks execute the same collectives in the same order, the
+counters agree, and the tag rejects stale or early traffic: a receive
+loop matches only its own epoch and stashes everything else.
+
+**Stashing.**  ``recv_match(match)`` returns the first pending message
+satisfying ``match(peer, msg)`` and *parks* every non-matching message
+(per-peer, order-preserving) for a later receive.  Nothing is dropped.
+
+**Deadlock-freedom.**  All sends run on a single background sender
+thread fed from a queue, so the main thread always keeps draining
+arrivals even when the OS-level channel to some peer is full.
+
+**Failure.**  A dead or misbehaving peer raises :class:`CommError`; an
+expected message that never arrives raises :class:`CommTimeout` (a
+subclass) after ``timeout`` seconds.  Never a hang.
+
+The simulator's :class:`repro.cluster.mpi.Comm` is the third party to
+this contract in spirit — same collectives, same epoch discipline — but
+its API is event-driven (rank-parameterized calls returning simulation
+events), so it satisfies the contract's semantics, not this Protocol's
+signatures.  The correspondence is documented there.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+__all__ = [
+    "Comm",
+    "MeshComm",
+    "CommError",
+    "CommTimeout",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_PENDING_SENDS",
+    "payload_bytes",
+    "message_epoch",
+]
+
+#: Default receive timeout: generous, only to turn a wedged cluster into
+#: a diagnosable error instead of a hang.
+DEFAULT_TIMEOUT = 300.0
+
+#: Default bulk-exchange backpressure: at most this many chunks parked in
+#: the send queue before the producer is throttled.
+DEFAULT_PENDING_SENDS = 4
+
+
+class CommError(RuntimeError):
+    """A peer misbehaved (protocol violation or dead connection)."""
+
+
+class CommTimeout(CommError):
+    """No expected message arrived within the timeout."""
+
+
+def payload_bytes(obj) -> int:
+    """Record bytes riding in a message (nested bytes-like items).
+
+    This is the *payload estimate* behind all wire accounting: control
+    fields (strings, ints, array samples) are noise next to the record
+    chunks, so only bytes-like items count.  Recursive over tuples
+    because exchange payloads arrive wrapped (``("__xch__", epoch,
+    ("a2a", r, k, buf))``).
+    """
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, tuple):
+        return sum(payload_bytes(item) for item in obj)
+    return 0
+
+
+def message_epoch(msg) -> int:
+    """The collective epoch a protocol message is tagged with (0 if none).
+
+    Framed transports stamp this into the frame header so a stale or
+    cross-epoch frame can be rejected below the pickle layer.
+    """
+    if (
+        isinstance(msg, tuple)
+        and len(msg) >= 2
+        and isinstance(msg[0], str)
+        and msg[0].startswith("__")
+        and isinstance(msg[1], int)
+        and 0 <= msg[1] < 2**32
+    ):
+        return msg[1]
+    return 0
+
+
+@runtime_checkable
+class Comm(Protocol):
+    """What the native phases require of a transport (see module docs)."""
+
+    rank: int
+    n_workers: int
+    timeout: float
+
+    def post(self, peer: int, msg: tuple) -> None: ...
+
+    def pending_sends(self) -> int: ...
+
+    def flush(self, timeout: Optional[float] = None) -> None: ...
+
+    def recv_match(
+        self,
+        match: Callable[[int, tuple], bool],
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, tuple]: ...
+
+    def try_recv_match(
+        self, match: Callable[[int, tuple], bool]
+    ) -> Optional[Tuple[int, tuple]]: ...
+
+    def barrier(self) -> None: ...
+
+    def allgather(self, obj) -> List: ...
+
+    def allreduce(self, value, op: Callable) -> object: ...
+
+    def exchange(
+        self,
+        outgoing: Iterable[Tuple[int, tuple]],
+        on_chunk: Callable[[int, tuple], None],
+    ) -> None: ...
+
+    def selection_round(
+        self,
+        coroutine,
+        local_lookup: Callable[[int], int],
+        owner_of: Callable[[int], int],
+    ): ...
+
+    def set_phase(self, phase: str) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MeshComm:
+    """Everything above the transport: collectives, stash, accounting.
+
+    Subclasses provide the channel primitives:
+
+    * :meth:`_transmit` — synchronously push one message to one peer
+      (called only from the sender thread; may block);
+    * :meth:`_poll_once` — pull every immediately available message into
+      the stash via :meth:`_stash_message`, waiting at most
+      ``block_timeout`` seconds for the first one;
+
+    plus optional lifecycle hooks (``_close_transport``,
+    ``_sever_transport``, ``_wedge_transport``, ``_on_send_idle``,
+    ``_idle_seconds``, ``_timeout_context``).  The subclass must call
+    :meth:`_start_sender` once its channels are usable.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        n_workers: int,
+        peers: Iterable[int],
+        timeout: float = DEFAULT_TIMEOUT,
+        pending_sends: int = DEFAULT_PENDING_SENDS,
+        chaos=None,
+    ):
+        peers = sorted(peers)
+        if peers != [p for p in range(n_workers) if p != rank]:
+            raise ValueError(
+                f"rank {rank}/{n_workers}: need one connection per peer, "
+                f"got {peers}"
+            )
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if pending_sends < 1:
+            raise ValueError(f"pending_sends must be >= 1, got {pending_sends}")
+        self.rank = rank
+        self.n_workers = n_workers
+        self.peers: Tuple[int, ...] = tuple(peers)
+        self.timeout = timeout
+        self.max_pending_sends = int(pending_sends)
+        #: Optional fault-injection spec (duck-typed; may delay polls).
+        self.chaos = chaos
+        self._epoch = 0
+        #: Messages received but not yet consumed, per peer, in order.
+        self._stash: Dict[int, deque] = {p: deque() for p in self.peers}
+        self._sendq: "queue.Queue" = queue.Queue()
+        self._send_lock = threading.Condition()
+        self._enqueued = 0
+        self._sent = 0
+        self._send_error: Optional[BaseException] = None
+        self._sender: Optional[threading.Thread] = None
+        self._severed = False
+        self._wedged = False
+        #: Current phase label for the wire accounting below.
+        self._phase = "startup"
+        #: Bytes moved through the mesh (payload estimate), for stats.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Phase -> payload bytes actually posted to / received from peers.
+        self.wire_sent: Dict[str, int] = {}
+        self.wire_recv: Dict[str, int] = {}
+        #: Phase -> payload bytes of exchange chunks this rank kept for
+        #: itself.  Wire + local is a phase's full communication volume —
+        #: the quantity the paper's N + o(N) bound is stated for.
+        self.local_bytes: Dict[str, int] = {}
+        #: Peer -> payload bytes sent to / received from that peer.
+        self.peer_sent: Dict[int, int] = {p: 0 for p in self.peers}
+        self.peer_recv: Dict[int, int] = {p: 0 for p in self.peers}
+
+    # -- transport primitives (subclass responsibilities) ---------------------
+
+    def _transmit(self, peer: int, msg: tuple) -> None:
+        raise NotImplementedError
+
+    def _poll_once(self, block_timeout: float) -> bool:
+        raise NotImplementedError
+
+    def _close_transport(self) -> None:
+        """Release transport resources at :meth:`close` (default: none)."""
+
+    def _sever_transport(self) -> None:
+        """Abruptly drop every channel (chaos hook; default: none)."""
+
+    def _wedge_transport(self) -> None:
+        """Leave channels half-broken (chaos hook; default: none)."""
+
+    def _idle_seconds(self) -> Optional[float]:
+        """Sender-thread idle tick; ``None`` blocks until the next send."""
+        return None
+
+    def _on_send_idle(self) -> None:
+        """Called on the sender thread after an idle tick (heartbeats)."""
+
+    def _timeout_context(self) -> str:
+        """Extra diagnosis appended to timeout messages (peer liveness)."""
+        return ""
+
+    # -- low-level send/recv --------------------------------------------------
+
+    def _start_sender(self) -> None:
+        self._sender = threading.Thread(
+            target=self._send_loop, name=f"native-send-{self.rank}", daemon=True
+        )
+        self._sender.start()
+
+    def _send_loop(self) -> None:
+        while True:
+            try:
+                item = self._sendq.get(timeout=self._idle_seconds())
+            except queue.Empty:
+                try:
+                    self._on_send_idle()
+                except Exception:
+                    # A dead peer fails the *receive* side with a clean
+                    # EOF; an idle-time send error adds nothing.
+                    pass
+                continue
+            if item is None:
+                return
+            peer, msg = item
+            if not self._wedged:
+                try:
+                    self._transmit(peer, msg)
+                except BaseException as exc:  # surface on the main thread
+                    with self._send_lock:
+                        self._send_error = exc
+                        self._send_lock.notify_all()
+                    return
+            with self._send_lock:
+                self._sent += 1
+                self._send_lock.notify_all()
+
+    def _check_open(self) -> None:
+        if self._severed:
+            raise CommError(
+                f"rank {self.rank}: connection severed (chaos)"
+            )
+
+    def _chaos_poll(self) -> None:
+        """Fire the receive-poll fault hook (subclasses call per poll)."""
+        if self.chaos is not None:
+            self.chaos.on_recv_poll(self.rank)
+
+    def _stash_message(self, peer: int, msg: tuple) -> None:
+        """Account and park one arrived message (subclasses call this)."""
+        est = payload_bytes(msg)
+        if est:
+            self.bytes_received += est
+            self.wire_recv[self._phase] = self.wire_recv.get(self._phase, 0) + est
+            self.peer_recv[peer] = self.peer_recv.get(peer, 0) + est
+        self._stash[peer].append(msg)
+
+    def set_phase(self, phase: str) -> None:
+        """Attribute subsequent wire traffic to ``phase`` (stats only)."""
+        self._phase = phase
+
+    def post(self, peer: int, msg: tuple) -> None:
+        """Queue a message for ``peer`` (self-sends loop back locally)."""
+        self._check_open()
+        if self._send_error is not None:
+            raise CommError(f"sender thread died: {self._send_error!r}")
+        if peer == self.rank:
+            self._stash.setdefault(peer, deque()).append(msg)
+            return
+        est = payload_bytes(msg)
+        if est:
+            self.bytes_sent += est
+            self.wire_sent[self._phase] = self.wire_sent.get(self._phase, 0) + est
+            self.peer_sent[peer] = self.peer_sent.get(peer, 0) + est
+        self._enqueued += 1
+        self._sendq.put((peer, msg))
+
+    def pending_sends(self) -> int:
+        """Messages queued but not yet pushed into their channel."""
+        with self._send_lock:
+            return self._enqueued - self._sent
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every queued message has entered its channel.
+
+        Raises :class:`CommTimeout` — naming how many messages are still
+        pending — when the deadline passes first (a wedged peer whose
+        channel stopped draining).
+        """
+        self._check_open()
+        deadline = timeout if timeout is not None else self.timeout
+        with self._send_lock:
+            ok = self._send_lock.wait_for(
+                lambda: self._send_error is not None
+                or self._sent >= self._enqueued,
+                timeout=deadline,
+            )
+            still_pending = self._enqueued - self._sent
+        if self._send_error is not None:
+            raise CommError(f"sender thread died: {self._send_error!r}")
+        if not ok:
+            raise CommTimeout(
+                f"rank {self.rank}: flush timed out after {deadline:.1f}s "
+                f"with {still_pending} send(s) still pending"
+                f"{self._timeout_context()}"
+            )
+
+    def close(self) -> None:
+        """Stop the sender thread (queued messages are flushed first)."""
+        if not self._severed:
+            try:
+                self.flush(timeout=5.0)
+            except CommError:
+                pass
+        self._sendq.put(None)
+        if self._sender is not None:
+            self._sender.join(timeout=5.0)
+        self._close_transport()
+
+    # -- chaos hooks ----------------------------------------------------------
+
+    def sever(self) -> None:
+        """Chaos: abruptly drop every peer channel, as a NIC death would.
+
+        Peers observe EOF (a :class:`CommError`); this rank's own next
+        comm operation raises :class:`CommError` too, so whichever side
+        touches the mesh first reports the failure.
+        """
+        self._severed = True
+        self._sendq.put(None)  # stop the sender even if idle
+        self._sever_transport()
+
+    def wedge(self) -> None:
+        """Chaos: stop draining sends without closing anything.
+
+        The mesh looks alive (no EOF) but this rank's traffic stops
+        mid-stream — peers must escalate to :class:`CommTimeout`.
+        """
+        self._wedged = True
+        self._wedge_transport()
+
+    # -- matching receives ----------------------------------------------------
+
+    def recv_match(
+        self,
+        match: Callable[[int, tuple], bool],
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, tuple]:
+        """Next message satisfying ``match(peer, msg)``, stashing the rest.
+
+        Scans parked messages first (preserving per-peer order), then
+        blocks on the transport.  Raises :class:`CommTimeout` when
+        nothing matching arrives in time.
+        """
+        self._check_open()
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        while True:
+            for peer, dq in self._stash.items():
+                for i, msg in enumerate(dq):
+                    if match(peer, msg):
+                        del dq[i]
+                        return peer, msg
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CommTimeout(
+                    f"rank {self.rank}: timed out waiting for a matching "
+                    f"message{self._timeout_context()}"
+                )
+            if self._send_error is not None:
+                raise CommError(f"sender thread died: {self._send_error!r}")
+            self._poll_once(min(0.25, remaining))
+
+    def try_recv_match(
+        self, match: Callable[[int, tuple], bool]
+    ) -> Optional[Tuple[int, tuple]]:
+        """Non-blocking :meth:`recv_match` (one poll, no waiting)."""
+        self._check_open()
+        for peer, dq in self._stash.items():
+            for i, msg in enumerate(dq):
+                if match(peer, msg):
+                    del dq[i]
+                    return peer, msg
+        if self._poll_once(0.0):
+            for peer, dq in self._stash.items():
+                for i, msg in enumerate(dq):
+                    if match(peer, msg):
+                        del dq[i]
+                        return peer, msg
+        return None
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Wait until every worker reached this point."""
+        self.allgather(None)
+
+    def allgather(self, obj) -> List:
+        """Everyone contributes ``obj``; everyone gets the rank-ordered list."""
+        self._epoch += 1
+        epoch = self._epoch
+        out: List = [None] * self.n_workers
+        out[self.rank] = obj
+        for peer in self.peers:
+            self.post(peer, ("__ag__", epoch, obj))
+        need = set(self.peers)
+        while need:
+            peer, msg = self.recv_match(
+                lambda p, m: p in need and m[0] == "__ag__" and m[1] == epoch
+            )
+            out[peer] = msg[2]
+            need.discard(peer)
+        return out
+
+    def allreduce(self, value, op: Callable) -> object:
+        """Reduce ``value`` over all workers with binary ``op``."""
+        values = self.allgather(value)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    # -- bulk chunked all-to-all ----------------------------------------------
+
+    def exchange(
+        self,
+        outgoing: Iterable[Tuple[int, tuple]],
+        on_chunk: Callable[[int, tuple], None],
+    ) -> None:
+        """Chunked, bounded-memory all-to-all.
+
+        ``outgoing`` lazily yields ``(dest, payload_msg)`` pairs; payloads
+        destined for *this* rank are delivered directly.  ``on_chunk(peer,
+        payload_msg)`` consumes arrivals (e.g. writes them to a spill
+        file).  The producer iterator is only advanced while the send
+        queue is short, so at most ``max_pending_sends`` chunks of record
+        data sit in user-space buffers at any time.
+
+        Completion: each worker sends an end-of-stream marker to every
+        peer after its last chunk; the call returns once all markers are
+        in, all local sends are flushed, and a closing barrier passes.
+        """
+        self._check_open()
+        self._epoch += 1
+        epoch = self._epoch
+        it: Iterator[Tuple[int, tuple]] = iter(outgoing)
+        producing = True
+        eof_from = set()
+        peers = set(self.peers)
+        deadline = time.monotonic() + self.timeout
+
+        def is_mine(p: int, m: tuple) -> bool:
+            return m[0] in ("__xch__", "__xeof__") and m[1] == epoch
+
+        while True:
+            if time.monotonic() > deadline:
+                owing = sorted(peers - eof_from)
+                raise CommTimeout(
+                    f"rank {self.rank}: exchange made no progress for "
+                    f"{self.timeout:.0f}s; peers {owing} never finished "
+                    f"their stream (stalled or dead PE)"
+                    f"{self._timeout_context()}"
+                )
+            # Drain everything receivable right now.
+            while True:
+                got = self.try_recv_match(is_mine)
+                if got is None:
+                    break
+                deadline = time.monotonic() + self.timeout
+                peer, msg = got
+                if msg[0] == "__xeof__":
+                    eof_from.add(peer)
+                else:
+                    on_chunk(peer, msg[2])
+            # Feed the sender while there is room.
+            while producing and self.pending_sends() < self.max_pending_sends:
+                try:
+                    dest, payload = next(it)
+                except StopIteration:
+                    producing = False
+                    for peer in peers:
+                        self.post(peer, ("__xeof__", epoch))
+                    break
+                if dest == self.rank:
+                    est = payload_bytes(payload)
+                    if est:
+                        self.local_bytes[self._phase] = (
+                            self.local_bytes.get(self._phase, 0) + est
+                        )
+                    on_chunk(self.rank, payload)
+                else:
+                    self.post(dest, ("__xch__", epoch, payload))
+            if not producing and eof_from == peers:
+                break
+            if peers or producing:
+                # Nothing immediately actionable: wait briefly for traffic.
+                if producing and self.pending_sends() >= self.max_pending_sends:
+                    self._poll_once(0.005)
+                elif peers and eof_from != peers:
+                    self._poll_once(0.05)
+            else:
+                break
+        self.flush()
+        self.barrier()
+
+    # -- probe service (distributed multiway selection) -----------------------
+
+    def selection_round(
+        self,
+        coroutine,
+        local_lookup: Callable[[int], int],
+        owner_of: Callable[[int], int],
+    ):
+        """Drive a selection coroutine whose probes may live on peers.
+
+        ``coroutine`` yields ``(sequence, position)`` probe requests (the
+        contract of :func:`repro.algos.multiway_selection.select_coroutine`).
+        ``owner_of(seq)`` maps a sequence index to the worker holding it;
+        ``local_lookup(pos)`` answers probes against *this* worker's own
+        sequence.  Every worker must call this exactly once per round:
+        the call keeps answering peers' probes until all of them have
+        finished their own selection, so the collective as a whole cannot
+        starve.  Returns the coroutine's :class:`SelectionResult`.
+        """
+        self._check_open()
+        self._epoch += 1
+        epoch = self._epoch
+        peers = set(self.peers)
+        done_from = set()
+        probe_seq = 0
+
+        def serve(peer: int, msg: tuple) -> bool:
+            """Handle one protocol message; True when it was consumed."""
+            kind = msg[0]
+            if kind == "__prb__" and msg[1] == epoch:
+                self.post(peer, ("__prr__", epoch, msg[2], local_lookup(msg[3])))
+                return True
+            if kind == "__prd__" and msg[1] == epoch:
+                done_from.add(peer)
+                return True
+            return False
+
+        def pump(reply_id: Optional[int]) -> Optional[int]:
+            """Process one message; returns a probe reply if it matches."""
+            def match(p, m):
+                return m[0] in ("__prb__", "__prd__", "__prr__") and m[1] == epoch
+
+            peer, msg = self.recv_match(match)
+            if msg[0] == "__prr__":
+                if reply_id is None or msg[2] != reply_id:
+                    raise CommError(
+                        f"rank {self.rank}: unexpected probe reply {msg[2]}"
+                    )
+                return msg[3]
+            serve(peer, msg)
+            return None
+
+        result = None
+        try:
+            request = next(coroutine)
+            while True:
+                seq, pos = request
+                worker = owner_of(seq)
+                if worker == self.rank:
+                    request = coroutine.send(local_lookup(pos))
+                    continue
+                probe_seq += 1
+                self.post(worker, ("__prb__", epoch, probe_seq, pos))
+                key = None
+                while key is None:
+                    key = pump(probe_seq)
+                request = coroutine.send(key)
+        except StopIteration as stop:
+            result = stop.value
+        # Own selection finished: tell everyone, keep serving until all done.
+        for peer in peers:
+            self.post(peer, ("__prd__", epoch))
+        while done_from != peers:
+            pump(None)
+        return result

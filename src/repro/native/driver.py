@@ -1,11 +1,24 @@
-"""Driver: spawn the worker PEs, wire the pipe mesh, collect the result.
+"""Driver: spawn the worker PEs, wire the mesh, collect the result.
 
 The native counterpart of :class:`repro.core.canonical.CanonicalMergeSort`'s
 top-level ``sort``: it owns process lifecycle and failure handling, while
-all sorting happens inside :mod:`repro.native.worker`.  The driver builds
-one duplex pipe per worker pair (the full mesh the simulator's
-``cluster.mpi`` models), plus one result pipe per worker for stats and
-error reporting.
+all sorting happens inside :mod:`repro.native.worker`.  Two transports
+(``job.transport``):
+
+* ``"pipe"`` — the driver builds one duplex pipe per worker pair (the
+  full mesh the simulator's ``cluster.mpi`` models), plus one result
+  pipe per worker for stats and error reporting;
+* ``"tcp"`` — the driver opens a rendezvous endpoint
+  (:class:`repro.net.rendezvous.Coordinator`), the workers dial in,
+  receive the job and the peer table, and build their own socket mesh.
+  The rendezvous connections double as the result channels.  With
+  ``job.spawn_workers=False`` no processes are spawned at all — the
+  driver waits for externally launched ``python -m repro worker`` PEs
+  (other terminals, other hosts).
+
+Failure handling is transport-blind: a worker that reports an error, a
+torn or wedged result message, or a death without a report all raise
+:class:`NativeSortError` well inside the timeout.
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import shutil
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -23,11 +37,12 @@ import numpy as np
 
 from ..core.config import SortConfig
 from ..workloads.validation import ValidationReport
+from .comm_api import DEFAULT_PENDING_SENDS
 from .job import NativeJob
 from .phases import OutputMeta
 from .records import NATIVE_DTYPE, RECORD_BYTES
 from .stats import NativeStats, WorkerStats
-from .worker import worker_main
+from .worker import tcp_worker_main, worker_main
 
 __all__ = ["NativeSorter", "NativeSortResult", "NativeSortError", "native_sort"]
 
@@ -142,8 +157,13 @@ class NativeSorter:
     # -- execution ------------------------------------------------------------
 
     def run(self) -> NativeSortResult:
+        os.makedirs(self.job.spill_dir, exist_ok=True)
+        if self.job.transport == "tcp":
+            return self._run_tcp()
+        return self._run_pipe()
+
+    def _run_pipe(self) -> NativeSortResult:
         job = self.job
-        os.makedirs(job.spill_dir, exist_ok=True)
         mesh = self._build_mesh()
         result_pipes = [self._ctx.Pipe(duplex=False) for _ in range(job.n_workers)]
 
@@ -170,8 +190,76 @@ class NativeSorter:
             self._reap(procs)
             for rp in result_pipes:
                 rp[0].close()
-        total_time = time.monotonic() - start
+        return self._assemble(results, time.monotonic() - start)
 
+    def _run_tcp(self) -> NativeSortResult:
+        """Rendezvous-based execution over the socket transport."""
+        from ..net.rendezvous import Coordinator, parse_hostport
+
+        job = self.job
+        host, port = parse_hostport(job.listen)
+        coordinator = Coordinator(job.n_workers, host=host, port=port)
+        procs: List = []
+        conns: Dict[int, object] = {}
+        start = time.monotonic()
+        try:
+            if not job.spawn_workers:
+                # External PEs need the endpoint to dial; port may be
+                # ephemeral, so announce the bound address.
+                print(
+                    f"rendezvous listening on "
+                    f"{coordinator.addr[0]}:{coordinator.addr[1]} — start "
+                    f"{job.n_workers} workers: python -m repro worker "
+                    f"--connect {coordinator.addr[0]}:{coordinator.addr[1]} "
+                    f"--rank <0..{job.n_workers - 1}>",
+                    file=sys.stderr,
+                )
+            if job.spawn_workers:
+                # Spawned workers take the identical path an external
+                # ``repro worker`` process takes — job over the wire —
+                # so loopback CI exercises the multi-host handshake.
+                for rank in range(job.n_workers):
+                    proc = self._ctx.Process(
+                        target=tcp_worker_main,
+                        args=(rank, coordinator.addr),
+                        kwargs={"connect_timeout": job.timeout + 30.0},
+                        name=f"native-pe-{rank}",
+                    )
+                    proc.start()
+                    procs.append(proc)
+
+            def health() -> None:
+                for rank, proc in enumerate(procs):
+                    if not proc.is_alive():
+                        raise NativeSortError(
+                            f"worker {rank} died during rendezvous "
+                            f"(exit code {proc.exitcode})"
+                        )
+
+            deadline = time.monotonic() + job.timeout + 30.0
+            try:
+                conns = coordinator.wait_for_workers(
+                    job, deadline, health=health if procs else None
+                )
+            except NativeSortError:
+                raise
+            except Exception as exc:
+                raise NativeSortError(f"rendezvous failed: {exc}") from exc
+            results = self._collect_tcp(procs, conns)
+        finally:
+            self._reap(procs)
+            for sock in conns.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            coordinator.close()
+        return self._assemble(results, time.monotonic() - start)
+
+    def _assemble(
+        self, results: List[tuple], total_time: float
+    ) -> NativeSortResult:
+        job = self.job
         workers: List[WorkerStats] = []
         outputs: List[OutputMeta] = []
         input_checksum = 0
@@ -291,7 +379,112 @@ class NativeSorter:
                 f"worker {rank} result unreadable: {box['exc']!r} "
                 f"(exit code {proc.exitcode})"
             )
-        payload = box["payload"]
+        return self._check_result_payload(rank, box["payload"])
+
+    def _collect_tcp(self, procs, conns) -> List[tuple]:
+        """TCP twin of :meth:`_collect`: result sockets + process sentinels.
+
+        With externally launched workers (``procs`` empty) there are no
+        sentinels to watch — a dead worker surfaces as EOF on its result
+        socket instead (TCP closes connections on process death, unlike
+        the fork-shared pipe write-ends that motivate the sentinels).
+        """
+        import select as _select
+
+        deadline = time.monotonic() + self.job.timeout + 30.0
+        pending = dict(conns)
+        results: List[tuple] = []
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                alive = (
+                    [r for r in sorted(pending) if procs[r].is_alive()]
+                    if procs
+                    else "external"
+                )
+                raise NativeSortError(
+                    f"timed out waiting for workers {sorted(pending)} "
+                    f"(still alive: {alive})"
+                )
+            by_sock = {id(s): r for r, s in pending.items()}
+            sentinels = {procs[r].sentinel: r for r in pending} if procs else {}
+            ready = conn_wait(
+                list(pending.values()) + list(sentinels),
+                timeout=min(1.0, remaining),
+            )
+            got_result = False
+            for obj in ready:
+                rank = by_sock.get(id(obj))
+                if rank is None or rank not in pending:
+                    continue
+                results.append(
+                    self._recv_result_tcp(
+                        procs[rank] if procs else None, obj, rank
+                    )
+                )
+                del pending[rank]
+                got_result = True
+            if got_result:
+                continue
+            for rank in list(pending):
+                if not procs or procs[rank].is_alive():
+                    continue
+                sock = pending[rank]
+                readable, _, _ = _select.select([sock], [], [], 0)
+                if readable:
+                    results.append(
+                        self._recv_result_tcp(procs[rank], sock, rank)
+                    )
+                    del pending[rank]
+                else:
+                    raise NativeSortError(
+                        f"worker {rank} died (exit code {procs[rank].exitcode}) "
+                        "without reporting a result"
+                    )
+        return results
+
+    def _recv_result_tcp(self, proc, sock, rank: int) -> tuple:
+        """One framed result receive that cannot hang the driver.
+
+        The socket timeout replaces :meth:`_recv_result`'s helper
+        thread: a torn frame, garbage bytes, an unfinished message or a
+        silent close all become a :class:`NativeSortError` naming the
+        worker within :data:`RESULT_RECV_TIMEOUT`.
+        """
+        from ..net.framing import KIND_RESULT, recv_frame
+        from .comm_api import CommError, CommTimeout
+
+        def status() -> str:
+            if proc is None:
+                return "external"
+            return "alive" if proc.is_alive() else f"exit code {proc.exitcode}"
+
+        sock.settimeout(RESULT_RECV_TIMEOUT)
+        try:
+            frame = recv_frame(sock)
+        except CommTimeout:
+            raise NativeSortError(
+                f"worker {rank} result channel wedged: a partial message "
+                f"arrived but never completed (worker {status()})"
+            ) from None
+        except CommError as exc:
+            raise NativeSortError(
+                f"worker {rank} result unreadable: {exc} (worker {status()})"
+            ) from exc
+        if frame is None:
+            raise NativeSortError(
+                f"worker {rank} closed its result channel without "
+                f"reporting a result (worker {status()})"
+            )
+        kind, payload, _epoch, _nbytes = frame
+        if kind != KIND_RESULT:
+            raise NativeSortError(
+                f"worker {rank} sent frame kind {kind} on the result channel"
+            )
+        return self._check_result_payload(rank, payload)
+
+    @staticmethod
+    def _check_result_payload(rank: int, payload) -> tuple:
         if (
             not isinstance(payload, tuple)
             or not payload
@@ -326,14 +519,18 @@ def native_sort(
     spill_dir: str,
     skew: bool = False,
     timeout: float = 300.0,
+    transport: str = "pipe",
+    pending_sends: int = DEFAULT_PENDING_SENDS,
     prefetch_blocks: int = 0,
     write_behind_blocks: int = 0,
 ) -> NativeSortResult:
     """Convenience one-call native sort (generate, sort, return result).
 
-    ``prefetch_blocks`` / ``write_behind_blocks`` enable the pipelined
-    I/O layer (:mod:`repro.native.pipeline`); both default to 0, the
-    synchronous path.
+    ``transport`` picks the interconnect substrate (``"pipe"`` or
+    ``"tcp"``, see :mod:`repro.net`); ``prefetch_blocks`` /
+    ``write_behind_blocks`` enable the pipelined I/O layer
+    (:mod:`repro.native.pipeline`); both default to 0, the synchronous
+    path.
     """
     job = NativeJob(
         config=config,
@@ -341,6 +538,8 @@ def native_sort(
         spill_dir=spill_dir,
         skew=skew,
         timeout=timeout,
+        transport=transport,
+        pending_sends=pending_sends,
         prefetch_blocks=prefetch_blocks,
         write_behind_blocks=write_behind_blocks,
     )

@@ -29,9 +29,13 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.config import ConfigError, SortConfig
+from .comm_api import DEFAULT_PENDING_SENDS
 from .records import RECORD_BYTES
 
-__all__ = ["NativeJob", "SORT_WORKING_COPIES"]
+__all__ = ["NativeJob", "SORT_WORKING_COPIES", "TRANSPORTS"]
+
+#: Interconnect substrates the driver can wire up (see docs/TRANSPORT.md).
+TRANSPORTS = ("pipe", "tcp")
 
 #: Live record-array copies at run formation's memory peak (input chunk,
 #: sorted copy during the permutation, received exchange slice).
@@ -54,8 +58,24 @@ class NativeJob:
     skew: bool = False
     #: Generate the input files inside the workers before sorting.
     generate: bool = True
-    #: Per-message receive timeout for the pipe mesh.
+    #: Per-message receive timeout for the interconnect mesh.
     timeout: float = 300.0
+    #: Which interconnect carries the mesh: ``"pipe"`` (multiprocessing
+    #: pipes, single host) or ``"tcp"`` (real sockets via
+    #: :mod:`repro.net`, loopback or multi-host).
+    transport: str = "pipe"
+    #: Exchange backpressure bound: at most this many chunks parked in
+    #: the send queue before the producer is throttled (both transports).
+    pending_sends: int = DEFAULT_PENDING_SENDS
+    #: TCP only: rendezvous endpoint the driver listens on
+    #: (``"host:port"``; port 0 picks an ephemeral port).
+    listen: str = "127.0.0.1:0"
+    #: TCP only: when False the driver spawns no worker processes and
+    #: waits for externally launched ``python -m repro worker`` PEs to
+    #: connect to the rendezvous endpoint instead.
+    spawn_workers: bool = True
+    #: TCP only: sender-idle seconds between heartbeat frames.
+    heartbeat_s: float = 5.0
     #: Read-ahead budget W in blocks (0 = synchronous reads).  When > 0,
     #: the merge and all-to-all phases fetch blocks on background threads
     #: in the order of the paper's optimal prefetch schedule (Appendix A),
@@ -93,6 +113,23 @@ class NativeJob:
         if self.write_behind_blocks < 0:
             raise ConfigError(
                 f"write_behind_blocks must be >= 0, got {self.write_behind_blocks}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ConfigError(
+                f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
+            )
+        if self.timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {self.timeout}")
+        if self.pending_sends < 1:
+            raise ConfigError(
+                f"pending_sends must be >= 1, got {self.pending_sends}"
+            )
+        if self.heartbeat_s <= 0:
+            raise ConfigError(f"heartbeat_s must be > 0, got {self.heartbeat_s}")
+        if not self.spawn_workers and self.transport != "tcp":
+            raise ConfigError(
+                "spawn_workers=False (externally launched PEs) requires "
+                "transport='tcp'"
             )
         merge_working = (self.n_runs * 2 + 4) * self.block_records * RECORD_BYTES
         if merge_working > self.memory_bytes + self.chunk_records * RECORD_BYTES:
@@ -191,6 +228,9 @@ class NativeJob:
             "randomize": self.config.randomize,
             "seed": self.config.seed,
             "skew": self.skew,
+            "transport": self.transport,
+            "pending_sends": self.pending_sends,
+            "timeout": self.timeout,
             "prefetch_blocks": self.prefetch_blocks,
             "write_behind_blocks": self.write_behind_blocks,
             "chaos": self.chaos is not None,

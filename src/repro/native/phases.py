@@ -39,7 +39,7 @@ from ..algos.multiway_selection import (
 )
 from ..core.selection_phase import _run_samples, warm_start_from_samples
 from .blockstore import FileBlockStore, SequentialReader
-from .comm import PipeComm
+from .comm_api import Comm
 from .job import NativeJob
 from .pipeline import (
     Prefetcher,
@@ -78,7 +78,7 @@ class NativeContext:
 
     rank: int
     job: NativeJob
-    comm: PipeComm
+    comm: Comm
     store: FileBlockStore
     stats: WorkerStats
     #: Order-independent checksum of this worker's input keys, accumulated

@@ -39,9 +39,23 @@ class WorkerStats:
     io_stall_s: Dict[str, float] = field(default_factory=dict)
     #: Free-form counters (probe reads, cache hits, runs formed, ...).
     counters: Dict[str, float] = field(default_factory=dict)
-    #: Bytes pushed through / pulled from the pipe mesh.
+    #: Bytes pushed through / pulled from the interconnect mesh.
     comm_bytes_sent: int = 0
     comm_bytes_received: int = 0
+    #: Phase -> payload bytes actually sent to / received from *other*
+    #: PEs (the wire; self-delivered exchange chunks excluded).
+    comm_wire_sent: Dict[str, int] = field(default_factory=dict)
+    comm_wire_recv: Dict[str, int] = field(default_factory=dict)
+    #: Phase -> payload bytes the exchange delivered to *itself* (the
+    #: locally kept share; wire + local = the phase's full data volume).
+    comm_local_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Peer rank -> payload bytes sent to / received from that peer.
+    comm_peer_sent: Dict[int, int] = field(default_factory=dict)
+    comm_peer_recv: Dict[int, int] = field(default_factory=dict)
+    #: Kernel-level socket bytes, framing included (TCP transport only;
+    #: 0 on pipes).  The gap to the payload counts is framing overhead.
+    comm_socket_bytes_sent: int = 0
+    comm_socket_bytes_recv: int = 0
     #: Peak analytically tracked resident record bytes (working-set proof).
     peak_resident_bytes: int = 0
     #: OS-reported peak RSS in bytes (0 when unavailable).
@@ -137,6 +151,27 @@ class NativeStats:
             return 1.0
         return max(0.0, min(1.0, 1.0 - self.stall_max(phase) / wall))
 
+    def wire_sent(self, phase: str) -> int:
+        """Payload bytes all workers sent to other PEs during ``phase``."""
+        return sum(w.comm_wire_sent.get(phase, 0) for w in self.workers)
+
+    def wire_recv(self, phase: str) -> int:
+        """Payload bytes all workers received from other PEs in ``phase``."""
+        return sum(w.comm_wire_recv.get(phase, 0) for w in self.workers)
+
+    def local_bytes(self, phase: str) -> int:
+        """Self-delivered payload bytes (the exchange's kept-local share)."""
+        return sum(w.comm_local_bytes.get(phase, 0) for w in self.workers)
+
+    def wire_volume(self, phase: str) -> int:
+        """Full data volume a phase moved: wire sends + local deliveries.
+
+        For the all-to-all this is the paper's N: on balanced inputs it
+        equals ``total_records * record_bytes`` exactly, of which the
+        wire part is N·(P-1)/P and the local part N/P.
+        """
+        return self.wire_sent(phase) + self.local_bytes(phase)
+
     @property
     def total_io_bytes(self) -> int:
         return sum(self.phase_bytes(p) for p in self.phases)
@@ -144,6 +179,15 @@ class NativeStats:
     @property
     def network_bytes(self) -> int:
         return sum(w.comm_bytes_sent for w in self.workers)
+
+    @property
+    def socket_bytes_sent(self) -> int:
+        """Kernel-level bytes pushed to sockets (0 on the pipe transport)."""
+        return sum(w.comm_socket_bytes_sent for w in self.workers)
+
+    @property
+    def socket_bytes_recv(self) -> int:
+        return sum(w.comm_socket_bytes_recv for w in self.workers)
 
     @property
     def peak_resident_bytes(self) -> int:
@@ -165,6 +209,8 @@ class NativeStats:
             "total_bytes": self.total_bytes,
             "total_time": self.total_time,
             "network_bytes": self.network_bytes,
+            "socket_bytes_sent": self.socket_bytes_sent,
+            "socket_bytes_recv": self.socket_bytes_recv,
             "peak_resident_bytes": self.peak_resident_bytes,
             "phases": {
                 phase: {
@@ -174,6 +220,9 @@ class NativeStats:
                     "throughput_mb_s": self.phase_throughput(phase) / 1e6,
                     "stall_s": self.stall_max(phase),
                     "overlap_ratio": self.overlap_ratio(phase),
+                    "wire_sent": self.wire_sent(phase),
+                    "wire_recv": self.wire_recv(phase),
+                    "wire_volume": self.wire_volume(phase),
                 }
                 for phase in self.phases
             },
@@ -187,6 +236,17 @@ class NativeStats:
                     "counters": dict(w.counters),
                     "comm_bytes_sent": w.comm_bytes_sent,
                     "comm_bytes_received": w.comm_bytes_received,
+                    "comm_wire_sent": dict(w.comm_wire_sent),
+                    "comm_wire_recv": dict(w.comm_wire_recv),
+                    "comm_local_bytes": dict(w.comm_local_bytes),
+                    "comm_peer_sent": {
+                        str(p): n for p, n in sorted(w.comm_peer_sent.items())
+                    },
+                    "comm_peer_recv": {
+                        str(p): n for p, n in sorted(w.comm_peer_recv.items())
+                    },
+                    "comm_socket_bytes_sent": w.comm_socket_bytes_sent,
+                    "comm_socket_bytes_recv": w.comm_socket_bytes_recv,
                     "peak_resident_bytes": w.peak_resident_bytes,
                     "max_rss_bytes": w.max_rss_bytes,
                 }
@@ -209,10 +269,20 @@ class NativeStats:
                 f"   {rate:8.1f} MB/s   stall {self.stall_max(phase):6.2f} s"
                 f"  overlap {self.overlap_ratio(phase):4.0%}"
             )
+        a2a = self.wire_volume("all_to_all")
         lines.append(
             f"  interconnect   {self.network_bytes / 2**20:9.1f} MiB; "
+            f"all-to-all volume {a2a / 2**20:.1f} MiB "
+            f"({a2a / self.total_bytes:.2f}x N); "
             f"peak resident {self.peak_resident_bytes / 2**20:.1f} MiB/worker"
         )
+        if self.socket_bytes_sent:
+            overhead = self.socket_bytes_sent - self.network_bytes
+            lines.append(
+                f"  socket wire    {self.socket_bytes_sent / 2**20:9.1f} MiB "
+                f"sent ({max(0, overhead) / 2**20:.2f} MiB framing+control "
+                "overhead)"
+            )
         return "\n".join(lines)
 
 

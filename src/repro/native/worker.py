@@ -1,27 +1,39 @@
 """Worker-process entry point: one PE of the native sort.
 
 A worker owns one rank: it generates (or finds) its input slice in the
-spill directory, runs the four phases against its peers over the pipe
-mesh, and reports its :class:`~repro.native.stats.WorkerStats` plus the
-streaming verification data of its output file back to the driver over a
-dedicated result pipe.  Any exception is caught and shipped to the
-driver as a formatted traceback so a crashed PE never hangs the job.
+spill directory, runs the four phases against its peers over the
+interconnect mesh, and reports its
+:class:`~repro.native.stats.WorkerStats` plus the streaming verification
+data of its output file back to the driver over a dedicated result
+channel.  Any exception is caught and shipped to the driver as a
+formatted traceback so a crashed PE never hangs the job.
+
+Two entry points share one body (:func:`_run_phases`):
+
+* :func:`worker_main` — the pipe transport: the driver spawned this
+  process and handed it pre-connected pipe ends and a result pipe;
+* :func:`tcp_worker_main` — the TCP transport: the process (spawned by
+  the driver *or* launched independently via ``python -m repro worker``)
+  dials the rendezvous coordinator, receives the job and the peer table
+  over the wire, builds the socket mesh, and reports on the rendezvous
+  connection itself.
 
 Fault-injection hook points (``job.chaos``, see
 :mod:`repro.testing.chaos`) bracket every phase: a chaos spec may kill
-the process, stall it, or corrupt the result pipe at any phase boundary,
-which is how the conformance suite holds the driver to its fail-fast
-contract.
+the process, stall it, sever or wedge its mesh, or corrupt the result
+channel at any phase boundary, which is how the conformance suite holds
+the driver to its fail-fast contract.
 """
 
 from __future__ import annotations
 
 import os
 import traceback
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from .blockstore import FileBlockStore
 from .comm import PipeComm
+from .comm_api import Comm
 from .job import NativeJob
 from .phases import (
     NativeContext,
@@ -33,29 +45,27 @@ from .phases import (
 )
 from .stats import PhaseClock, WorkerStats, max_rss_bytes
 
-__all__ = ["worker_main"]
+__all__ = ["worker_main", "tcp_worker_main"]
 
 
-def _chaos_point(job: NativeJob, rank: int, point: str, result_conn) -> None:
+def _chaos_point(
+    job: NativeJob, rank: int, point: str, result_conn, comm=None
+) -> None:
     """Fire the fault-injection hook, if a chaos spec rides on the job."""
     chaos = getattr(job, "chaos", None)
     if chaos is not None:
-        chaos.at_point(rank, point, result_conn=result_conn)
+        chaos.at_point(rank, point, result_conn=result_conn, comm=comm)
 
 
-def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> None:
-    """Run rank ``rank`` of ``job``; report ("ok", ...) or ("error", ...)."""
-    comm = None
-    chaos = getattr(job, "chaos", None)
+def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn) -> None:
+    """The four phases over an established mesh; reports, never raises."""
 
     def at(point: str) -> None:
-        _chaos_point(job, rank, point, result_conn)
+        _chaos_point(job, rank, point, result_conn, comm=comm)
 
     try:
         stats = WorkerStats(rank=rank)
-        comm = PipeComm(
-            rank, job.n_workers, peer_conns, timeout=job.timeout, chaos=chaos
-        )
+        chaos = getattr(job, "chaos", None)
         store = FileBlockStore(
             job.spill_dir, rank, job.block_records, chaos=chaos
         )
@@ -67,27 +77,32 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
         )
 
         if job.generate or not os.path.exists(store.input_path()):
+            comm.set_phase("generate")
             at("before:generate")
             with PhaseClock(stats, "generate"):
                 generate_input(ctx)
                 comm.barrier()
             at("after:generate")
 
+        comm.set_phase("run_formation")
         at("before:run_formation")
         with PhaseClock(stats, "run_formation"):
             runs = run_formation(ctx)
             comm.barrier()
         at("after:run_formation")
+        comm.set_phase("selection")
         at("before:selection")
         with PhaseClock(stats, "selection"):
             splits = selection(ctx, runs)
             comm.barrier()
         at("after:selection")
+        comm.set_phase("all_to_all")
         at("before:all_to_all")
         with PhaseClock(stats, "all_to_all"):
             seg_len, block_first_keys = all_to_all(ctx, runs, splits)
             comm.barrier()
         at("after:all_to_all")
+        comm.set_phase("merge")
         at("before:merge")
         with PhaseClock(stats, "merge"):
             out_meta = merge(ctx, seg_len, block_first_keys)
@@ -100,6 +115,13 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
             stats.bytes_written[phase] = nbytes
         stats.comm_bytes_sent = comm.bytes_sent
         stats.comm_bytes_received = comm.bytes_received
+        stats.comm_wire_sent = dict(comm.wire_sent)
+        stats.comm_wire_recv = dict(comm.wire_recv)
+        stats.comm_local_bytes = dict(comm.local_bytes)
+        stats.comm_peer_sent = dict(comm.peer_sent)
+        stats.comm_peer_recv = dict(comm.peer_recv)
+        stats.comm_socket_bytes_sent = getattr(comm, "socket_bytes_sent", 0)
+        stats.comm_socket_bytes_recv = getattr(comm, "socket_bytes_received", 0)
         stats.max_rss_bytes = max_rss_bytes()
 
         at("before:report")
@@ -112,12 +134,79 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
         except Exception:
             pass
     finally:
-        if comm is not None:
-            try:
-                comm.close()
-            except Exception:
-                pass
+        try:
+            comm.close()
+        except Exception:
+            pass
         try:
             result_conn.close()
         except Exception:
             pass
+
+
+def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> None:
+    """Run rank ``rank`` of ``job`` over pipes; report ("ok"/"error", ...)."""
+    try:
+        comm = PipeComm(
+            rank,
+            job.n_workers,
+            peer_conns,
+            timeout=job.timeout,
+            chaos=getattr(job, "chaos", None),
+            pending_sends=getattr(job, "pending_sends", 4),
+        )
+    except Exception:
+        try:
+            result_conn.send(("error", rank, traceback.format_exc()))
+            result_conn.close()
+        except Exception:
+            pass
+        return
+    _run_phases(rank, job, comm, result_conn)
+
+
+def tcp_worker_main(
+    rank: int,
+    connect: Tuple[str, int],
+    connect_timeout: float = 60.0,
+    job: Optional[NativeJob] = None,
+) -> None:
+    """Run rank ``rank`` over TCP: rendezvous, mesh up, sort, report.
+
+    ``connect`` is the coordinator's ``(host, port)``.  With ``job=None``
+    (always, today — even driver-spawned workers fetch the job over the
+    wire, so this path is identical for local and remote PEs) the job
+    arrives in the WELCOME.  Used both as a spawned-process target and by
+    the ``python -m repro worker`` CLI.
+    """
+    from ..net.rendezvous import ResultChannel, join_mesh
+    from ..net.tcp import TcpComm
+
+    try:
+        job, coord_sock, socks = join_mesh(
+            connect, rank, connect_timeout=connect_timeout, job=job
+        )
+    except Exception:
+        # No channel to report on: the driver sees the rendezvous fail
+        # (missing rank / dead sentinel); a CLI user sees the traceback.
+        traceback.print_exc()
+        raise SystemExit(1)
+    result_conn = ResultChannel(coord_sock)
+    try:
+        comm = TcpComm(
+            rank,
+            job.n_workers,
+            socks,
+            timeout=job.timeout,
+            pending_sends=getattr(job, "pending_sends", 4),
+            chaos=getattr(job, "chaos", None),
+            heartbeat_s=getattr(job, "heartbeat_s", 5.0),
+        )
+    except Exception:
+        try:
+            result_conn.send(("error", rank, traceback.format_exc()))
+            result_conn.close()
+        except Exception:
+            pass
+        return
+    _run_phases(rank, job, comm, result_conn)

@@ -1,0 +1,263 @@
+"""Length-prefixed binary framing for the TCP transport.
+
+A TCP stream has no message boundaries, so every message travels as one
+*frame*:
+
+.. code-block:: text
+
+    offset  size  field
+    0       2     magic  "RS"
+    2       1     version (1)
+    3       1     kind    (MSG / HELLO / WELCOME / MESH / RESULT / HEARTBEAT)
+    4       1     flags   (bit 0: RAW payload present)
+    5       1     pad
+    6       4     epoch   (u32, collective epoch tag; 0 = untagged)
+    10      4     meta_len    (u32, pickled message bytes)
+    14      8     payload_len (u64, raw record bytes; 0 unless FLAG_RAW)
+    22      4     crc     (u32, CRC-32 over meta then payload)
+    26      ...   meta || payload
+
+Two paths share this layout:
+
+* **Control messages** pickle the whole tuple into ``meta`` and carry no
+  payload.
+* **Bulk record chunks** — an exchange message whose tuple ends in a
+  large bytes-like item — split off that item: the tuple *minus* the
+  trailing buffer is pickled into ``meta`` and the buffer itself rides
+  as the raw payload (``FLAG_RAW``).  The send side pushes header, meta
+  and the caller's buffer with one gather write (``sendmsg``), so record
+  bytes are never copied into a concatenation; the receive side reads
+  the payload straight into a preallocated ``bytearray`` and reattaches
+  it as the tuple's last element (``np.frombuffer`` accepts it without a
+  copy).
+
+Integrity: a wrong magic/version, an implausible length, a CRC mismatch,
+an undecodable pickle, or an epoch tag that disagrees with the decoded
+message all raise :class:`~repro.native.comm_api.CommError`; mid-frame
+EOF (a peer died while sending) does too.  A socket timeout mid-frame
+surfaces as :class:`~repro.native.comm_api.CommTimeout` — a wedged peer,
+not a dead one.  EOF *between* frames returns ``None`` (clean close).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+from typing import Optional, Tuple
+
+from ..native.comm_api import CommError, CommTimeout, message_epoch
+
+__all__ = [
+    "FRAME_HEADER",
+    "MAGIC",
+    "VERSION",
+    "FLAG_RAW",
+    "KIND_MSG",
+    "KIND_HELLO",
+    "KIND_WELCOME",
+    "KIND_MESH",
+    "KIND_RESULT",
+    "KIND_HEARTBEAT",
+    "KIND_GOODBYE",
+    "MAX_META_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "send_frame",
+    "send_raw_frame",
+    "recv_frame",
+]
+
+MAGIC = b"RS"
+VERSION = 1
+
+FRAME_HEADER = struct.Struct("!2sBBBxIIQI")
+
+#: Frame kinds.  MSG carries comm traffic; HELLO/WELCOME/MESH belong to
+#: the rendezvous handshake; RESULT is the worker's report to the
+#: driver; HEARTBEAT keeps idle connections observably alive; GOODBYE
+#: announces a deliberate close (EOF without one = dead PE).
+KIND_MSG = 0
+KIND_HELLO = 1
+KIND_WELCOME = 2
+KIND_MESH = 3
+KIND_RESULT = 4
+KIND_HEARTBEAT = 5
+KIND_GOODBYE = 6
+
+_KINDS = frozenset(
+    (KIND_MSG, KIND_HELLO, KIND_WELCOME, KIND_MESH, KIND_RESULT,
+     KIND_HEARTBEAT, KIND_GOODBYE)
+)
+
+FLAG_RAW = 0x01
+
+#: Sanity bounds: a header claiming more than this is garbage (a torn
+#: stream or a non-frame peer), not a plausible message.
+MAX_META_BYTES = 64 * 2**20
+MAX_PAYLOAD_BYTES = 4 * 2**30
+
+#: A trailing buffer at least this large takes the zero-copy RAW path;
+#: smaller ones aren't worth the second crc32 pass.
+RAW_THRESHOLD = 256
+
+
+def _split_raw(msg: tuple):
+    """``(meta_tuple, payload)`` — peel a large trailing buffer, if any."""
+    if (
+        isinstance(msg, tuple)
+        and msg
+        and isinstance(msg[-1], (bytes, bytearray, memoryview))
+        and len(msg[-1]) >= RAW_THRESHOLD
+    ):
+        return msg[:-1], msg[-1]
+    return msg, None
+
+
+def _send_all(sock: socket.socket, parts) -> int:
+    """Gather-write ``parts`` (bytes-likes) fully; returns total bytes."""
+    views = [memoryview(p) for p in parts if len(p)]
+    total = sum(len(v) for v in views)
+    if not views:
+        return 0
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX fallback
+        sock.sendall(b"".join(views))
+        return total
+    while views:
+        n = sock.sendmsg(views)
+        while n:
+            if n >= len(views[0]):
+                n -= len(views[0])
+                views.pop(0)
+            else:
+                views[0] = views[0][n:]
+                n = 0
+    return total
+
+
+def send_frame(
+    sock: socket.socket, kind: int, msg, epoch: Optional[int] = None
+) -> int:
+    """Frame and send one message; returns bytes pushed to the socket.
+
+    ``epoch`` defaults to the message's own collective tag (see
+    :func:`~repro.native.comm_api.message_epoch`).  Bulk chunks take the
+    gather-write RAW path — the record buffer goes from the caller's
+    memory to the kernel without an intermediate copy.
+    """
+    if epoch is None:
+        epoch = message_epoch(msg)
+    meta_msg, payload = _split_raw(msg)
+    meta = pickle.dumps(meta_msg, protocol=pickle.HIGHEST_PROTOCOL)
+    flags = 0
+    payload_len = 0
+    crc = zlib.crc32(meta)
+    parts = [b"", meta]
+    if payload is not None:
+        flags |= FLAG_RAW
+        payload_len = len(payload)
+        crc = zlib.crc32(payload, crc)
+        parts.append(payload)
+    parts[0] = FRAME_HEADER.pack(
+        MAGIC, VERSION, kind, flags, epoch, len(meta), payload_len, crc
+    )
+    return _send_all(sock, parts)
+
+
+def send_raw_frame(sock: socket.socket, kind: int, meta: bytes) -> int:
+    """Send pre-encoded bytes as a frame's meta, without pickling.
+
+    The chaos harness uses this to deliver *deliberately* corrupt pickle
+    bytes through an intact frame — the framing layer must pass them and
+    the unpickling layer must reject them.
+    """
+    header = FRAME_HEADER.pack(
+        MAGIC, VERSION, kind, 0, 0, len(meta), 0, zlib.crc32(meta)
+    )
+    return _send_all(sock, [header, meta])
+
+
+def _recv_exact(
+    sock: socket.socket, view: memoryview, what: str, allow_eof: bool = False
+) -> bool:
+    """Fill ``view`` from the socket; False on clean EOF at offset 0."""
+    got = 0
+    n = len(view)
+    while got < n:
+        try:
+            k = sock.recv_into(view[got:])
+        except socket.timeout as exc:
+            raise CommTimeout(
+                f"socket timed out mid-{what} ({got}/{n} bytes in): "
+                "peer wedged"
+            ) from exc
+        if k == 0:
+            if got == 0 and allow_eof:
+                return False
+            raise CommError(
+                f"connection closed mid-{what} ({got}/{n} bytes in): "
+                "torn frame"
+            )
+        got += k
+    return True
+
+
+def recv_frame(sock: socket.socket) -> Optional[Tuple[int, object, int, int]]:
+    """Receive one frame: ``(kind, msg, epoch, total_bytes)`` or ``None``.
+
+    ``None`` means the peer closed the connection cleanly at a frame
+    boundary.  Any mid-frame EOF, bad magic, implausible length, CRC
+    mismatch, unpicklable meta or epoch/tag disagreement raises
+    :class:`CommError`; a receive timeout raises :class:`CommTimeout`.
+    """
+    header = bytearray(FRAME_HEADER.size)
+    if not _recv_exact(sock, memoryview(header), "header", allow_eof=True):
+        return None
+    magic, version, kind, flags, epoch, meta_len, payload_len, crc = (
+        FRAME_HEADER.unpack(header)
+    )
+    if magic != MAGIC or version != VERSION:
+        raise CommError(
+            f"bad frame header (magic {magic!r}, version {version}): "
+            "stream corrupt or peer speaks another protocol"
+        )
+    if kind not in _KINDS:
+        raise CommError(f"unknown frame kind {kind}")
+    if meta_len > MAX_META_BYTES or payload_len > MAX_PAYLOAD_BYTES:
+        raise CommError(
+            f"implausible frame lengths (meta {meta_len}, payload "
+            f"{payload_len}): stream corrupt"
+        )
+    if payload_len and not flags & FLAG_RAW:
+        raise CommError("frame carries a payload but FLAG_RAW is unset")
+    meta = bytearray(meta_len)
+    _recv_exact(sock, memoryview(meta), "meta")
+    want_crc = zlib.crc32(meta)
+    payload: Optional[bytearray] = None
+    if flags & FLAG_RAW:
+        payload = bytearray(payload_len)
+        _recv_exact(sock, memoryview(payload), "payload")
+        want_crc = zlib.crc32(payload, want_crc)
+    if want_crc != crc:
+        raise CommError(
+            f"frame CRC mismatch ({crc:#010x} claimed, {want_crc:#010x} "
+            "computed): bytes corrupted in flight"
+        )
+    try:
+        msg = pickle.loads(bytes(meta))
+    except Exception as exc:
+        raise CommError(f"undecodable frame meta: {exc!r}") from exc
+    if payload is not None:
+        if not isinstance(msg, tuple):
+            raise CommError("RAW frame whose meta is not a tuple")
+        # Reattach the record buffer without copying it: downstream
+        # consumers (np.frombuffer, struct.unpack_from, file writes)
+        # all accept a bytearray.
+        msg = msg + (payload,)
+    if kind == KIND_MSG and epoch != message_epoch(msg):
+        raise CommError(
+            f"frame epoch tag {epoch} disagrees with message epoch "
+            f"{message_epoch(msg)}: stream out of step"
+        )
+    total = FRAME_HEADER.size + meta_len + payload_len
+    return kind, msg, epoch, total

@@ -101,6 +101,16 @@ class ChaosSpec:
     #: Delay every pipe receive poll on this rank by this much (a slow
     #: link; the sort must still finish correctly).
     recv_delay_s: float = 0.0
+    #: Sever the rank's mesh at this point: every channel is closed
+    #: abruptly (``comm.sever()``), as if the host lost its network.
+    #: Peers must surface CommError (dead peer), never a hang, and the
+    #: job must leave no torn output files behind.
+    sever_comm_at: Optional[str] = None
+    #: Wedge the rank's mesh at this point: a valid message header with
+    #: a body that never follows is pushed to every peer
+    #: (``comm.wedge()``), then the rank stalls.  Peers must escalate to
+    #: CommTimeout via their per-message receive deadline.
+    wedge_comm_at: Optional[str] = None
 
     # -- spill-directory faults ------------------------------------------------
     #: After this many bytes written by the rank's block store, writes
@@ -115,11 +125,19 @@ class ChaosSpec:
 
     # -- hook entry points (called from repro.native) --------------------------
 
-    def at_point(self, rank: int, point: str, result_conn=None) -> None:
+    def at_point(self, rank: int, point: str, result_conn=None, comm=None) -> None:
         """Phase-boundary hook; called by the worker between phases."""
         if rank != self.rank:
             return
         if self.stall_at == point:
+            time.sleep(self.stall_seconds)
+        if self.sever_comm_at == point and comm is not None:
+            comm.sever()
+            # The severed rank idles out of the protocol; its peers'
+            # CommError (and the driver's fail-fast) are the test.
+            time.sleep(self.stall_seconds)
+        if self.wedge_comm_at == point and comm is not None:
+            comm.wedge()
             time.sleep(self.stall_seconds)
         if self.torn_result_at == point and result_conn is not None:
             import pickle
@@ -175,6 +193,7 @@ def run_chaos_case(
     budget: float = 30.0,
     prefetch_blocks: int = 0,
     write_behind_blocks: int = 0,
+    transport: str = "pipe",
 ) -> dict:
     """One native sort with ``spec`` injected; the contract is *fail fast*.
 
@@ -201,13 +220,15 @@ def run_chaos_case(
         n_workers=n_workers,
         spill_dir=spill_dir,
         timeout=job_timeout,
+        transport=transport,
         chaos=spec,
         prefetch_blocks=prefetch_blocks,
         write_behind_blocks=write_behind_blocks,
     )
     terminal = any(
         (spec.kill_at, spec.torn_result_at, spec.wedged_result_at,
-         spec.stall_at, spec.enospc_after_bytes is not None)
+         spec.stall_at, spec.sever_comm_at, spec.wedge_comm_at,
+         spec.enospc_after_bytes is not None)
     )
     start = time.monotonic()
     verdict = {
@@ -228,6 +249,23 @@ def run_chaos_case(
             verdict["outcome"] = (
                 f"error took {verdict['elapsed']:.1f}s > budget {budget}s: {exc}"
             )
+        if (
+            verdict["ok"]
+            and spec.sever_comm_at is not None
+            and spec.sever_comm_at != "after:merge"
+        ):
+            # A severed mesh killed the job before any merge finished:
+            # no (necessarily torn) output file may survive.
+            torn = sorted(
+                name
+                for name in os.listdir(spill_dir)
+                if name.startswith("output_") and name.endswith(".dat")
+            )
+            if torn:
+                verdict["ok"] = False
+                verdict["outcome"] = (
+                    f"severed run left torn output files behind: {torn}"
+                )
         return verdict
     verdict["elapsed"] = time.monotonic() - start
     if terminal:
@@ -240,7 +278,14 @@ def run_chaos_case(
 
 
 def _describe_spec(spec: ChaosSpec) -> str:
-    for attr in ("kill_at", "torn_result_at", "wedged_result_at", "stall_at"):
+    for attr in (
+        "kill_at",
+        "torn_result_at",
+        "wedged_result_at",
+        "stall_at",
+        "sever_comm_at",
+        "wedge_comm_at",
+    ):
         value = getattr(spec, attr)
         if value is not None:
             return f"{attr}={value} rank={spec.rank}"
@@ -259,6 +304,7 @@ def run_chaos_sweep(
     budget: float = 30.0,
     progress=None,
     pipelined: bool = False,
+    transport: str = "pipe",
 ) -> List[dict]:
     """Kill one worker at every phase boundary; every run must fail fast.
 
@@ -281,6 +327,10 @@ def run_chaos_sweep(
         {"prefetch_blocks": 4, "write_behind_blocks": 4} if pipelined else {}
     )
     specs = [ChaosSpec(rank=0, kill_at=point) for point in points]
+    # One connection severed mid-protocol: the all-to-all is where the
+    # bulk of the data crosses the mesh, so losing a PE's network there
+    # must fail fast on every peer and leave no torn output files.
+    specs.append(ChaosSpec(rank=0, sever_comm_at="before:all_to_all"))
     if pipelined:
         # Torn disk-full write, deferred into the writer thread: the
         # threshold sits past the 8 KiB input (written synchronously
@@ -302,10 +352,13 @@ def run_chaos_sweep(
                 n_workers=n_workers,
                 job_timeout=job_timeout,
                 budget=budget,
+                transport=transport,
                 **pipe_kw,
             )
             if pipelined:
                 verdict["fault"] += " [pipelined]"
+            if transport != "pipe":
+                verdict["fault"] += f" [{transport}]"
             verdicts.append(verdict)
         finally:
             shutil.rmtree(spill, ignore_errors=True)

@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         "pipelined I/O plus a torn-write-inside-write-behind case",
     )
     parser.add_argument(
+        "--transport", choices=("pipe", "tcp", "both"), default="pipe",
+        help="native interconnect for matrix cases; 'tcp' or 'both' adds "
+        "native-only TCP twins of every matrix case and runs the chaos "
+        "sweep over the socket transport too",
+    )
+    parser.add_argument(
         "--search", type=int, metavar="N", default=0,
         help="run N random property-based cases (shrunk on failure)",
     )
@@ -146,6 +152,20 @@ def main(argv: List[str] = None) -> int:
             specs.extend(differential.full_specs(seed=args.seed))
         if args.pipelined and specs:
             specs.extend(differential.pipelined_variants(specs))
+        if args.transport != "pipe" and specs:
+            # Native-only TCP twins of every (non-pipelined) matrix case:
+            # the oracle byte-comparison plus the pipe twin already in
+            # the list prove the socket transport is bitwise-invisible.
+            specs.extend(
+                differential.tcp_variants(
+                    [
+                        s for s in specs
+                        if "native" in s.backends
+                        and s.transport == "pipe"
+                        and not s.pipelined
+                    ]
+                )
+            )
         if specs:
             results = differential.run_specs(specs)
             n_div = 0
@@ -187,10 +207,18 @@ def main(argv: List[str] = None) -> int:
 
         # -- chaos sweep -------------------------------------------------------
         if args.chaos:
-            verdicts = chaos.run_chaos_sweep(
-                spill_root, budget=args.chaos_budget,
-                pipelined=args.pipelined,
+            transports = (
+                ["pipe"] if args.transport == "pipe" else ["pipe", "tcp"]
             )
+            verdicts = []
+            for transport in transports:
+                verdicts.extend(
+                    chaos.run_chaos_sweep(
+                        spill_root, budget=args.chaos_budget,
+                        pipelined=args.pipelined,
+                        transport=transport,
+                    )
+                )
             bad = [v for v in verdicts if not v["ok"]]
             for v in verdicts:
                 flag = "ok  " if v["ok"] else "FAIL"

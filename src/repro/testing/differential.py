@@ -37,6 +37,7 @@ __all__ = [
     "quick_specs",
     "full_specs",
     "pipelined_variants",
+    "tcp_variants",
     "run_case",
     "run_sim_case",
     "run_native_case",
@@ -70,6 +71,9 @@ class CaseSpec:
     #: + write-behind).  The oracle comparison is unchanged — pipelining
     #: must be bitwise-invisible.
     pipelined: bool = False
+    #: Native interconnect substrate ("pipe" or "tcp").  The oracle
+    #: comparison is unchanged — the transport must be bitwise-invisible.
+    transport: str = "pipe"
 
     def __post_init__(self):
         if self.entry not in corpus.ENTRIES:
@@ -78,6 +82,8 @@ class CaseSpec:
         for backend in self.backends:
             if backend not in ("native", "sim"):
                 raise ValueError(f"unknown backend {backend!r}")
+        if self.transport not in ("pipe", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
 
     # -- replay tokens --------------------------------------------------------
 
@@ -89,6 +95,8 @@ class CaseSpec:
             token += ":" + "+".join(self.backends)
         if self.pipelined:
             token += ":pipe"
+        if self.transport != "pipe":
+            token += f":{self.transport}"
         return token
 
     @classmethod
@@ -98,16 +106,19 @@ class CaseSpec:
             raise ValueError(
                 f"bad replay token {token!r}: want "
                 "entry:sizing:p<P>:s<seed>:rand|norand:selection"
-                "[:backends][:pipe]"
+                "[:backends][:pipe][:tcp]"
             )
         entry, sizing, p, s, rand, selection = parts[:6]
         if not p.startswith("p") or not s.startswith("s"):
             raise ValueError(f"bad replay token {token!r}: p/s fields malformed")
         backends: Tuple[str, ...] = ("native", "sim")
         pipelined = False
+        transport = "pipe"
         for part in parts[6:]:
             if part == "pipe":
                 pipelined = True
+            elif part == "tcp":
+                transport = "tcp"
             else:
                 backends = tuple(part.split("+"))
         return cls(
@@ -119,6 +130,7 @@ class CaseSpec:
             selection=selection,
             backends=backends,
             pipelined=pipelined,
+            transport=transport,
         )
 
     def replay_command(self) -> str:
@@ -220,6 +232,18 @@ def pipelined_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
     ]
 
 
+def tcp_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+    """Native-only TCP twins of ``specs`` (the socket transport).
+
+    The oracle byte-comparison proves the TCP mesh delivers the
+    identical output the pipe mesh produced, and the cross-checksum in
+    :func:`run_case` binds the two together.
+    """
+    return [
+        replace(spec, backends=("native",), transport="tcp") for spec in specs
+    ]
+
+
 # ------------------------------------------------------------------ backends
 
 
@@ -296,6 +320,7 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
             spill_dir=spill,
             generate=False,
             timeout=120.0,
+            transport=spec.transport,
             prefetch_blocks=4 if spec.pipelined else 0,
             write_behind_blocks=4 if spec.pipelined else 0,
         )

@@ -1,0 +1,204 @@
+"""Contract test: every ``Comm`` implementation honors the same protocol.
+
+Each test runs once per transport — ``PipeComm`` over multiprocessing
+pipes and ``TcpComm`` over a socketpair mesh — driven by threads (both
+transports are indifferent to whether their ends live in threads or
+processes, and threads keep the tests fast and debuggable).  What this
+file pins down is the *shared* semantics: stash-aware matching, epoch
+discipline of the collectives, wire accounting, and the protocol shape
+``native/phases.py`` relies on, so a new transport only has to pass this
+file to be trusted with the sort.
+"""
+
+import multiprocessing as mp
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.native.comm import PipeComm
+from repro.native.comm_api import Comm, CommTimeout, MeshComm
+from repro.net.tcp import TcpComm
+
+
+def make_pipe_comms(n, timeout=30.0):
+    conns = [dict() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = mp.Pipe(duplex=True)
+            conns[i][j] = a
+            conns[j][i] = b
+    return [PipeComm(r, n, conns[r], timeout=timeout) for r in range(n)]
+
+
+def make_tcp_comms(n, timeout=30.0):
+    socks = [dict() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = socket.socketpair()
+            socks[i][j] = a
+            socks[j][i] = b
+    return [TcpComm(r, n, socks[r], timeout=timeout) for r in range(n)]
+
+
+MAKERS = {"pipe": make_pipe_comms, "tcp": make_tcp_comms}
+
+
+def run_all(comms, fn):
+    with ThreadPoolExecutor(max_workers=len(comms)) as pool:
+        futures = [pool.submit(fn, comm) for comm in comms]
+        return [f.result(timeout=60) for f in futures]
+
+
+@pytest.fixture(params=sorted(MAKERS))
+def transport(request):
+    return request.param
+
+
+@pytest.fixture
+def mesh3(transport):
+    comms = MAKERS[transport](3)
+    yield comms
+    for c in comms:
+        c.close()
+
+
+@pytest.fixture
+def mesh2(transport):
+    comms = MAKERS[transport](2)
+    yield comms
+    for c in comms:
+        c.close()
+
+
+def test_implements_the_comm_protocol(mesh2):
+    for c in mesh2:
+        assert isinstance(c, Comm)
+        assert isinstance(c, MeshComm)
+
+
+def test_recv_match_stashes_out_of_order_messages(mesh2):
+    def body(c):
+        peer = 1 - c.rank
+        c.post(peer, ("first", c.rank))
+        c.post(peer, ("second", c.rank))
+        _p, second = c.recv_match(lambda p, m: m[0] == "second")
+        _p, first = c.recv_match(lambda p, m: m[0] == "first")
+        return first[0], second[0]
+
+    assert run_all(mesh2, body) == [("first", "second")] * 2
+
+
+def test_barrier_and_allgather(mesh3):
+    def body(c):
+        out = []
+        for round_no in range(3):
+            c.barrier()
+            out.append(c.allgather((c.rank, round_no)))
+        return out
+
+    results = run_all(mesh3, body)
+    for r in results:
+        assert r == results[0]
+    assert results[0][1] == [(0, 1), (1, 1), (2, 1)]
+
+
+def test_collectives_reject_stale_epochs(mesh2):
+    """A parked message from an old epoch never satisfies a collective."""
+    stale_epoch = 4090
+
+    def body(c):
+        peer = 1 - c.rank
+        # A forged allgather contribution from a long-gone epoch.
+        c.post(peer, ("__ag__", stale_epoch, "stale"))
+        gathered = c.allgather(("fresh", c.rank))
+        # The collective ignored the stale message; it is still parked.
+        stale = c.try_recv_match(
+            lambda p, m: m[0] == "__ag__" and m[1] == stale_epoch
+        )
+        return gathered, stale
+
+    for gathered, stale in run_all(mesh2, body):
+        assert gathered == [("fresh", 0), ("fresh", 1)]
+        assert stale is not None and stale[1][2] == "stale"
+
+
+def test_wire_accounting_per_phase_and_peer(mesh2):
+    blob = b"\xab" * 2048
+
+    def body(c):
+        peer = 1 - c.rank
+        c.set_phase("all_to_all")
+        c.post(peer, ("chunk", 0, blob))
+        c.recv_match(lambda p, m: m[0] == "chunk")
+        c.flush()
+        c.barrier()
+        return c
+
+    for c in run_all(mesh2, body):
+        peer = 1 - c.rank
+        assert c.wire_sent["all_to_all"] == len(blob)
+        assert c.wire_recv["all_to_all"] == len(blob)
+        assert c.peer_sent[peer] == len(blob)
+        assert c.peer_recv[peer] == len(blob)
+        assert c.bytes_sent == len(blob)
+        if isinstance(c, TcpComm):
+            # Kernel-level counts include framing: strictly larger.
+            assert c.socket_bytes_sent > len(blob)
+            assert c.socket_bytes_received > len(blob)
+
+
+def test_exchange_delivers_every_chunk_once(mesh3):
+    def body(c):
+        got = []
+
+        def outgoing():
+            for dest in range(c.n_workers):
+                for k in range(4):
+                    yield dest, ("x", c.rank, k, bytes([dest, k]) * 200)
+
+        c.exchange(outgoing(), lambda peer, m: got.append((peer, m[2], bytes(m[3]))))
+        return sorted(got)
+
+    results = run_all(mesh3, body)
+    for rank, got in enumerate(results):
+        assert len(got) == 12
+        assert all(payload == bytes([rank, k]) * 200 for _s, k, payload in got)
+        assert sorted({s for s, _k, _p in got}) == [0, 1, 2]
+
+
+def test_recv_match_times_out(mesh2):
+    with pytest.raises(CommTimeout):
+        mesh2[0].recv_match(lambda p, m: True, timeout=0.1)
+
+
+def test_selection_round_matches_across_transports(transport):
+    """The probe service is transport-blind: same splits either way."""
+    import numpy as np
+
+    from repro.algos.multiway_selection import select_coroutine
+
+    rng = np.random.default_rng(11)
+    n, per = 3, 24
+    arrays = [np.sort(rng.integers(0, 10**6, per, dtype=np.uint64)) for _ in range(n)]
+
+    comms = MAKERS[transport](n)
+    try:
+        def body(c):
+            lengths = [per] * n
+            target = c.rank * (n * per) // n
+            keys = arrays[c.rank]
+            gen = select_coroutine(lengths, target)
+            result = c.selection_round(
+                gen,
+                local_lookup=lambda pos: int(keys[pos]),
+                owner_of=lambda seq: seq,
+            )
+            return result.positions
+
+        results = run_all(comms, body)
+        for rank, positions in enumerate(results):
+            assert sum(positions) == rank * (n * per) // n
+    finally:
+        for c in comms:
+            c.close()

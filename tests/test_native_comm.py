@@ -186,6 +186,30 @@ def test_recv_match_times_out():
         close_all(comms)
 
 
+def test_flush_timeout_counts_pending_sends():
+    """A peer that stops draining its pipe wedges the sender: flush must
+    surface a CommTimeout naming how many messages are still queued, not
+    block until the job-level timeout."""
+    comms = make_comms(2)
+    try:
+        # 4 MiB messages overflow the OS pipe buffer, so the sender
+        # thread blocks inside its first send and the rest stay queued.
+        blob = b"\x00" * (4 << 20)
+        n_msgs = 8
+        for k in range(n_msgs):
+            comms[0].post(1, ("x", k, blob))
+        with pytest.raises(CommTimeout) as excinfo:
+            comms[0].flush(timeout=0.3)
+        message = str(excinfo.value)
+        assert "flush timed out" in message
+        assert f"{n_msgs} send(s) still pending" in message
+        # Drain the peer so teardown's close() flushes quickly.
+        for _ in range(n_msgs):
+            comms[1].recv_match(lambda p, m: m[0] == "x", timeout=10.0)
+    finally:
+        close_all(comms)
+
+
 def test_mesh_validation():
     a, b = mp.Pipe(duplex=True)
     try:
