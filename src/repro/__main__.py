@@ -156,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-behind", type=int, default=0, metavar="BLOCKS",
         help="native write-behind budget in blocks (0 = synchronous writes)",
     )
+    parser.add_argument(
+        "--max-restarts", type=int, default=0, metavar="N",
+        help="native recovery: restart a failed job up to N times, "
+        "resuming from the per-rank manifests (implies checkpointing; "
+        "see docs/RECOVERY.md)",
+    )
+    parser.add_argument(
+        "--checkpoint", action="store_true",
+        help="native recovery: journal per-rank manifests at phase "
+        "boundaries even when --max-restarts is 0",
+    )
     return parser
 
 
@@ -261,6 +272,7 @@ def run_sim(args, config: SortConfig) -> int:
 def run_native(args, config: SortConfig) -> int:
     from .core.config import ConfigError
     from .native import NativeJob, NativeSorter
+    from .native.driver import NativeSortError
 
     if args.spill_dir is None:
         print("--backend native requires --spill-dir", file=sys.stderr)
@@ -291,6 +303,9 @@ def run_native(args, config: SortConfig) -> int:
             spawn_workers=not args.no_spawn,
             prefetch_blocks=args.prefetch_blocks,
             write_behind_blocks=args.write_behind,
+            max_restarts=args.max_restarts,
+            checkpoint=args.checkpoint,
+            cleanup_on_abort=not args.keep_spill,
         )
     except ConfigError as exc:
         print(f"config error: {exc}", file=sys.stderr)
@@ -302,7 +317,11 @@ def run_native(args, config: SortConfig) -> int:
         f"R = {job.n_runs} runs, spill dir {args.spill_dir}"
     )
 
-    result = NativeSorter(job).run()
+    try:
+        result = NativeSorter(job).run()
+    except NativeSortError as exc:
+        print(f"native sort failed: {exc}", file=sys.stderr)
+        return 1
     say()
     say(result.stats.summary())
 

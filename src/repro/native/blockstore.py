@@ -13,6 +13,7 @@ Layout of one sort's spill directory::
     run<r>_piece<rank>.dat      phase-1 output: this worker's piece of run r
     seg<r>_rank<rank>.dat       phase-3 output: this worker's segment of run r
     output_<rank>.dat           phase-4 output: the rank's sorted slice
+    manifest_<rank>.jsonl       recovery journal (when checkpointing)
 
 All files are flat arrays of :data:`~repro.native.records.NATIVE_DTYPE`
 records.
@@ -23,6 +24,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import zlib
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
@@ -85,6 +87,11 @@ class FileBlockStore:
     def output_path(self, rank: Optional[int] = None) -> str:
         rank = self.rank if rank is None else rank
         return os.path.join(self.root, f"output_{rank}.dat")
+
+    def manifest_path(self, rank: Optional[int] = None) -> str:
+        """The rank's recovery journal (see :mod:`repro.recovery`)."""
+        rank = self.rank if rank is None else rank
+        return os.path.join(self.root, f"manifest_{rank}.jsonl")
 
     # -- accounting -----------------------------------------------------------
 
@@ -170,9 +177,36 @@ class FileBlockStore:
         self.charge_write(tag, len(payload))
 
     def preallocate(self, path: str, n_records: int) -> None:
-        """Create ``path`` sized for ``n_records`` (sparse where supported)."""
+        """Create ``path`` sized for ``n_records`` (sparse where supported).
+
+        Idempotent on size: a file already at exactly the target size is
+        left untouched, so a resumed all-to-all keeps the segment bytes
+        delivered before the restart instead of zeroing them.
+        """
+        nbytes = n_records * RECORD_BYTES
+        try:
+            if os.path.getsize(path) == nbytes:
+                return
+        except OSError:
+            pass
         with open(path, "wb") as handle:
-            handle.truncate(n_records * RECORD_BYTES)
+            handle.truncate(nbytes)
+
+    def verify_block_crcs(self, path: str, crcs, tag: str = "recovery"):
+        """Compare each block of ``path`` against expected CRC-32s.
+
+        Returns the list of mismatching block indices (a short read
+        counts as a mismatch).  Used by suspect ranks on resume to prove
+        their retained piece files survived the failure intact — bounded
+        work on the suspects only, never a pass over the data.
+        """
+        bad = []
+        for idx, want in enumerate(crcs):
+            block = self.read_block(path, idx, tag)
+            have = zlib.crc32(memoryview(np.ascontiguousarray(block)).cast("B"))
+            if have != int(want):
+                bad.append(idx)
+        return bad
 
     def remove(self, path: str) -> None:
         """Remove a spill file; **idempotent** by contract.

@@ -71,6 +71,7 @@ class PipeComm(MeshComm):
         timeout: float = DEFAULT_TIMEOUT,
         chaos=None,
         pending_sends: int = DEFAULT_PENDING_SENDS,
+        job_epoch: int = 0,
     ):
         self.conns = conns
         super().__init__(
@@ -80,13 +81,18 @@ class PipeComm(MeshComm):
             timeout=timeout,
             pending_sends=pending_sends,
             chaos=chaos,
+            job_epoch=job_epoch,
         )
         self._start_sender()
 
     # -- channel primitives ---------------------------------------------------
 
     def _transmit(self, peer: int, msg: tuple) -> None:
-        self.conns[peer].send(msg)
+        # Pipes have no frame header, so the job-epoch fence wraps the
+        # message itself: (epoch, payload).  The payload is always a
+        # protocol tuple whose first element is a string, so the wrapper
+        # is unambiguous on the receive side.
+        self.conns[peer].send((self.job_epoch, msg))
 
     def _poll_once(self, block_timeout: float) -> bool:
         """Pull every immediately available message into the stash."""
@@ -97,16 +103,23 @@ class PipeComm(MeshComm):
         if not ready:
             return False
         by_conn = {id(c): p for p, c in self.conns.items()}
+        got = False
         for conn in ready:
             peer = by_conn[id(conn)]
             try:
-                msg = conn.recv()
+                wrapped = conn.recv()
             except EOFError as exc:
                 raise CommError(
                     f"rank {self.rank}: peer {peer} closed its pipe"
                 ) from exc
+            fence, msg = wrapped
+            if fence != self.job_epoch:
+                # A stale frame from a pre-restart epoch: fence it off.
+                self.fenced_drops += 1
+                continue
             self._stash_message(peer, msg)
-        return True
+            got = True
+        return got
 
     def _sever_transport(self) -> None:
         for conn in self.conns.values():

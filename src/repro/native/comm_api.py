@@ -203,6 +203,7 @@ class MeshComm:
         timeout: float = DEFAULT_TIMEOUT,
         pending_sends: int = DEFAULT_PENDING_SENDS,
         chaos=None,
+        job_epoch: int = 0,
     ):
         peers = sorted(peers)
         if peers != [p for p in range(n_workers) if p != rank]:
@@ -221,6 +222,12 @@ class MeshComm:
         self.max_pending_sends = int(pending_sends)
         #: Optional fault-injection spec (duck-typed; may delay polls).
         self.chaos = chaos
+        #: Job epoch (restart attempt number) used to fence stale frames:
+        #: a message stamped with another epoch is dropped, not delivered.
+        #: Transports stamp/check it in their channel primitives.
+        self.job_epoch = int(job_epoch)
+        #: Stale frames dropped by the epoch fence (recovery counter).
+        self.fenced_drops = 0
         self._epoch = 0
         #: Messages received but not yet consumed, per peer, in order.
         self._stash: Dict[int, deque] = {p: deque() for p in self.peers}

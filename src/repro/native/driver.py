@@ -18,7 +18,12 @@ all sorting happens inside :mod:`repro.native.worker`.  Two transports
 
 Failure handling is transport-blind: a worker that reports an error, a
 torn or wedged result message, or a death without a report all raise
-:class:`NativeSortError` well inside the timeout.
+:class:`NativeSortError` well inside the timeout.  When the job
+checkpoints (``max_restarts > 0`` or ``checkpoint=True``) the failure
+instead feeds a supervisor loop (see :mod:`repro.recovery`): the driver
+re-runs the job at an incremented epoch, the respawned workers resume
+from their manifests at the last globally completed phase boundary, and
+the stale frames of the dead attempt are fenced off by epoch.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ import shutil
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from multiprocessing.connection import wait as conn_wait
 from typing import Dict, List, Optional
 
@@ -56,7 +61,17 @@ RESULT_RECV_TIMEOUT = 10.0
 
 
 class NativeSortError(RuntimeError):
-    """A worker process failed or disappeared."""
+    """A worker process failed or disappeared.
+
+    ``rank`` names the worker implicated in the failure when the driver
+    could attribute it (dead process, error report, torn result); the
+    supervisor marks that rank suspect on the next epoch so it
+    CRC-verifies its retained spill state before resuming.
+    """
+
+    def __init__(self, message: str, rank: Optional[int] = None):
+        super().__init__(message)
+        self.rank = rank
 
 
 @dataclass
@@ -157,13 +172,48 @@ class NativeSorter:
     # -- execution ------------------------------------------------------------
 
     def run(self) -> NativeSortResult:
-        os.makedirs(self.job.spill_dir, exist_ok=True)
-        if self.job.transport == "tcp":
-            return self._run_tcp()
-        return self._run_pipe()
+        """Run the job, supervising restarts when it checkpoints.
 
-    def _run_pipe(self) -> NativeSortResult:
+        Non-checkpointing jobs keep the PR-1 contract exactly: the first
+        failure raises.  Checkpointing jobs get a supervisor loop — each
+        failed attempt is recorded, and while the
+        :class:`~repro.recovery.supervisor.RestartPolicy` allows it the
+        job re-runs at ``epoch + 1`` with the implicated rank marked
+        suspect; the workers resume from their manifests.
+        """
+        from ..recovery.supervisor import RestartPolicy
+
         job = self.job
+        os.makedirs(job.spill_dir, exist_ok=True)
+        policy = RestartPolicy(getattr(job, "max_restarts", 0))
+        attempt = job
+        while True:
+            try:
+                result = self._run_attempt(attempt)
+            except NativeSortError as exc:
+                epoch = int(getattr(attempt, "epoch", 0))
+                if getattr(job, "checkpointing", False) and policy.record_failure(
+                    epoch, getattr(exc, "rank", None), str(exc)
+                ):
+                    attempt = dc_replace(
+                        job, epoch=epoch + 1, suspect_ranks=policy.suspects()
+                    )
+                    continue
+                if getattr(job, "cleanup_on_abort", False):
+                    # Best effort only: the job is lost either way, and
+                    # chaos tests that *want* the wreckage leave this off.
+                    shutil.rmtree(job.spill_dir, ignore_errors=True)
+                raise
+            result.stats.restarts = policy.restarts_used
+            result.stats.recovery_events = policy.to_dicts()
+            return result
+
+    def _run_attempt(self, job: NativeJob) -> NativeSortResult:
+        if job.transport == "tcp":
+            return self._run_tcp(job)
+        return self._run_pipe(job)
+
+    def _run_pipe(self, job: NativeJob) -> NativeSortResult:
         mesh = self._build_mesh()
         result_pipes = [self._ctx.Pipe(duplex=False) for _ in range(job.n_workers)]
 
@@ -190,13 +240,12 @@ class NativeSorter:
             self._reap(procs)
             for rp in result_pipes:
                 rp[0].close()
-        return self._assemble(results, time.monotonic() - start)
+        return self._assemble(job, results, time.monotonic() - start)
 
-    def _run_tcp(self) -> NativeSortResult:
+    def _run_tcp(self, job: NativeJob) -> NativeSortResult:
         """Rendezvous-based execution over the socket transport."""
         from ..net.rendezvous import Coordinator, parse_hostport
 
-        job = self.job
         host, port = parse_hostport(job.listen)
         coordinator = Coordinator(job.n_workers, host=host, port=port)
         procs: List = []
@@ -233,7 +282,8 @@ class NativeSorter:
                     if not proc.is_alive():
                         raise NativeSortError(
                             f"worker {rank} died during rendezvous "
-                            f"(exit code {proc.exitcode})"
+                            f"(exit code {proc.exitcode})",
+                            rank=rank,
                         )
 
             deadline = time.monotonic() + job.timeout + 30.0
@@ -254,12 +304,11 @@ class NativeSorter:
                 except OSError:
                     pass
             coordinator.close()
-        return self._assemble(results, time.monotonic() - start)
+        return self._assemble(job, results, time.monotonic() - start)
 
     def _assemble(
-        self, results: List[tuple], total_time: float
+        self, job: NativeJob, results: List[tuple], total_time: float
     ) -> NativeSortResult:
-        job = self.job
         workers: List[WorkerStats] = []
         outputs: List[OutputMeta] = []
         input_checksum = 0
@@ -343,7 +392,8 @@ class NativeSorter:
                 else:
                     raise NativeSortError(
                         f"worker {rank} died (exit code {proc.exitcode}) "
-                        "without reporting a result"
+                        "without reporting a result",
+                        rank=rank,
                     )
         return results
 
@@ -372,12 +422,14 @@ class NativeSorter:
             raise NativeSortError(
                 f"worker {rank} result pipe wedged: a partial message "
                 f"arrived but never completed (worker "
-                f"{'alive' if proc.is_alive() else f'exit code {proc.exitcode}'})"
+                f"{'alive' if proc.is_alive() else f'exit code {proc.exitcode}'})",
+                rank=rank,
             )
         if "exc" in box:
             raise NativeSortError(
                 f"worker {rank} result unreadable: {box['exc']!r} "
-                f"(exit code {proc.exitcode})"
+                f"(exit code {proc.exitcode})",
+                rank=rank,
             )
         return self._check_result_payload(rank, box["payload"])
 
@@ -439,7 +491,8 @@ class NativeSorter:
                 else:
                     raise NativeSortError(
                         f"worker {rank} died (exit code {procs[rank].exitcode}) "
-                        "without reporting a result"
+                        "without reporting a result",
+                        rank=rank,
                     )
         return results
 
@@ -451,7 +504,7 @@ class NativeSorter:
         silent close all become a :class:`NativeSortError` naming the
         worker within :data:`RESULT_RECV_TIMEOUT`.
         """
-        from ..net.framing import KIND_RESULT, recv_frame
+        from ..net.framing import KIND_GOODBYE, KIND_RESULT, recv_frame
         from .comm_api import CommError, CommTimeout
 
         def status() -> str:
@@ -465,21 +518,33 @@ class NativeSorter:
         except CommTimeout:
             raise NativeSortError(
                 f"worker {rank} result channel wedged: a partial message "
-                f"arrived but never completed (worker {status()})"
+                f"arrived but never completed (worker {status()})",
+                rank=rank,
             ) from None
         except CommError as exc:
             raise NativeSortError(
-                f"worker {rank} result unreadable: {exc} (worker {status()})"
+                f"worker {rank} result unreadable: {exc} (worker {status()})",
+                rank=rank,
             ) from exc
         if frame is None:
             raise NativeSortError(
                 f"worker {rank} closed its result channel without "
-                f"reporting a result (worker {status()})"
+                f"reporting a result (worker {status()})",
+                rank=rank,
             )
-        kind, payload, _epoch, _nbytes = frame
+        kind, payload, _epoch, _fence, _nbytes = frame
+        if kind == KIND_GOODBYE:
+            # A deliberate close is still not a result: a worker that
+            # says GOODBYE on its result channel has abandoned the job.
+            raise NativeSortError(
+                f"worker {rank} closed its result channel deliberately "
+                f"(GOODBYE) without reporting a result (worker {status()})",
+                rank=rank,
+            )
         if kind != KIND_RESULT:
             raise NativeSortError(
-                f"worker {rank} sent frame kind {kind} on the result channel"
+                f"worker {rank} sent frame kind {kind} on the result channel",
+                rank=rank,
             )
         return self._check_result_payload(rank, payload)
 
@@ -493,10 +558,14 @@ class NativeSorter:
             or (payload[0] == "error" and len(payload) != 3)
         ):
             raise NativeSortError(
-                f"worker {rank} sent a malformed result: {payload!r}"
+                f"worker {rank} sent a malformed result: {payload!r}",
+                rank=rank,
             )
         if payload[0] == "error":
-            raise NativeSortError(f"worker {payload[1]} failed:\n{payload[2]}")
+            raise NativeSortError(
+                f"worker {payload[1]} failed:\n{payload[2]}",
+                rank=int(payload[1]),
+            )
         return payload
 
     @staticmethod
@@ -523,6 +592,8 @@ def native_sort(
     pending_sends: int = DEFAULT_PENDING_SENDS,
     prefetch_blocks: int = 0,
     write_behind_blocks: int = 0,
+    max_restarts: int = 0,
+    checkpoint: bool = False,
 ) -> NativeSortResult:
     """Convenience one-call native sort (generate, sort, return result).
 
@@ -530,7 +601,9 @@ def native_sort(
     ``"tcp"``, see :mod:`repro.net`); ``prefetch_blocks`` /
     ``write_behind_blocks`` enable the pipelined I/O layer
     (:mod:`repro.native.pipeline`); both default to 0, the synchronous
-    path.
+    path.  ``max_restarts`` / ``checkpoint`` enable the recovery
+    subsystem (:mod:`repro.recovery`): workers journal phase-boundary
+    manifests and the driver restarts failed attempts.
     """
     job = NativeJob(
         config=config,
@@ -542,5 +615,7 @@ def native_sort(
         pending_sends=pending_sends,
         prefetch_blocks=prefetch_blocks,
         write_behind_blocks=write_behind_blocks,
+        max_restarts=max_restarts,
+        checkpoint=checkpoint,
     )
     return NativeSorter(job).run()

@@ -93,6 +93,28 @@ class NativeJob:
     #: subsystem: anything with ``at_point`` / ``on_recv_poll`` /
     #: ``clip_write`` hooks works.  Must be picklable.
     chaos: Optional[object] = None
+    #: How many times the driver's supervisor may restart the job after
+    #: a failed attempt (dead/severed/wedged rank).  > 0 implies
+    #: checkpointing.
+    max_restarts: int = 0
+    #: Journal per-rank manifests even when restarts are disabled (lets
+    #: a later invocation resume by setting ``epoch`` > 0 itself).
+    checkpoint: bool = False
+    #: Restart attempt number.  0 = fresh job (manifests truncated);
+    #: > 0 = resume from the manifests in ``spill_dir``.  Stamped by the
+    #: supervisor, fences stale interconnect frames.
+    epoch: int = 0
+    #: Ranks implicated in the failure that caused this epoch; they
+    #: CRC-verify their retained piece blocks against the manifest
+    #: before resuming (bounded, o(N) work).
+    suspect_ranks: tuple = ()
+    #: All-to-all watermark cadence: journal delivered-chunk marks every
+    #: this many chunk arrivals (only while write-behind is off).
+    a2a_checkpoint_chunks: int = 8
+    #: Best-effort removal of the spill directory when the job aborts
+    #: for good (all restarts exhausted).  Off by default: a populated
+    #: spill dir is evidence, and chaos tests assert on its contents.
+    cleanup_on_abort: bool = False
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -130,6 +152,22 @@ class NativeJob:
             raise ConfigError(
                 "spawn_workers=False (externally launched PEs) requires "
                 "transport='tcp'"
+            )
+        if self.max_restarts < 0:
+            raise ConfigError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.epoch < 0:
+            raise ConfigError(f"epoch must be >= 0, got {self.epoch}")
+        if self.epoch > 0 and not self.checkpointing:
+            raise ConfigError(
+                "epoch > 0 (resume) requires checkpointing "
+                "(checkpoint=True or max_restarts > 0)"
+            )
+        if self.a2a_checkpoint_chunks < 1:
+            raise ConfigError(
+                "a2a_checkpoint_chunks must be >= 1, got "
+                f"{self.a2a_checkpoint_chunks}"
             )
         merge_working = (self.n_runs * 2 + 4) * self.block_records * RECORD_BYTES
         if merge_working > self.memory_bytes + self.chunk_records * RECORD_BYTES:
@@ -196,6 +234,11 @@ class NativeJob:
         return int(min(self.config.selection_cache_blocks, by_memory))
 
     @property
+    def checkpointing(self) -> bool:
+        """Whether workers journal manifests for phase-boundary resume."""
+        return self.checkpoint or self.max_restarts > 0
+
+    @property
     def pipelined(self) -> bool:
         """Whether any part of the pipelined I/O layer is enabled."""
         return self.prefetch_blocks > 0 or self.write_behind_blocks > 0
@@ -234,4 +277,7 @@ class NativeJob:
             "prefetch_blocks": self.prefetch_blocks,
             "write_behind_blocks": self.write_behind_blocks,
             "chaos": self.chaos is not None,
+            "checkpoint": self.checkpointing,
+            "max_restarts": self.max_restarts,
+            "epoch": self.epoch,
         }

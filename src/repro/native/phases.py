@@ -26,7 +26,9 @@ phase 3, and the canonical balanced output after phase 4.
 
 from __future__ import annotations
 
+import os
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -64,6 +66,8 @@ __all__ = [
     "OutputMeta",
     "generate_input",
     "run_formation",
+    "restore_runs",
+    "verify_restored_pieces",
     "selection",
     "all_to_all",
     "merge",
@@ -84,6 +88,13 @@ class NativeContext:
     #: Order-independent checksum of this worker's input keys, accumulated
     #: while run formation streams the input (each record is read once).
     input_checksum: int = 0
+    #: Recovery journal (:class:`repro.recovery.manifest.RankJournal`)
+    #: when the job checkpoints; phases append durable records to it at
+    #: their boundaries and at intra-phase watermarks.
+    journal: Optional[object] = None
+    #: Replayed manifest state (:class:`~repro.recovery.manifest.ResumeState`)
+    #: when resuming an epoch > 0 attempt; None on a fresh run.
+    resume: Optional[object] = None
 
     def _add_checksum(self, keys: np.ndarray) -> None:
         if len(keys):
@@ -174,6 +185,71 @@ def generate_input(ctx: NativeContext) -> None:
 # --------------------------------------------------------------- phase 1
 
 TAG_RF = "run_formation"
+
+#: I/O issued only while re-validating state on a resume: bounded by the
+#: suspect ranks' retained pieces, never a pass over the data.
+TAG_RECOVERY = "recovery"
+
+
+def _block_crcs(records: np.ndarray, block_records: int) -> List[int]:
+    """CRC-32 of each block of an in-memory record array."""
+    view = memoryview(np.ascontiguousarray(records)).cast("B")
+    step = block_records * 16
+    return [
+        zlib.crc32(view[s : s + step]) for s in range(0, len(view), step)
+    ] if len(view) else []
+
+
+def _meta_from_record(rec: dict, rank: int) -> PieceMeta:
+    """Rebuild a PieceMeta from its manifest ``rf_run`` record."""
+    return PieceMeta(
+        run=int(rec["run"]),
+        rank=rank,
+        n_records=int(rec["n"]),
+        sample_keys=np.asarray(rec["samples"], dtype=np.uint64),
+        sample_every=int(rec["every"]),
+    )
+
+
+def verify_restored_pieces(ctx: NativeContext, run_records: List[dict]) -> None:
+    """CRC-check retained piece files against the manifest (suspects only).
+
+    Raises :class:`IOError` on any damaged block — a suspect rank whose
+    durable state did not survive its failure must not resume from it.
+    """
+    checked = 0
+    for rec in run_records:
+        path = ctx.store.piece_path(rec["run"])
+        bad = ctx.store.verify_block_crcs(path, rec["crcs"], tag=TAG_RECOVERY)
+        checked += len(rec["crcs"])
+        if bad:
+            raise IOError(
+                f"rank {ctx.rank}: resume CRC mismatch in {path} at blocks "
+                f"{bad[:8]}: the failure damaged this piece; cannot resume "
+                "from it"
+            )
+    ctx.stats.add_counter("recovery_crc_blocks_verified", float(checked))
+
+
+def restore_runs(ctx: NativeContext, resume) -> List[NativeRun]:
+    """Rebuild the full run inventory from the manifest — zero data I/O.
+
+    Every rank durably recorded ``rf_done`` before any rank passed the
+    run-formation barrier, so on a resume past that barrier the piece
+    metadata (and the input checksum) comes straight from the journal;
+    the only communication is the same metadata allgather a fresh run
+    formation ends with.
+    """
+    recs = [resume.rf_runs[r] for r in range(len(resume.rf_runs))]
+    metas = [_meta_from_record(rec, ctx.rank) for rec in recs]
+    all_metas: List[List[PieceMeta]] = ctx.comm.allgather(metas)
+    ctx.input_checksum = resume.rf_checksum
+    ctx.stats.add_counter("recovery_phases_restored")
+    ctx.stats.add_counter("recovery_rf_blocks_reread", 0.0)
+    return [
+        NativeRun(r, [all_metas[j][r] for j in range(ctx.job.n_workers)])
+        for r in range(len(metas))
+    ]
 
 
 def _chunk_schedule(ctx: NativeContext) -> List[List[int]]:
@@ -287,14 +363,42 @@ def run_formation(ctx: NativeContext) -> List[NativeRun]:
     n_runs = comm.allreduce(len(chunks), max)
     input_path = store.input_path()
 
+    # Mid-phase resume: agree on the longest run prefix *every* rank has
+    # durably completed, restore those runs from the manifest (no input
+    # re-reads), and redo only the tail.  The reread counter is honest:
+    # it counts input blocks this rank reads again for runs it had
+    # already finished but a slower rank had not.
+    journal = ctx.journal
+    restored: Dict[int, dict] = {}
+    k = 0
+    if journal is not None and job.epoch > 0:
+        if ctx.resume is not None:
+            restored = ctx.resume.rf_runs
+        own = 0
+        while own in restored:
+            own += 1
+        k = min(comm.allgather(own))
+        reread = sum(len(chunks[r]) for r in range(k, min(own, len(chunks))))
+        ctx.stats.add_counter("recovery_rf_blocks_reread", float(reread))
+
+    metas: List[PieceMeta] = []
+    run_records: List[dict] = []
+    for r in range(k):
+        metas.append(_meta_from_record(restored[r], ctx.rank))
+        run_records.append(restored[r])
+        ctx.input_checksum = restored[r]["checksum"]
+    if k:
+        ctx.stats.add_counter("recovery_runs_restored", float(k))
+        if ctx.rank in getattr(job, "suspect_ranks", ()):
+            verify_restored_pieces(ctx, run_records)
+
     wb: Optional[WriteBehind] = None
     if job.write_behind_blocks > 0:
         wb = WriteBehind(
             store, TAG_RF, max(job.write_behind_bytes, 1), stats=ctx.stats
         )
-    metas: List[PieceMeta] = []
     try:
-        for r in range(n_runs):
+        for r in range(k, n_runs):
             block_ids = chunks[r] if r < len(chunks) else []
             parts = [
                 store.read_block(input_path, b, TAG_RF) for b in block_ids
@@ -328,6 +432,25 @@ def run_formation(ctx: NativeContext) -> List[NativeRun]:
                     sample_every=job.sample_every,
                 )
             )
+            if journal is not None:
+                rec = {
+                    "run": r,
+                    "n": len(piece),
+                    "samples": [int(s) for s in sample],
+                    "every": job.sample_every,
+                    "crcs": _block_crcs(piece, job.block_records),
+                    "checksum": ctx.input_checksum,
+                }
+                run_records.append(rec)
+                if wb is None:
+                    # The piece hit the disk synchronously above, so its
+                    # completion may be journaled now; under write-behind
+                    # it is only durable after wb.close(), so per-run
+                    # records are skipped and rf_done covers them all.
+                    journal.rf_run_done(
+                        r, rec["n"], rec["samples"], rec["every"],
+                        rec["crcs"], rec["checksum"],
+                    )
             del piece
         if wb is not None:
             wb.close()
@@ -335,7 +458,9 @@ def run_formation(ctx: NativeContext) -> List[NativeRun]:
     finally:
         if wb is not None:  # error path: stop the thread, keep the exception
             wb.close(raise_error=False)
-    ctx.stats.add_counter("runs_formed", len(metas))
+    ctx.stats.add_counter("runs_formed", len(metas) - k)
+    if journal is not None:
+        journal.rf_done(run_records, ctx.input_checksum)
 
     all_metas: List[List[PieceMeta]] = comm.allgather(metas)
     return [
@@ -399,6 +524,11 @@ def selection(ctx: NativeContext, runs: List[NativeRun]) -> List[List[int]]:
     all_positions: List[List[int]] = comm.allgather(list(result.positions))
     splits = [list(p) for p in all_positions]
     splits.append(list(lengths))
+    if ctx.journal is not None:
+        # The full matrix is deterministic and identical on every rank;
+        # journaling it locally makes the phase restorable without any
+        # re-probing (zero I/O on resume).
+        ctx.journal.selection_done(splits)
     return splits
 
 
@@ -458,31 +588,66 @@ def all_to_all(
                 f"run {r}: segment layout {acc} != splitter span {seg_hi - seg_lo}"
             )
 
+    # Resume bookkeeping: the contiguous chunk count already delivered
+    # per (run, sender) channel, agreed across all ranks so every sender
+    # can skip exactly the chunks its receiver durably holds.  The
+    # allgather runs whenever a journal exists (it is a no-op list of
+    # empties on a fresh epoch), keeping the collective schedule
+    # identical on every rank.
+    journal = ctx.journal
+    marks: Dict[Tuple[int, int], int] = {}
+    first_keys: List[Dict[int, int]] = [dict() for _ in runs]
+    if journal is not None and job.epoch > 0 and ctx.resume is not None:
+        marks = dict(ctx.resume.a2a_marks)
+        for (r, b), key in ctx.resume.a2a_first_keys.items():
+            if r < len(first_keys):
+                first_keys[r][b] = key
+    all_marks: Optional[List[Dict[Tuple[int, int], int]]] = None
+    if journal is not None:
+        gathered = comm.allgather([[r, s, c] for (r, s), c in marks.items()])
+        all_marks = [
+            {(r, s): c for r, s, c in entry} for entry in gathered
+        ]
+
     handles = []
     for r in range(len(runs)):
         path = store.segment_path(r)
+        # preallocate is size-idempotent: on resume the bytes delivered
+        # before the restart survive in place.
         store.preallocate(path, seg_len[r])
         handles.append(open(path, "r+b"))
 
     # The exact (run, piece-offset, count) read sequence of the send
     # stream, precomputed so a prefetcher can run ahead of the pipes.
-    send_plan: List[Tuple[int, int, int, int]] = []  # (dest, run, start, count)
+    # Chunks a receiver already journaled are dropped here — the chunk
+    # index k keeps its fresh-run numbering, so every surviving arrival
+    # lands at the same absolute offset it would have on a clean run.
+    send_plan: List[Tuple[int, int, int, int, int]] = []  # (dest, run, k, start, count)
+    skipped = 0
     for r, run in enumerate(runs):
         my_off = run.offsets[rank]
         my_len = run.pieces[rank].n_records
         for dest in range(n_workers):
             lo = max(0, splits[dest][r] - my_off)
             hi = min(my_len, splits[dest + 1][r] - my_off)
-            for s in range(lo, hi, block):
-                send_plan.append((dest, r, s, min(block, hi - s)))
+            for chunk_k, s in enumerate(range(lo, hi, block)):
+                if (
+                    all_marks is not None
+                    and chunk_k < all_marks[dest].get((r, rank), 0)
+                ):
+                    skipped += 1
+                    continue
+                send_plan.append((dest, r, chunk_k, s, min(block, hi - s)))
+    if skipped:
+        ctx.stats.add_counter("recovery_chunks_skipped", float(skipped))
 
     prefetcher: Optional[Prefetcher] = None
     if job.prefetch_blocks > 0 and send_plan:
         requests = [
-            (store.piece_path(r), s, count) for _d, r, s, count in send_plan
+            (store.piece_path(r), s, count) for _d, r, _k, s, count in send_plan
         ]
         order = sequential_fetch_order(
-            [r for _d, r, _s, _c in send_plan], job.prefetch_blocks
+            [r for _d, r, _k, _s, _c in send_plan], job.prefetch_blocks
         )
         prefetcher = Prefetcher(
             store, requests, order, TAG_A2A, job.prefetch_blocks,
@@ -495,25 +660,40 @@ def all_to_all(
             store, TAG_A2A, max(job.write_behind_bytes, 1), stats=ctx.stats
         )
 
-    # Chunk counter k within each (run, dest) stream, matching the
-    # receiver's offset arithmetic.
+    # The chunk index k of each send rides in the plan (see above), so
+    # the receiver's offset arithmetic is identical whether or not a
+    # prefix of the stream was skipped on resume.
     def outgoing():
-        k_of: Dict[Tuple[int, int], int] = {}
-        for idx, (dest, r, s, count) in enumerate(send_plan):
-            k = k_of.get((r, dest), 0)
-            k_of[(r, dest)] = k + 1
+        for idx, (dest, r, chunk_k, s, count) in enumerate(send_plan):
             if prefetcher is not None:
                 chunk = prefetcher.get(idx)
             else:
                 chunk = store.read_range(store.piece_path(r), s, count, TAG_A2A)
-            yield dest, ("a2a", r, k, chunk.tobytes())
+            yield dest, ("a2a", r, chunk_k, chunk.tobytes())
 
     # Harvest the merge's prediction sequence from the arriving bytes:
     # each chunk lands at a known record offset of the segment, so every
     # merge-block boundary it covers yields that block's first key.
-    first_keys: List[Dict[int, int]] = [dict() for _ in runs]
+    # ``first_keys`` was preloaded above with keys journaled before a
+    # restart (their chunks are skipped and never re-arrive).
+    chaos = getattr(job, "chaos", None)
+    chunk_hook = getattr(chaos, "on_a2a_chunk", None)
+    watermark_every = max(1, int(getattr(job, "a2a_checkpoint_chunks", 8)))
+    new_keys: Dict[Tuple[int, int], int] = {}
+    arrivals = 0
+
+    def flush_watermark() -> None:
+        # Durability order matters: segment bytes first, then the marks
+        # that claim them.  A crash between the two only under-claims —
+        # the unclaimed chunks are simply re-sent and rewritten in place.
+        for handle in handles:
+            handle.flush()
+            os.fsync(handle.fileno())
+        journal.a2a_mark(marks, new_keys)
+        new_keys.clear()
 
     def on_chunk(peer: int, payload: tuple) -> None:
+        nonlocal arrivals
         kind, r, k, buf = payload
         assert kind == "a2a"
         offset = seg_base[r][peer] + k * block
@@ -522,13 +702,27 @@ def all_to_all(
         for b in range(first_block, (offset + n_recs + block - 1) // block):
             pos = b * block
             if pos < offset + n_recs:
-                first_keys[r][b] = struct.unpack_from(
-                    "<Q", buf, (pos - offset) * 16
-                )[0]
+                key = struct.unpack_from("<Q", buf, (pos - offset) * 16)[0]
+                first_keys[r][b] = key
+                if journal is not None:
+                    new_keys[(r, b)] = key
         if wb is not None:
             wb.write_at(handles[r], offset, buf)
         else:
             store.write_at(handles[r], offset, buf, TAG_A2A)
+        arrivals += 1
+        if journal is not None:
+            # Per-channel FIFO + ascending k per (run, dest) make k+1 the
+            # contiguous delivered count for this channel.
+            marks[(r, peer)] = max(marks.get((r, peer), 0), k + 1)
+            # Intra-phase watermarks need the bytes on disk before the
+            # marks; under write-behind the writes are still in flight,
+            # so watermarking is disabled and resume falls back to the
+            # phase boundary (documented in docs/RECOVERY.md).
+            if wb is None and arrivals % watermark_every == 0:
+                flush_watermark()
+        if chunk_hook is not None:
+            chunk_hook(rank, arrivals)
 
     try:
         comm.exchange(outgoing(), on_chunk)
@@ -542,13 +736,6 @@ def all_to_all(
             wb.close(raise_error=False)
     for handle in handles:
         handle.close()
-    # The run pieces have been redistributed; reclaim their disk space
-    # (idempotent: a rerun over a crashed attempt may find some gone).
-    for r in range(len(runs)):
-        store.remove(store.piece_path(r))
-    ctx.stats.note_resident(
-        (2 + 4 + job.prefetch_blocks + job.write_behind_blocks) * block * 16
-    )
 
     block_first_keys: List[List[int]] = []
     for r in range(len(runs)):
@@ -559,6 +746,20 @@ def all_to_all(
                 f"expected {n_blocks}"
             )
         block_first_keys.append([first_keys[r][b] for b in range(n_blocks)])
+
+    if journal is not None:
+        # Completion is journaled *before* the pieces are reclaimed: a
+        # crash after this line resumes past the phase and never needs
+        # them; a crash before it still finds every piece in place.
+        journal.a2a_done(seg_len, block_first_keys)
+
+    # The run pieces have been redistributed; reclaim their disk space
+    # (idempotent: a rerun over a crashed attempt may find some gone).
+    for r in range(len(runs)):
+        store.remove(store.piece_path(r))
+    ctx.stats.note_resident(
+        (2 + 4 + job.prefetch_blocks + job.write_behind_blocks) * block * 16
+    )
     return seg_len, block_first_keys
 
 
@@ -651,8 +852,11 @@ def merge(
                     stats=ctx.stats,
                 )
 
+            journal = ctx.journal
+            emits = 0
+
             def emit(batch: np.ndarray) -> None:
-                nonlocal checksum, count, first_key, last_key, sorted_ok
+                nonlocal checksum, count, first_key, last_key, sorted_ok, emits
                 if not len(batch):
                     return
                 keys = batch["key"]
@@ -670,6 +874,12 @@ def merge(
                     wb.append(out, batch)
                 else:
                     store.append_records(out, batch, TAG_MERGE)
+                emits += 1
+                if journal is not None and emits % 128 == 0:
+                    # Output-offset watermark: pure observability (a
+                    # resumed merge restarts from the segments, which is
+                    # already o(N)); it shows how far a crashed merge got.
+                    journal.merge_mark(count)
 
             def note_working_set(batch_bytes: int) -> None:
                 ctx.stats.note_resident(
@@ -730,10 +940,7 @@ def merge(
         if wb is not None:  # error path
             wb.close(raise_error=False)
 
-    for r in range(len(seg_len)):
-        store.remove(store.segment_path(r))
-    ctx.stats.add_counter("merge_arity", float(len(seg_len)))
-    return OutputMeta(
+    meta = OutputMeta(
         rank=rank,
         path=out_path,
         n_records=count,
@@ -742,3 +949,20 @@ def merge(
         checksum=checksum & _MASK,
         sorted_ok=sorted_ok,
     )
+    if ctx.journal is not None:
+        # Journal completion before reclaiming the segments (same
+        # ordering argument as the all-to-all): a resume after this
+        # record restores the output metadata without touching a byte.
+        ctx.journal.merge_done({
+            "rank": meta.rank,
+            "path": meta.path,
+            "n_records": meta.n_records,
+            "first_key": meta.first_key,
+            "last_key": meta.last_key,
+            "checksum": meta.checksum,
+            "sorted_ok": meta.sorted_ok,
+        })
+    for r in range(len(seg_len)):
+        store.remove(store.segment_path(r))
+    ctx.stats.add_counter("merge_arity", float(len(seg_len)))
+    return meta

@@ -94,6 +94,11 @@ class NativeStats:
             p for p in NATIVE_PHASES
             if any(p in w.walls for w in self.workers)
         ]
+        #: Restart attempts the supervisor burned before this success
+        #: (0 = first try) and the per-failure event log; both are
+        #: stamped by the driver, not the workers.
+        self.restarts: int = 0
+        self.recovery_events: List[Dict] = []
 
     @property
     def n_workers(self) -> int:
@@ -200,6 +205,28 @@ class NativeStats:
 
     # -- reporting ------------------------------------------------------------
 
+    def recovery_dict(self) -> Dict:
+        """Checkpoint/recovery section of the JSON report.
+
+        The counters prove the o(N) recovery bound: ``rf_blocks_reread``
+        is exactly the input blocks re-read for runs some rank had
+        already formed (0 when the failure hit a phase boundary), and
+        ``fenced_frames`` counts stale pre-restart frames the epoch
+        fence dropped.
+        """
+        return {
+            "restarts": self.restarts,
+            "events": list(self.recovery_events),
+            "phases_restored": self.counter_total("recovery_phases_restored"),
+            "runs_restored": self.counter_total("recovery_runs_restored"),
+            "rf_blocks_reread": self.counter_total("recovery_rf_blocks_reread"),
+            "chunks_skipped": self.counter_total("recovery_chunks_skipped"),
+            "crc_blocks_verified": self.counter_total(
+                "recovery_crc_blocks_verified"
+            ),
+            "fenced_frames": self.counter_total("recovery_fenced_frames"),
+        }
+
     def to_dict(self) -> Dict:
         return {
             "backend": "native",
@@ -212,6 +239,7 @@ class NativeStats:
             "socket_bytes_sent": self.socket_bytes_sent,
             "socket_bytes_recv": self.socket_bytes_recv,
             "peak_resident_bytes": self.peak_resident_bytes,
+            "recovery": self.recovery_dict(),
             "phases": {
                 phase: {
                     "wall_max": self.wall_max(phase),
@@ -282,6 +310,16 @@ class NativeStats:
                 f"  socket wire    {self.socket_bytes_sent / 2**20:9.1f} MiB "
                 f"sent ({max(0, overhead) / 2**20:.2f} MiB framing+control "
                 "overhead)"
+            )
+        if self.restarts:
+            rec = self.recovery_dict()
+            lines.append(
+                f"  recovered after {self.restarts} restart"
+                f"{'s' if self.restarts != 1 else ''}: "
+                f"{rec['phases_restored']:.0f} phase restores, "
+                f"{rec['rf_blocks_reread']:.0f} run-formation blocks re-read, "
+                f"{rec['chunks_skipped']:.0f} exchange chunks skipped, "
+                f"{rec['fenced_frames']:.0f} stale frames fenced"
             )
         return "\n".join(lines)
 

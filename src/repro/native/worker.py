@@ -37,11 +37,14 @@ from .comm_api import Comm
 from .job import NativeJob
 from .phases import (
     NativeContext,
+    OutputMeta,
     all_to_all,
     generate_input,
     merge,
+    restore_runs,
     run_formation,
     selection,
+    verify_restored_pieces,
 )
 from .stats import PhaseClock, WorkerStats, max_rss_bytes
 
@@ -63,9 +66,15 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn) -> None:
     def at(point: str) -> None:
         _chaos_point(job, rank, point, result_conn, comm=comm)
 
+    journal = None
     try:
         stats = WorkerStats(rank=rank)
         chaos = getattr(job, "chaos", None)
+        epoch = int(getattr(job, "epoch", 0))
+        if chaos is not None and hasattr(chaos, "set_epoch"):
+            # Fault specs fire on one attempt only (fire_epoch); a
+            # resumed epoch must not re-trip the fault that killed it.
+            chaos.set_epoch(epoch)
         store = FileBlockStore(
             job.spill_dir, rank, job.block_records, chaos=chaos
         )
@@ -76,38 +85,107 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn) -> None:
             rank=rank, job=job, comm=comm, store=store, stats=stats
         )
 
-        if job.generate or not os.path.exists(store.input_path()):
+        # Checkpointing: open this rank's manifest journal and, on a
+        # resume (epoch > 0), agree with the peers on the highest phase
+        # *every* rank durably completed.  The journal invariant (record
+        # written before the barrier) guarantees global_done never
+        # overshoots what any rank can restore.
+        resume = None
+        global_done = -1
+        if getattr(job, "checkpointing", False):
+            from ..recovery.manifest import RankJournal, job_fingerprint
+
+            journal = RankJournal(
+                store.manifest_path(), job_fingerprint(job), rank
+            )
+            if epoch > 0:
+                resume = journal.load_resume()
+            journal.begin_epoch(epoch)
+            ctx.journal = journal
+            ctx.resume = resume
+            done = resume.completed_index if resume is not None else -1
+            comm.set_phase("resume")
+            global_done = min(comm.allgather(done))
+
+        if global_done < 0 and (
+            job.generate or not os.path.exists(store.input_path())
+        ):
             comm.set_phase("generate")
             at("before:generate")
             with PhaseClock(stats, "generate"):
                 generate_input(ctx)
+                if journal is not None:
+                    journal.generate_done()
                 comm.barrier()
             at("after:generate")
 
         comm.set_phase("run_formation")
         at("before:run_formation")
         with PhaseClock(stats, "run_formation"):
-            runs = run_formation(ctx)
+            if global_done >= 1:
+                runs = restore_runs(ctx, resume)
+                if rank in getattr(job, "suspect_ranks", ()) and global_done <= 2:
+                    # Pieces are still an input (selection probes and the
+                    # all-to-all read them): a suspect rank must prove its
+                    # retained blocks survived the failure.
+                    verify_restored_pieces(
+                        ctx,
+                        [resume.rf_runs[r] for r in range(len(resume.rf_runs))],
+                    )
+            else:
+                runs = run_formation(ctx)
             comm.barrier()
         at("after:run_formation")
         comm.set_phase("selection")
         at("before:selection")
         with PhaseClock(stats, "selection"):
-            splits = selection(ctx, runs)
+            if global_done >= 2:
+                splits = [list(row) for row in resume.selection_splits]
+                stats.add_counter("recovery_phases_restored")
+            else:
+                splits = selection(ctx, runs)
             comm.barrier()
         at("after:selection")
         comm.set_phase("all_to_all")
         at("before:all_to_all")
         with PhaseClock(stats, "all_to_all"):
-            seg_len, block_first_keys = all_to_all(ctx, runs, splits)
+            if global_done >= 3:
+                seg_len = [int(x) for x in resume.a2a_seg_len]
+                block_first_keys = [
+                    list(keys) for keys in resume.a2a_block_first_keys
+                ]
+                stats.add_counter("recovery_phases_restored")
+                # a2a_done is journaled *before* piece teardown, so a
+                # crash in between leaves pieces behind; finish the job.
+                for r in range(len(seg_len)):
+                    store.remove(store.piece_path(r))
+            else:
+                seg_len, block_first_keys = all_to_all(ctx, runs, splits)
             comm.barrier()
         at("after:all_to_all")
         comm.set_phase("merge")
         at("before:merge")
         with PhaseClock(stats, "merge"):
-            out_meta = merge(ctx, seg_len, block_first_keys)
+            # Merge is the one phase restored *per-rank* rather than by
+            # the global minimum: it does no communication, and a rank
+            # that ran ahead, finished its merge and tore down its
+            # segments before the failed attempt died has nothing left
+            # to re-merge — its durable OutputMeta is the only truth.
+            if global_done >= 4 or (
+                resume is not None and resume.merge_meta is not None
+            ):
+                out_meta = OutputMeta(**resume.merge_meta)
+                stats.add_counter("recovery_phases_restored")
+                for r in range(len(seg_len)):
+                    store.remove(store.segment_path(r))
+            else:
+                out_meta = merge(ctx, seg_len, block_first_keys)
             comm.barrier()
         at("after:merge")
+
+        fenced = int(getattr(comm, "fenced_drops", 0))
+        if fenced:
+            stats.add_counter("recovery_fenced_frames", float(fenced))
 
         for phase, nbytes in store.bytes_read.items():
             stats.bytes_read[phase] = nbytes
@@ -134,6 +212,11 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn) -> None:
         except Exception:
             pass
     finally:
+        if journal is not None:
+            try:
+                journal.close()
+            except Exception:
+                pass
         try:
             comm.close()
         except Exception:
@@ -154,6 +237,7 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
             timeout=job.timeout,
             chaos=getattr(job, "chaos", None),
             pending_sends=getattr(job, "pending_sends", 4),
+            job_epoch=getattr(job, "epoch", 0),
         )
     except Exception:
         try:
@@ -201,6 +285,7 @@ def tcp_worker_main(
             pending_sends=getattr(job, "pending_sends", 4),
             chaos=getattr(job, "chaos", None),
             heartbeat_s=getattr(job, "heartbeat_s", 5.0),
+            job_epoch=getattr(job, "epoch", 0),
         )
     except Exception:
         try:

@@ -10,7 +10,7 @@ A TCP stream has no message boundaries, so every message travels as one
     2       1     version (1)
     3       1     kind    (MSG / HELLO / WELCOME / MESH / RESULT / HEARTBEAT)
     4       1     flags   (bit 0: RAW payload present)
-    5       1     pad
+    5       1     fence   (u8, job-epoch fence; see below)
     6       4     epoch   (u32, collective epoch tag; 0 = untagged)
     10      4     meta_len    (u32, pickled message bytes)
     14      8     payload_len (u64, raw record bytes; 0 unless FLAG_RAW)
@@ -30,6 +30,15 @@ Two paths share this layout:
   the payload straight into a preallocated ``bytearray`` and reattaches
   it as the tuple's last element (``np.frombuffer`` accepts it without a
   copy).
+
+The **fence** byte carries the *job epoch* (restart attempt number,
+modulo 256) of the sender.  After a recovery restart the mesh is
+rebuilt, but a wedged pre-restart process can in principle still hold a
+socket and push stale MSG frames; the comm layer drops any MSG frame
+whose fence disagrees with its own job epoch (counted, never raised),
+so a new epoch can never consume a dead epoch's traffic.  Handshake and
+result kinds carry the fence too, for observability, but only MSG is
+fenced.
 
 Integrity: a wrong magic/version, an implausible length, a CRC mismatch,
 an undecodable pickle, or an epoch tag that disagrees with the decoded
@@ -61,8 +70,10 @@ __all__ = [
     "KIND_RESULT",
     "KIND_HEARTBEAT",
     "KIND_GOODBYE",
+    "KIND_RESUME",
     "MAX_META_BYTES",
     "MAX_PAYLOAD_BYTES",
+    "encode_frame",
     "send_frame",
     "send_raw_frame",
     "recv_frame",
@@ -71,12 +82,13 @@ __all__ = [
 MAGIC = b"RS"
 VERSION = 1
 
-FRAME_HEADER = struct.Struct("!2sBBBxIIQI")
+FRAME_HEADER = struct.Struct("!2sBBBBIIQI")
 
 #: Frame kinds.  MSG carries comm traffic; HELLO/WELCOME/MESH belong to
 #: the rendezvous handshake; RESULT is the worker's report to the
 #: driver; HEARTBEAT keeps idle connections observably alive; GOODBYE
-#: announces a deliberate close (EOF without one = dead PE).
+#: announces a deliberate close (EOF without one = dead PE); RESUME is
+#: the epoch>0 rendezvous reply — the job plus its manifest digest.
 KIND_MSG = 0
 KIND_HELLO = 1
 KIND_WELCOME = 2
@@ -84,10 +96,11 @@ KIND_MESH = 3
 KIND_RESULT = 4
 KIND_HEARTBEAT = 5
 KIND_GOODBYE = 6
+KIND_RESUME = 7
 
 _KINDS = frozenset(
     (KIND_MSG, KIND_HELLO, KIND_WELCOME, KIND_MESH, KIND_RESULT,
-     KIND_HEARTBEAT, KIND_GOODBYE)
+     KIND_HEARTBEAT, KIND_GOODBYE, KIND_RESUME)
 )
 
 FLAG_RAW = 0x01
@@ -135,16 +148,7 @@ def _send_all(sock: socket.socket, parts) -> int:
     return total
 
 
-def send_frame(
-    sock: socket.socket, kind: int, msg, epoch: Optional[int] = None
-) -> int:
-    """Frame and send one message; returns bytes pushed to the socket.
-
-    ``epoch`` defaults to the message's own collective tag (see
-    :func:`~repro.native.comm_api.message_epoch`).  Bulk chunks take the
-    gather-write RAW path — the record buffer goes from the caller's
-    memory to the kernel without an intermediate copy.
-    """
+def _frame_parts(kind: int, msg, epoch: Optional[int], fence: int):
     if epoch is None:
         epoch = message_epoch(msg)
     meta_msg, payload = _split_raw(msg)
@@ -159,12 +163,36 @@ def send_frame(
         crc = zlib.crc32(payload, crc)
         parts.append(payload)
     parts[0] = FRAME_HEADER.pack(
-        MAGIC, VERSION, kind, flags, epoch, len(meta), payload_len, crc
+        MAGIC, VERSION, kind, flags, fence & 0xFF, epoch, len(meta),
+        payload_len, crc
     )
-    return _send_all(sock, parts)
+    return parts
 
 
-def send_raw_frame(sock: socket.socket, kind: int, meta: bytes) -> int:
+def send_frame(
+    sock: socket.socket, kind: int, msg, epoch: Optional[int] = None,
+    fence: int = 0
+) -> int:
+    """Frame and send one message; returns bytes pushed to the socket.
+
+    ``epoch`` defaults to the message's own collective tag (see
+    :func:`~repro.native.comm_api.message_epoch`); ``fence`` is the
+    sender's job epoch (restart attempt).  Bulk chunks take the
+    gather-write RAW path — the record buffer goes from the caller's
+    memory to the kernel without an intermediate copy.
+    """
+    return _send_all(sock, _frame_parts(kind, msg, epoch, fence))
+
+
+def encode_frame(kind: int, msg, epoch: Optional[int] = None,
+                 fence: int = 0) -> bytes:
+    """Encode a frame to bytes without sending it (tests and chaos)."""
+    return b"".join(bytes(p) for p in _frame_parts(kind, msg, epoch, fence))
+
+
+def send_raw_frame(
+    sock: socket.socket, kind: int, meta: bytes, fence: int = 0
+) -> int:
     """Send pre-encoded bytes as a frame's meta, without pickling.
 
     The chaos harness uses this to deliver *deliberately* corrupt pickle
@@ -172,7 +200,8 @@ def send_raw_frame(sock: socket.socket, kind: int, meta: bytes) -> int:
     the unpickling layer must reject them.
     """
     header = FRAME_HEADER.pack(
-        MAGIC, VERSION, kind, 0, 0, len(meta), 0, zlib.crc32(meta)
+        MAGIC, VERSION, kind, 0, fence & 0xFF, 0, len(meta), 0,
+        zlib.crc32(meta)
     )
     return _send_all(sock, [header, meta])
 
@@ -202,18 +231,22 @@ def _recv_exact(
     return True
 
 
-def recv_frame(sock: socket.socket) -> Optional[Tuple[int, object, int, int]]:
-    """Receive one frame: ``(kind, msg, epoch, total_bytes)`` or ``None``.
+def recv_frame(
+    sock: socket.socket,
+) -> Optional[Tuple[int, object, int, int, int]]:
+    """Receive one frame: ``(kind, msg, epoch, fence, total_bytes)``.
 
     ``None`` means the peer closed the connection cleanly at a frame
     boundary.  Any mid-frame EOF, bad magic, implausible length, CRC
     mismatch, unpicklable meta or epoch/tag disagreement raises
     :class:`CommError`; a receive timeout raises :class:`CommTimeout`.
+    The fence byte is returned raw — fencing policy (drop stale MSG
+    frames) lives in the comm layer, which knows its own job epoch.
     """
     header = bytearray(FRAME_HEADER.size)
     if not _recv_exact(sock, memoryview(header), "header", allow_eof=True):
         return None
-    magic, version, kind, flags, epoch, meta_len, payload_len, crc = (
+    magic, version, kind, flags, fence, epoch, meta_len, payload_len, crc = (
         FRAME_HEADER.unpack(header)
     )
     if magic != MAGIC or version != VERSION:
@@ -260,4 +293,4 @@ def recv_frame(sock: socket.socket) -> Optional[Tuple[int, object, int, int]]:
             f"{message_epoch(msg)}: stream out of step"
         )
     total = FRAME_HEADER.size + meta_len + payload_len
-    return kind, msg, epoch, total
+    return kind, msg, epoch, fence, total

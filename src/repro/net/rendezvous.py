@@ -13,7 +13,10 @@ everything:
 3. once all ``n_workers`` ranks are present, the coordinator answers
    every worker with ``WELCOME(n_workers, table, job)`` — the full
    rank → address table, plus the pickled job for workers launched bare
-   (``python -m repro worker`` sends ``wants_job=True``);
+   (``python -m repro worker`` sends ``wants_job=True``).  On a
+   recovery restart (``job.epoch > 0``) the reply is a ``RESUME`` frame
+   instead, carrying the same table and job plus the manifest digest
+   the rejoining worker's on-disk journal must match;
 4. each worker builds the mesh with a deterministic tie-break: rank i
    **dials** every rank j > i (``MESH(i)`` announces the dialer) and
    **accepts** from every rank j < i.  Dial-all-then-accept-all cannot
@@ -36,10 +39,12 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..native.comm_api import CommError, CommTimeout
+from ..recovery.manifest import job_fingerprint
 from .framing import (
     KIND_HELLO,
     KIND_MESH,
     KIND_RESULT,
+    KIND_RESUME,
     KIND_WELCOME,
     recv_frame,
     send_frame,
@@ -103,16 +108,23 @@ def connect_with_backoff(
     addr: Tuple[str, int],
     deadline: float,
     rng: Optional[random.Random] = None,
+    what: str = "peer",
 ) -> socket.socket:
-    """Dial ``addr`` until it answers or ``deadline`` (monotonic) passes."""
+    """Dial ``addr`` until it answers or ``deadline`` (monotonic) passes.
+
+    The deadline caps *total* dial time across all backoff attempts — a
+    never-listening address fails with :class:`CommTimeout` naming
+    ``what`` (e.g. ``"coordinator"``) and the address, rather than
+    retrying forever.
+    """
     delays = backoff_delays(rng)
     last_error: Optional[Exception] = None
     while True:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
             raise CommTimeout(
-                f"could not connect to {addr[0]}:{addr[1]} before the "
-                f"deadline (last error: {last_error!r})"
+                f"could not connect to {what} at {addr[0]}:{addr[1]} "
+                f"before the dial deadline (last error: {last_error!r})"
             )
         try:
             sock = socket.create_connection(
@@ -193,7 +205,7 @@ class Coordinator:
                 if frame is None:
                     sock.close()
                     continue  # probe connection (port scan, health check)
-                kind, msg, _epoch, _n = frame
+                kind, msg, _epoch, _fence, _n = frame
                 if kind != KIND_HELLO or not (
                     isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "hello"
                 ):
@@ -216,17 +228,36 @@ class Coordinator:
                 conns[rank] = sock
                 table[rank] = (str(mesh_addr[0]), int(mesh_addr[1]))
                 wants_job[rank] = bool(wants)
+            epoch = int(getattr(job, "epoch", 0))
             for rank, sock in conns.items():
-                send_frame(
-                    sock,
-                    KIND_WELCOME,
-                    (
-                        "welcome",
-                        self.n_workers,
-                        sorted(table.items()),
-                        job if wants_job[rank] else None,
-                    ),
-                )
+                wire_job = job if wants_job[rank] else None
+                if epoch > 0:
+                    # A rejoining worker gets a RESUME frame: the job
+                    # plus the manifest digest it must find on disk.
+                    send_frame(
+                        sock,
+                        KIND_RESUME,
+                        (
+                            "resume",
+                            self.n_workers,
+                            sorted(table.items()),
+                            wire_job,
+                            epoch,
+                            job_fingerprint(job),
+                        ),
+                        fence=epoch,
+                    )
+                else:
+                    send_frame(
+                        sock,
+                        KIND_WELCOME,
+                        (
+                            "welcome",
+                            self.n_workers,
+                            sorted(table.items()),
+                            wire_job,
+                        ),
+                    )
         except BaseException:
             for sock in conns.values():
                 try:
@@ -265,7 +296,7 @@ def join_mesh(
         listener.listen(64)
         listen_port = listener.getsockname()[1]
 
-        coord = connect_with_backoff(connect, deadline)
+        coord = connect_with_backoff(connect, deadline, what="coordinator")
         # Advertise the local address of the coordinator connection: the
         # one interface the coordinator's network is known to reach.
         adv_host = coord.getsockname()[0]
@@ -279,12 +310,28 @@ def join_mesh(
                 "coordinator closed the connection before WELCOME "
                 "(duplicate rank, or the job failed during rendezvous)"
             )
-        kind, msg, _epoch, _n = frame
-        if kind != KIND_WELCOME or not (
+        kind, msg, _epoch, _fence, _n = frame
+        if kind == KIND_WELCOME and (
             isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "welcome"
         ):
-            raise CommError(f"expected WELCOME, got kind {kind} {msg!r}")
-        _tag, n_workers, table_items, wire_job = msg
+            _tag, n_workers, table_items, wire_job = msg
+        elif kind == KIND_RESUME and (
+            isinstance(msg, tuple) and len(msg) == 6 and msg[0] == "resume"
+        ):
+            # A restart epoch: the coordinator re-admits us with the job
+            # and the manifest digest our on-disk journal must match.
+            _tag, n_workers, table_items, wire_job, epoch, digest = msg
+            check_job = job if job is not None else wire_job
+            if check_job is not None and job_fingerprint(check_job) != digest:
+                raise CommError(
+                    f"RESUME manifest digest {digest!r} does not match the "
+                    "job this worker holds; refusing to rejoin a different "
+                    "job's mesh"
+                )
+        else:
+            raise CommError(
+                f"expected WELCOME or RESUME, got kind {kind} {msg!r}"
+            )
         if job is None:
             job = wire_job
         if job is None:
@@ -294,7 +341,9 @@ def join_mesh(
 
         # Deterministic mesh: dial up, accept down.
         for peer in range(rank + 1, n_workers):
-            sock = connect_with_backoff(table[peer], deadline)
+            sock = connect_with_backoff(
+                table[peer], deadline, what=f"mesh peer {peer}"
+            )
             send_frame(sock, KIND_MESH, ("mesh", rank))
             socks[peer] = sock
         expected = set(range(rank))
@@ -316,7 +365,7 @@ def join_mesh(
             if frame is None:
                 sock.close()
                 continue
-            kind, msg, _epoch, _n = frame
+            kind, msg, _epoch, _fence, _n = frame
             if kind != KIND_MESH or not (
                 isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "mesh"
             ):

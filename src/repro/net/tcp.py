@@ -71,6 +71,7 @@ class TcpComm(MeshComm):
         pending_sends: int = DEFAULT_PENDING_SENDS,
         chaos=None,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        job_epoch: int = 0,
     ):
         if heartbeat_s <= 0:
             raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
@@ -83,6 +84,7 @@ class TcpComm(MeshComm):
             timeout=timeout,
             pending_sends=pending_sends,
             chaos=chaos,
+            job_epoch=job_epoch,
         )
         for sock in socks.values():
             sock.settimeout(None)
@@ -102,7 +104,9 @@ class TcpComm(MeshComm):
     # -- channel primitives ---------------------------------------------------
 
     def _transmit(self, peer: int, msg: tuple) -> None:
-        self.socket_bytes_sent += send_frame(self.socks[peer], KIND_MSG, msg)
+        self.socket_bytes_sent += send_frame(
+            self.socks[peer], KIND_MSG, msg, fence=self.job_epoch
+        )
 
     def _poll_once(self, block_timeout: float) -> bool:
         self._chaos_poll()
@@ -155,7 +159,7 @@ class TcpComm(MeshComm):
                     f"rank {self.rank}: peer {peer} closed the connection "
                     "mid-protocol (dead PE)"
                 )
-            kind, msg, _epoch, nbytes = frame
+            kind, msg, _epoch, fence, nbytes = frame
             self.socket_bytes_received += nbytes
             self.last_heard[peer] = time.monotonic()
             if kind == KIND_GOODBYE:
@@ -168,6 +172,10 @@ class TcpComm(MeshComm):
                     f"rank {self.rank}: unexpected frame kind {kind} "
                     f"from peer {peer}"
                 )
+            if fence != self.job_epoch & 0xFF:
+                # Stale frame from a pre-restart job epoch: drop it.
+                self.fenced_drops += 1
+                continue
             self._stash_message(peer, msg)
             got = True
         return got
@@ -230,7 +238,9 @@ class TcpComm(MeshComm):
         # A valid header promising meta bytes that will never arrive:
         # every peer's next poll blocks mid-frame until its receive
         # timeout escalates to CommTimeout.
-        header = FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 1024, 0, 0)
+        header = FRAME_HEADER.pack(
+            MAGIC, VERSION, KIND_MSG, 0, self.job_epoch & 0xFF, 0, 1024, 0, 0
+        )
         for sock in self.socks.values():
             try:
                 sock.sendall(header)

@@ -39,6 +39,7 @@ __all__ = [
     "kill_points",
     "run_chaos_case",
     "run_chaos_sweep",
+    "run_recovery_smoke",
 ]
 
 #: Native phase names, in execution order (mirrors
@@ -79,10 +80,17 @@ class ChaosSpec:
 
     #: Rank the fault applies to (other ranks run clean).
     rank: int = 0
+    #: Restart epoch the fault fires on (recovery tests: the fault hits
+    #: attempt 0, the resumed attempts run clean).  Workers call
+    #: :meth:`set_epoch` with their job's epoch before any hook fires.
+    fire_epoch: int = 0
 
     # -- process death ---------------------------------------------------------
     #: ``os._exit`` at this fault point ("before:selection", ...).
     kill_at: Optional[str] = None
+    #: ``os._exit`` after this many all-to-all chunk arrivals — a death
+    #: *inside* the exchange, between watermark checkpoints.
+    kill_after_a2a_chunks: Optional[int] = None
 
     # -- result-pipe corruption ------------------------------------------------
     #: At this point, send a truncated pickle on the result pipe, then exit:
@@ -92,6 +100,11 @@ class ChaosSpec:
     #: (and no payload) to the result pipe, then exit: a naive driver
     #: blocks forever inside ``Connection.recv``.
     wedged_result_at: Optional[str] = None
+    #: At this point, send a *partial* result frame followed by a clean
+    #: GOODBYE, then exit.  A torn result must stay an error even when a
+    #: polite close rides behind it — the driver may never mistake the
+    #: GOODBYE for a deliberate, reportable shutdown.
+    goodbye_result_at: Optional[str] = None
 
     # -- interconnect degradation ---------------------------------------------
     #: Sleep this long at the fault point (a stalled PE; peers must time
@@ -122,12 +135,17 @@ class ChaosSpec:
 
     # -- internal mutable state (per worker process, post-pickle) --------------
     _written: int = 0
+    _epoch: int = 0
 
     # -- hook entry points (called from repro.native) --------------------------
 
+    def set_epoch(self, epoch: int) -> None:
+        """Bind this worker's attempt epoch; faults fire on ``fire_epoch`` only."""
+        self._epoch = int(epoch)
+
     def at_point(self, rank: int, point: str, result_conn=None, comm=None) -> None:
         """Phase-boundary hook; called by the worker between phases."""
-        if rank != self.rank:
+        if rank != self.rank or self._epoch != self.fire_epoch:
             return
         if self.stall_at == point:
             time.sleep(self.stall_seconds)
@@ -150,12 +168,44 @@ class ChaosSpec:
             # hang-on-worker-death case the driver must survive.
             os.write(result_conn.fileno(), struct.pack("!i", 1 << 20))
             os._exit(KILL_EXIT_CODE)
+        if self.goodbye_result_at == point and result_conn is not None:
+            sock = getattr(result_conn, "_sock", None)
+            if sock is not None:  # TCP ResultChannel
+                from ..net.framing import KIND_GOODBYE, KIND_RESULT, encode_frame
+
+                torn = encode_frame(KIND_RESULT, ("ok", "chaos-goodbye", rank))
+                sock.sendall(torn[:-7])
+                sock.sendall(encode_frame(KIND_GOODBYE, None))
+            else:  # multiprocessing Connection: header + half the body
+                import pickle
+
+                payload = pickle.dumps(("ok", "chaos-goodbye", rank))
+                os.write(
+                    result_conn.fileno(),
+                    struct.pack("!i", len(payload))
+                    + payload[: len(payload) // 2],
+                )
+            os._exit(KILL_EXIT_CODE)
         if self.kill_at == point:
+            os._exit(KILL_EXIT_CODE)
+
+    def on_a2a_chunk(self, rank: int, arrivals: int) -> None:
+        """All-to-all hook; called after each received exchange chunk."""
+        if rank != self.rank or self._epoch != self.fire_epoch:
+            return
+        if (
+            self.kill_after_a2a_chunks is not None
+            and arrivals >= self.kill_after_a2a_chunks
+        ):
             os._exit(KILL_EXIT_CODE)
 
     def on_recv_poll(self, rank: int) -> None:
         """Interconnect hook; called before each receive poll."""
-        if rank == self.rank and self.recv_delay_s > 0:
+        if (
+            rank == self.rank
+            and self.recv_delay_s > 0
+            and self._epoch == self.fire_epoch
+        ):
             time.sleep(self.recv_delay_s)
 
     def clip_write(self, rank: int, nbytes: int) -> Optional[int]:
@@ -166,7 +216,11 @@ class ChaosSpec:
         (ENOSPC) is raised — the caller performs the torn prefix write
         and raises.
         """
-        if rank != self.rank or self.enospc_after_bytes is None:
+        if (
+            rank != self.rank
+            or self.enospc_after_bytes is None
+            or self._epoch != self.fire_epoch
+        ):
             return None
         if self._written + nbytes <= self.enospc_after_bytes:
             self._written += nbytes
@@ -194,6 +248,8 @@ def run_chaos_case(
     prefetch_blocks: int = 0,
     write_behind_blocks: int = 0,
     transport: str = "pipe",
+    recover: bool = False,
+    max_restarts: int = 1,
 ) -> dict:
     """One native sort with ``spec`` injected; the contract is *fail fast*.
 
@@ -203,10 +259,31 @@ def run_chaos_case(
     with a valid output).  ``ok=False`` captures the two failure modes
     this harness exists to catch — a hang past the budget, or a sort
     that silently "succeeds" despite a terminal fault.
+
+    With ``recover=True`` the contract flips to *survive and agree*: the
+    job runs with checkpointing and ``max_restarts``, must complete
+    despite the fault, and its output must be bitwise identical to an
+    undisturbed twin run (see :func:`_run_recovery_case`).
     """
     from ..core.config import SortConfig
     from ..native import NativeJob, NativeSorter
     from ..native.driver import NativeSortError
+
+    if recover:
+        return _run_recovery_case(
+            spec,
+            spill_dir,
+            n_workers=n_workers,
+            n_per_rank=n_per_rank,
+            block_records=block_records,
+            memory_records=memory_records,
+            job_timeout=job_timeout,
+            budget=budget,
+            prefetch_blocks=prefetch_blocks,
+            write_behind_blocks=write_behind_blocks,
+            transport=transport,
+            max_restarts=max_restarts,
+        )
 
     rb = 16
     job = NativeJob(
@@ -225,11 +302,7 @@ def run_chaos_case(
         prefetch_blocks=prefetch_blocks,
         write_behind_blocks=write_behind_blocks,
     )
-    terminal = any(
-        (spec.kill_at, spec.torn_result_at, spec.wedged_result_at,
-         spec.stall_at, spec.sever_comm_at, spec.wedge_comm_at,
-         spec.enospc_after_bytes is not None)
-    )
+    terminal = _is_terminal(spec)
     start = time.monotonic()
     verdict = {
         "fault": _describe_spec(spec),
@@ -277,11 +350,21 @@ def run_chaos_case(
     return verdict
 
 
+def _is_terminal(spec: ChaosSpec) -> bool:
+    return any(
+        (spec.kill_at, spec.torn_result_at, spec.wedged_result_at,
+         spec.goodbye_result_at, spec.stall_at, spec.sever_comm_at,
+         spec.wedge_comm_at, spec.kill_after_a2a_chunks is not None,
+         spec.enospc_after_bytes is not None)
+    )
+
+
 def _describe_spec(spec: ChaosSpec) -> str:
     for attr in (
         "kill_at",
         "torn_result_at",
         "wedged_result_at",
+        "goodbye_result_at",
         "stall_at",
         "sever_comm_at",
         "wedge_comm_at",
@@ -289,11 +372,139 @@ def _describe_spec(spec: ChaosSpec) -> str:
         value = getattr(spec, attr)
         if value is not None:
             return f"{attr}={value} rank={spec.rank}"
+    if spec.kill_after_a2a_chunks is not None:
+        return (
+            f"kill_after_a2a_chunks={spec.kill_after_a2a_chunks} "
+            f"rank={spec.rank}"
+        )
     if spec.enospc_after_bytes is not None:
         return f"enospc_after_bytes={spec.enospc_after_bytes} rank={spec.rank}"
     if spec.recv_delay_s:
         return f"recv_delay_s={spec.recv_delay_s} rank={spec.rank}"
     return "no-op spec"
+
+
+def _fault_past_run_formation(spec: ChaosSpec) -> bool:
+    """Whether the fault can only fire after run formation completed.
+
+    Recovery from such a fault must re-read **zero** run-formation input
+    blocks — the o(N) bound the acceptance criteria pin down.
+    """
+    if spec.kill_after_a2a_chunks is not None:
+        return True
+    point = (
+        spec.kill_at or spec.sever_comm_at or spec.wedge_comm_at
+        or spec.stall_at
+    )
+    if point is None:
+        return False
+    later = PHASE_BOUNDARIES[PHASE_BOUNDARIES.index("after:run_formation"):]
+    return point in later or point == "before:report"
+
+
+def _run_recovery_case(
+    spec: ChaosSpec,
+    spill_dir: str,
+    *,
+    n_workers: int,
+    n_per_rank: int,
+    block_records: int,
+    memory_records: int,
+    job_timeout: float,
+    budget: float,
+    prefetch_blocks: int,
+    write_behind_blocks: int,
+    transport: str,
+    max_restarts: int,
+) -> dict:
+    """Differential recovery twin: chaos + restarts vs an undisturbed run.
+
+    The chaos job checkpoints and may restart; it must finish, validate,
+    actually have burned at least one restart, and produce output files
+    bitwise identical to the clean twin's.  For faults that fire after
+    run formation completed, the recovery counters must show zero input
+    blocks re-read — recovery cost stays o(N).
+    """
+    import filecmp
+
+    from ..core.config import SortConfig
+    from ..native import NativeJob, NativeSorter
+    from ..native.driver import NativeSortError
+
+    rb = 16
+    config = SortConfig(
+        data_per_node_bytes=n_per_rank * rb,
+        memory_bytes=memory_records * rb,
+        block_bytes=block_records * rb,
+        block_elems=block_records,
+        seed=7,
+    )
+
+    def make_job(subdir: str, chaos, restarts: int) -> NativeJob:
+        return NativeJob(
+            config=config,
+            n_workers=n_workers,
+            spill_dir=os.path.join(spill_dir, subdir),
+            timeout=job_timeout,
+            transport=transport,
+            chaos=chaos,
+            prefetch_blocks=prefetch_blocks,
+            write_behind_blocks=write_behind_blocks,
+            max_restarts=restarts,
+            # Tight watermark cadence so a mid-exchange death leaves
+            # durable chunk marks behind (the replay-skip path).
+            a2a_checkpoint_chunks=2,
+        )
+
+    verdict = {
+        "fault": f"{_describe_spec(spec)} [recover]",
+        "ok": False,
+        "elapsed": 0.0,
+        "outcome": "",
+        "restarts": 0,
+    }
+    start = time.monotonic()
+    try:
+        clean = NativeSorter(make_job("clean", None, 0)).run()
+        chaotic = NativeSorter(
+            make_job("chaos", spec, max_restarts)
+        ).run()
+    except NativeSortError as exc:
+        verdict["elapsed"] = time.monotonic() - start
+        verdict["outcome"] = f"recovery failed: {exc}"
+        return verdict
+    verdict["elapsed"] = time.monotonic() - start
+    verdict["restarts"] = chaotic.stats.restarts
+    rec = chaotic.stats.recovery_dict()
+    verdict["recovery"] = rec
+
+    report = chaotic.validate()
+    issues: List[str] = list(report.issues)
+    if chaotic.stats.restarts < 1:
+        issues.append(
+            "fault never fired: the recovery run burned no restart"
+        )
+    for meta_clean, meta_chaos in zip(clean.outputs, chaotic.outputs):
+        if not filecmp.cmp(meta_clean.path, meta_chaos.path, shallow=False):
+            issues.append(
+                f"rank {meta_chaos.rank} output differs from the "
+                "undisturbed twin"
+            )
+    if _fault_past_run_formation(spec) and rec["rf_blocks_reread"] != 0:
+        issues.append(
+            f"recovery re-read {rec['rf_blocks_reread']:.0f} run-formation "
+            "blocks for a fault past run formation (o(N) bound violated)"
+        )
+    if verdict["elapsed"] > budget:
+        issues.append(
+            f"recovery took {verdict['elapsed']:.1f}s > budget {budget}s"
+        )
+    verdict["ok"] = not issues
+    verdict["outcome"] = (
+        f"recovered after {chaotic.stats.restarts} restart(s), "
+        "bitwise-equal output" if not issues else "; ".join(issues)
+    )
+    return verdict
 
 
 def run_chaos_sweep(
@@ -305,6 +516,8 @@ def run_chaos_sweep(
     progress=None,
     pipelined: bool = False,
     transport: str = "pipe",
+    recover: bool = False,
+    keep_failures_dir: Optional[str] = None,
 ) -> List[dict]:
     """Kill one worker at every phase boundary; every run must fail fast.
 
@@ -318,7 +531,15 @@ def run_chaos_sweep(
     write — which then fires *inside the write-behind thread* and must
     still fail fast (the error is latched and re-raised on the worker's
     main thread).
+
+    With ``recover=True`` every kill/sever/wedge fault becomes a
+    recovery case instead (``--max-restarts 1``, see
+    :func:`_run_recovery_case`): the job must *survive* the fault and
+    agree bitwise with an undisturbed twin.  A failing case's spill
+    directory (manifests included) is copied under ``keep_failures_dir``
+    together with its verdict, as a reproducer artifact.
     """
+    import json
     import shutil
     import tempfile
 
@@ -331,7 +552,13 @@ def run_chaos_sweep(
     # bulk of the data crosses the mesh, so losing a PE's network there
     # must fail fast on every peer and leave no torn output files.
     specs.append(ChaosSpec(rank=0, sever_comm_at="before:all_to_all"))
-    if pipelined:
+    if recover:
+        # A death *between* watermark checkpoints inside the exchange,
+        # and a wedged (not just severed) mesh: the two hard resume
+        # shapes beyond plain boundary kills.
+        specs.append(ChaosSpec(rank=0, kill_after_a2a_chunks=3))
+        specs.append(ChaosSpec(rank=0, wedge_comm_at="before:all_to_all"))
+    if pipelined and not recover:
         # Torn disk-full write, deferred into the writer thread: the
         # threshold sits past the 8 KiB input (written synchronously
         # during generate), so the failing write is a run-formation
@@ -353,6 +580,7 @@ def run_chaos_sweep(
                 job_timeout=job_timeout,
                 budget=budget,
                 transport=transport,
+                recover=recover,
                 **pipe_kw,
             )
             if pipelined:
@@ -360,6 +588,52 @@ def run_chaos_sweep(
             if transport != "pipe":
                 verdict["fault"] += f" [{transport}]"
             verdicts.append(verdict)
+            if not verdict["ok"] and keep_failures_dir is not None:
+                keep = os.path.join(
+                    keep_failures_dir, os.path.basename(spill)
+                )
+                shutil.copytree(spill, keep, dirs_exist_ok=True)
+                with open(
+                    os.path.join(keep, "verdict.json"), "w", encoding="ascii"
+                ) as handle:
+                    json.dump(verdict, handle, indent=2, sort_keys=True)
+        finally:
+            shutil.rmtree(spill, ignore_errors=True)
+    return verdicts
+
+
+def run_recovery_smoke(
+    spill_root: str,
+    transports=("pipe", "tcp"),
+    job_timeout: float = 15.0,
+    budget: float = 60.0,
+) -> List[dict]:
+    """CI smoke: kill a rank at a phase boundary, resume, agree bitwise.
+
+    One boundary kill per transport with ``--max-restarts 1``: the
+    smallest end-to-end proof that manifests, epoch rendezvous and
+    resume all hold together on both interconnects.
+    """
+    import shutil
+    import tempfile
+
+    verdicts = []
+    for transport in transports:
+        spill = tempfile.mkdtemp(
+            prefix=f"recovery-smoke-{transport}-", dir=spill_root
+        )
+        try:
+            verdicts.append(
+                run_chaos_case(
+                    ChaosSpec(rank=0, kill_at="after:run_formation"),
+                    spill,
+                    job_timeout=job_timeout,
+                    budget=budget,
+                    transport=transport,
+                    recover=True,
+                )
+            )
+            verdicts[-1]["fault"] += f" [{transport}]"
         finally:
             shutil.rmtree(spill, ignore_errors=True)
     return verdicts

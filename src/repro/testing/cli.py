@@ -59,6 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep over the socket transport too",
     )
     parser.add_argument(
+        "--recover", action="store_true",
+        help="additionally run native-only recovery twins of every matrix "
+        "case (chaos kill + --max-restarts 1; the resumed sort must agree "
+        "bitwise with the oracle), and flip the chaos sweep into recovery "
+        "mode (kill/sever/wedge faults must be survived, not just failed "
+        "fast)",
+    )
+    parser.add_argument(
+        "--recover-smoke", action="store_true",
+        help="run only the recovery smoke (one boundary kill + resume per "
+        "transport); the fast push-time CI gate",
+    )
+    parser.add_argument(
+        "--keep-failures", metavar="DIR", default=None,
+        help="copy each failing chaos case's spill directory (manifests "
+        "included) plus its verdict into DIR as a reproducer artifact",
+    )
+    parser.add_argument(
         "--search", type=int, metavar="N", default=0,
         help="run N random property-based cases (shrunk on failure)",
     )
@@ -124,7 +142,8 @@ def main(argv: List[str] = None) -> int:
             print(json.dumps(report, indent=2, sort_keys=True))
         return 0
 
-    if not any((args.quick, args.full, args.chaos, args.search, args.replay)):
+    if not any((args.quick, args.full, args.chaos, args.search, args.replay,
+                args.recover_smoke)):
         args.quick = True  # bare invocation = the quick tier
 
     failures: List[dict] = []
@@ -163,6 +182,20 @@ def main(argv: List[str] = None) -> int:
                         if "native" in s.backends
                         and s.transport == "pipe"
                         and not s.pipelined
+                    ]
+                )
+            )
+        if args.recover and specs:
+            # Native-only recovery twins: the same workloads with a rank
+            # killed at the run-formation boundary and one restart — the
+            # resumed sort must still match the oracle byte for byte.
+            specs.extend(
+                differential.recovery_variants(
+                    [
+                        s for s in specs
+                        if "native" in s.backends
+                        and not s.pipelined
+                        and not s.recover
                     ]
                 )
             )
@@ -210,6 +243,8 @@ def main(argv: List[str] = None) -> int:
             transports = (
                 ["pipe"] if args.transport == "pipe" else ["pipe", "tcp"]
             )
+            if args.keep_failures:
+                os.makedirs(args.keep_failures, exist_ok=True)
             verdicts = []
             for transport in transports:
                 verdicts.extend(
@@ -217,6 +252,9 @@ def main(argv: List[str] = None) -> int:
                         spill_root, budget=args.chaos_budget,
                         pipelined=args.pipelined,
                         transport=transport,
+                        recover=args.recover,
+                        keep_failures_dir=args.keep_failures,
+                        job_timeout=6.0 if args.recover else 15.0,
                     )
                 )
             bad = [v for v in verdicts if not v["ok"]]
@@ -228,6 +266,25 @@ def main(argv: List[str] = None) -> int:
             say(f"chaos: {len(verdicts)} kill points, {len(bad)} failures")
             report["chaos"] = {
                 "points": len(verdicts),
+                "failures": len(bad),
+                "recover": args.recover,
+                "verdicts": verdicts,
+            }
+
+        # -- recovery smoke ----------------------------------------------------
+        if args.recover_smoke:
+            verdicts = chaos.run_recovery_smoke(spill_root)
+            bad = [v for v in verdicts if not v["ok"]]
+            for v in verdicts:
+                flag = "ok  " if v["ok"] else "FAIL"
+                say(
+                    f"recovery-smoke {flag} {v['fault']:38s} "
+                    f"{v['elapsed']:6.2f}s  ({v['outcome']})"
+                )
+            if bad:
+                failures.extend(bad)
+            report["recovery_smoke"] = {
+                "cases": len(verdicts),
                 "failures": len(bad),
                 "verdicts": verdicts,
             }

@@ -38,6 +38,7 @@ __all__ = [
     "full_specs",
     "pipelined_variants",
     "tcp_variants",
+    "recovery_variants",
     "run_case",
     "run_sim_case",
     "run_native_case",
@@ -74,6 +75,11 @@ class CaseSpec:
     #: Native interconnect substrate ("pipe" or "tcp").  The oracle
     #: comparison is unchanged — the transport must be bitwise-invisible.
     transport: str = "pipe"
+    #: Run the native backend as a *recovery twin*: a chaos kill at a
+    #: phase boundary plus ``max_restarts=1``, so the sort survives one
+    #: rank death and resumes from its manifests.  The oracle comparison
+    #: is unchanged — recovery must be bitwise-invisible.
+    recover: bool = False
 
     def __post_init__(self):
         if self.entry not in corpus.ENTRIES:
@@ -97,6 +103,8 @@ class CaseSpec:
             token += ":pipe"
         if self.transport != "pipe":
             token += f":{self.transport}"
+        if self.recover:
+            token += ":recover"
         return token
 
     @classmethod
@@ -114,11 +122,14 @@ class CaseSpec:
         backends: Tuple[str, ...] = ("native", "sim")
         pipelined = False
         transport = "pipe"
+        recover = False
         for part in parts[6:]:
             if part == "pipe":
                 pipelined = True
             elif part == "tcp":
                 transport = "tcp"
+            elif part == "recover":
+                recover = True
             else:
                 backends = tuple(part.split("+"))
         return cls(
@@ -131,6 +142,7 @@ class CaseSpec:
             backends=backends,
             pipelined=pipelined,
             transport=transport,
+            recover=recover,
         )
 
     def replay_command(self) -> str:
@@ -244,6 +256,20 @@ def tcp_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
     ]
 
 
+def recovery_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+    """Native-only recovery twins of ``specs`` (kill + resume).
+
+    Each twin runs the identical workload with a chaos kill at the
+    run-formation boundary and ``max_restarts=1``: the sort must survive
+    the death, resume from its manifests, and still agree *bitwise* with
+    the ``np.sort`` oracle — recovery leaves no fingerprints on the
+    output.
+    """
+    return [
+        replace(spec, backends=("native",), recover=True) for spec in specs
+    ]
+
+
 # ------------------------------------------------------------------ backends
 
 
@@ -314,6 +340,11 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
             make_records(keys, payloads).tofile(
                 os.path.join(spill, f"input_{rank}.dat")
             )
+        chaos = None
+        if spec.recover:
+            from .chaos import ChaosSpec
+
+            chaos = ChaosSpec(rank=0, kill_at="after:run_formation")
         job = NativeJob(
             config=_config_for(spec),
             n_workers=spec.n_workers,
@@ -323,8 +354,24 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
             transport=spec.transport,
             prefetch_blocks=4 if spec.pipelined else 0,
             write_behind_blocks=4 if spec.pipelined else 0,
+            chaos=chaos,
+            max_restarts=1 if spec.recover else 0,
         )
         sort = NativeSorter(job).run()
+
+        if spec.recover:
+            rec = sort.stats.recovery_dict()
+            if sort.stats.restarts != 1:
+                result.divergences.append(
+                    f"native recover: expected exactly 1 restart, got "
+                    f"{sort.stats.restarts} (the kill never fired?)"
+                )
+            if rec["rf_blocks_reread"] != 0:
+                result.divergences.append(
+                    f"native recover: {rec['rf_blocks_reread']:.0f} "
+                    "run-formation blocks re-read on resume; the o(N) "
+                    "recovery bound requires 0 for a boundary kill"
+                )
 
         result.checksum = sort.input_checksum
         if sort.input_checksum != want_checksum:
@@ -364,6 +411,11 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
         # through the block store, summed over the workers.
         nbytes = total * 16
         for phase, (check_r, check_w) in _CONSERVED_NATIVE.items():
+            if spec.recover and phase == "run_formation":
+                # The resumed epoch restores its runs from the manifest:
+                # by design it re-reads zero input bytes, so conservation
+                # holds for the *lineage*, not the reported final epoch.
+                continue
             got_r = sum(w.bytes_read.get(phase, 0) for w in sort.stats.workers)
             got_w = sum(w.bytes_written.get(phase, 0) for w in sort.stats.workers)
             if check_r and got_r != nbytes:

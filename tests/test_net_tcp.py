@@ -63,7 +63,7 @@ def _drain(sock, nbytes):
 def test_control_frame_roundtrip(pair):
     a, b = pair
     sent = send_frame(a, KIND_HELLO, ("hello", 3, ("127.0.0.1", 9999), True))
-    kind, msg, epoch, total = recv_frame(b)
+    kind, msg, epoch, _fence, total = recv_frame(b)
     assert kind == KIND_HELLO
     assert msg == ("hello", 3, ("127.0.0.1", 9999), True)
     assert epoch == 0
@@ -76,11 +76,11 @@ def test_raw_payload_roundtrip_reattaches_buffer(pair):
     send_frame(a, KIND_MSG, ("__xch__", 7, ("piece", blob)))
     # The RAW split peels the *trailing* buffer of the outer tuple only;
     # here the buffer is nested, so it rides in the pickle.
-    _kind, msg, _epoch, _total = recv_frame(b)
+    _kind, msg, _epoch, _fence, _total = recv_frame(b)
     assert bytes(msg[2][1]) == blob
 
     send_frame(a, KIND_MSG, ("chunk", 0, blob))
-    _kind, msg, epoch, total = recv_frame(b)
+    _kind, msg, epoch, _fence, total = recv_frame(b)
     assert msg[0] == "chunk"
     assert isinstance(msg[2], bytearray)  # zero-copy receive buffer
     assert bytes(msg[2]) == blob
@@ -91,14 +91,14 @@ def test_small_trailing_buffer_stays_in_the_pickle(pair):
     a, b = pair
     small = b"\x01" * 64  # below RAW_THRESHOLD
     send_frame(a, KIND_MSG, ("chunk", 1, small))
-    _kind, msg, _epoch, _total = recv_frame(b)
+    _kind, msg, _epoch, _fence, _total = recv_frame(b)
     assert msg == ("chunk", 1, small)
 
 
 def test_collective_tag_is_stamped_into_the_header(pair):
     a, b = pair
     send_frame(a, KIND_MSG, ("__ag__", 42, "payload"))
-    _kind, _msg, epoch, _total = recv_frame(b)
+    _kind, _msg, epoch, _fence, _total = recv_frame(b)
     assert epoch == 42
 
 
@@ -134,7 +134,7 @@ def test_bad_magic_is_rejected(pair):
 
 def test_unknown_kind_is_rejected(pair):
     a, b = pair
-    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, 99, 0, 0, 0, 0, 0))
+    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, 99, 0, 0, 0, 0, 0, 0))
     with pytest.raises(CommError, match="unknown frame kind"):
         recv_frame(b)
 
@@ -142,7 +142,7 @@ def test_unknown_kind_is_rejected(pair):
 def test_implausible_length_is_rejected(pair):
     a, b = pair
     a.sendall(
-        FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, MAX_META_BYTES + 1, 0, 0)
+        FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, MAX_META_BYTES + 1, 0, 0)
     )
     with pytest.raises(CommError, match="implausible frame lengths"):
         recv_frame(b)
@@ -150,7 +150,7 @@ def test_implausible_length_is_rejected(pair):
 
 def test_mid_frame_eof_is_a_torn_frame(pair):
     a, b = pair
-    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 100, 0, 0))
+    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, 100, 0, 0))
     a.sendall(b"only twenty bytes...")
     a.close()
     with pytest.raises(CommError, match="torn frame"):
@@ -174,7 +174,7 @@ def test_raw_frame_carries_preencoded_bytes_and_bad_pickles_fail(pair):
 
 def test_wedged_sender_times_out_mid_frame(pair):
     a, b = pair
-    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 1024, 0, 0))
+    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, 1024, 0, 0))
     b.settimeout(0.2)
     with pytest.raises(CommTimeout, match="wedged"):
         recv_frame(b)
@@ -260,7 +260,7 @@ def test_rendezvous_builds_a_full_mesh_and_delivers_the_job():
             greetings = {}
             for peer, sock in socks.items():
                 sock.settimeout(10.0)
-                _kind, msg, _epoch, _n = recv_frame(sock)
+                _kind, msg, _epoch, _fence, _n = recv_frame(sock)
                 greetings[peer] = msg
             # The coordinator socket is the result channel.
             send_frame(coord, KIND_RESULT, ("done", rank))
@@ -278,7 +278,7 @@ def test_rendezvous_builds_a_full_mesh_and_delivers_the_job():
         assert sorted(conns) == list(range(n))
         for rank, sock in conns.items():
             sock.settimeout(10.0)
-            kind, msg, _epoch, _n = recv_frame(sock)
+            kind, msg, _epoch, _fence, _n = recv_frame(sock)
             assert kind == KIND_RESULT and msg == ("done", rank)
     finally:
         for sock in conns.values():
