@@ -20,6 +20,10 @@ Usage::
     python -m repro --backend native --nodes 4 --spill-dir /tmp/sort \\
         --transport tcp
     python -m repro worker --connect 127.0.0.1:7070 --rank 1
+    python -m repro serve --pool 4 --spill-root /tmp/sort-svc \\
+        --listen 127.0.0.1:7099
+    python -m repro submit --connect 127.0.0.1:7099 --data-mib 8 --wait
+    python -m repro jobs --connect 127.0.0.1:7099 --stats
 
 Data sizes are given in MiB per node — *represented* bytes for the
 simulator, real record bytes for the native backend.  ``--json`` replaces
@@ -414,6 +418,17 @@ def main(argv=None) -> int:
         return conformance_main(argv[1:])
     if argv and argv[0] == "worker":
         return run_worker(argv[1:])
+    if argv and argv[0] in ("serve", "submit", "jobs"):
+        # The sort service (docs/SERVICE.md): a persistent daemon plus
+        # its thin submit/inspect clients, each with its own parser.
+        from .service import cli as service_cli
+
+        handler = {
+            "serve": service_cli.run_serve,
+            "submit": service_cli.run_submit,
+            "jobs": service_cli.run_jobs,
+        }[argv[0]]
+        return handler(argv[1:])
     args = build_parser().parse_args(argv)
     config = SortConfig(
         data_per_node_bytes=args.data_mib * MiB,

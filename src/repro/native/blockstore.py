@@ -17,6 +17,12 @@ Layout of one sort's spill directory::
 
 All files are flat arrays of :data:`~repro.native.records.NATIVE_DTYPE`
 records.
+
+When the store is built with a ``namespace`` (the sort service gives
+every job ``<job-id>-<fingerprint>``), each name above is prefixed
+``<namespace>_``, so any number of jobs can share one spill directory
+without a byte of overlap — and :func:`purge_namespace` can delete
+exactly one job's files, never a neighbour's.
 """
 
 from __future__ import annotations
@@ -32,18 +38,49 @@ import numpy as np
 from ..em.cache import LRUCache
 from .records import NATIVE_DTYPE, RECORD_BYTES, read_records
 
-__all__ = ["FileBlockStore", "SequentialReader"]
+__all__ = ["FileBlockStore", "SequentialReader", "purge_namespace"]
+
+
+def purge_namespace(root: str, namespace: str) -> int:
+    """Delete exactly one job's spill files; returns how many were removed.
+
+    The namespaced counterpart of ``shutil.rmtree(spill_dir)``: only
+    files carrying the ``<namespace>_`` prefix go, so an aborting job on
+    a shared spill directory can never take a concurrent job's blocks
+    with it.  A missing directory or file is success, not an error.
+    """
+    if not namespace:
+        raise ValueError("purge_namespace requires a non-empty namespace")
+    prefix = f"{namespace}_"
+    removed = 0
+    try:
+        names = os.listdir(root)
+    except (FileNotFoundError, NotADirectoryError):
+        return 0
+    for name in names:
+        if name.startswith(prefix):
+            try:
+                os.remove(os.path.join(root, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 class FileBlockStore:
     """One worker's view of the spill directory, with tagged I/O accounting."""
 
-    def __init__(self, root: str, rank: int, block_records: int, chaos=None):
+    def __init__(self, root: str, rank: int, block_records: int, chaos=None,
+                 namespace: str = ""):
         if block_records < 1:
             raise ValueError(f"block_records must be >= 1, got {block_records}")
         self.root = str(root)
         self.rank = rank
         self.block_records = block_records
+        #: Job namespace: a non-empty value prefixes every file name so
+        #: concurrent jobs can share ``root`` without collisions.
+        self.namespace = str(namespace)
+        self._prefix = f"{self.namespace}_" if self.namespace else ""
         #: Optional fault-injection spec (duck-typed; may fail writes
         #: with a torn prefix + ENOSPC, like a really full disk).
         self.chaos = chaos
@@ -74,24 +111,24 @@ class FileBlockStore:
 
     def input_path(self, rank: Optional[int] = None) -> str:
         rank = self.rank if rank is None else rank
-        return os.path.join(self.root, f"input_{rank}.dat")
+        return os.path.join(self.root, f"{self._prefix}input_{rank}.dat")
 
     def piece_path(self, run: int, rank: Optional[int] = None) -> str:
         rank = self.rank if rank is None else rank
-        return os.path.join(self.root, f"run{run}_piece{rank}.dat")
+        return os.path.join(self.root, f"{self._prefix}run{run}_piece{rank}.dat")
 
     def segment_path(self, run: int, rank: Optional[int] = None) -> str:
         rank = self.rank if rank is None else rank
-        return os.path.join(self.root, f"seg{run}_rank{rank}.dat")
+        return os.path.join(self.root, f"{self._prefix}seg{run}_rank{rank}.dat")
 
     def output_path(self, rank: Optional[int] = None) -> str:
         rank = self.rank if rank is None else rank
-        return os.path.join(self.root, f"output_{rank}.dat")
+        return os.path.join(self.root, f"{self._prefix}output_{rank}.dat")
 
     def manifest_path(self, rank: Optional[int] = None) -> str:
         """The rank's recovery journal (see :mod:`repro.recovery`)."""
         rank = self.rank if rank is None else rank
-        return os.path.join(self.root, f"manifest_{rank}.jsonl")
+        return os.path.join(self.root, f"{self._prefix}manifest_{rank}.jsonl")
 
     # -- accounting -----------------------------------------------------------
 

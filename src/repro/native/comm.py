@@ -37,13 +37,14 @@ Design notes
 from __future__ import annotations
 
 from multiprocessing.connection import Connection, wait as conn_wait
-from typing import Dict
+from typing import Dict, Optional
 
 from .comm_api import (
     DEFAULT_PENDING_SENDS,
     DEFAULT_TIMEOUT,
     CommError,
     CommTimeout,
+    JobInterrupted,
     MeshComm,
 )
 
@@ -51,6 +52,7 @@ __all__ = [
     "PipeComm",
     "CommError",
     "CommTimeout",
+    "JobInterrupted",
     "DEFAULT_TIMEOUT",
     "PENDING_SENDS",
 ]
@@ -72,8 +74,20 @@ class PipeComm(MeshComm):
         chaos=None,
         pending_sends: int = DEFAULT_PENDING_SENDS,
         job_epoch: int = 0,
+        job_tag: int = 0,
+        interrupt: Optional[Connection] = None,
+        interrupt_tag: int = 0,
     ):
         self.conns = conns
+        #: Service interrupt channel: the warm pool hands each worker a
+        #: pipe the scheduler writes dispatch tags into to abort the job
+        #: currently running (cancel, or a peer rank failed).  Checked
+        #: at every poll and every phase boundary; a matching tag raises
+        #: :class:`JobInterrupted`.  Tags for *other* dispatches (a
+        #: cancel that raced the job's own completion) are drained and
+        #: ignored.
+        self._interrupt = interrupt
+        self._interrupt_tag = int(interrupt_tag)
         super().__init__(
             rank,
             n_workers,
@@ -82,29 +96,60 @@ class PipeComm(MeshComm):
             pending_sends=pending_sends,
             chaos=chaos,
             job_epoch=job_epoch,
+            job_tag=job_tag,
         )
         self._start_sender()
 
     # -- channel primitives ---------------------------------------------------
 
     def _transmit(self, peer: int, msg: tuple) -> None:
-        # Pipes have no frame header, so the job-epoch fence wraps the
-        # message itself: (epoch, payload).  The payload is always a
-        # protocol tuple whose first element is a string, so the wrapper
-        # is unambiguous on the receive side.
-        self.conns[peer].send((self.job_epoch, msg))
+        # Pipes have no frame header, so the composite (job, epoch)
+        # fence wraps the message itself: (fence, payload).  The payload
+        # is always a protocol tuple whose first element is a string, so
+        # the wrapper is unambiguous on the receive side.
+        self.conns[peer].send((self.wire_fence, msg))
+
+    def _check_interrupt(self) -> None:
+        if self._interrupt is None:
+            return
+        while self._interrupt.poll(0):
+            try:
+                tag = self._interrupt.recv()
+            except (EOFError, OSError) as exc:
+                raise JobInterrupted(
+                    f"rank {self.rank}: interrupt channel closed "
+                    "(service shut down)"
+                ) from exc
+            if tag == self._interrupt_tag:
+                raise JobInterrupted(
+                    f"rank {self.rank}: job interrupted by the service"
+                )
+
+    def set_phase(self, phase: str) -> None:
+        # Phase boundaries are the one place a 1-worker job (no peers,
+        # so no polls) is guaranteed to pass through; checking here
+        # bounds how long a cancel can go unnoticed on any pool worker.
+        self._check_interrupt()
+        super().set_phase(phase)
 
     def _poll_once(self, block_timeout: float) -> bool:
         """Pull every immediately available message into the stash."""
-        if not self.conns:
+        self._check_interrupt()
+        wait_on = list(self.conns.values())
+        if self._interrupt is not None:
+            wait_on.append(self._interrupt)
+        if not wait_on:
             return False
         self._chaos_poll()
-        ready = conn_wait(list(self.conns.values()), timeout=block_timeout)
+        ready = conn_wait(wait_on, timeout=block_timeout)
         if not ready:
             return False
         by_conn = {id(c): p for p, c in self.conns.items()}
         got = False
         for conn in ready:
+            if self._interrupt is not None and conn is self._interrupt:
+                self._check_interrupt()
+                continue
             peer = by_conn[id(conn)]
             try:
                 wrapped = conn.recv()
@@ -113,8 +158,9 @@ class PipeComm(MeshComm):
                     f"rank {self.rank}: peer {peer} closed its pipe"
                 ) from exc
             fence, msg = wrapped
-            if fence != self.job_epoch:
-                # A stale frame from a pre-restart epoch: fence it off.
+            if fence != self.wire_fence:
+                # A stale frame from a pre-restart epoch — or another
+                # job's dispatch on a warm pool: fence it off.
                 self.fenced_drops += 1
                 continue
             self._stash_message(peer, msg)

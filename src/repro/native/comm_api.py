@@ -73,10 +73,12 @@ __all__ = [
     "MeshComm",
     "CommError",
     "CommTimeout",
+    "JobInterrupted",
     "DEFAULT_TIMEOUT",
     "DEFAULT_PENDING_SENDS",
     "payload_bytes",
     "message_epoch",
+    "pack_fence",
 ]
 
 #: Default receive timeout: generous, only to turn a wedged cluster into
@@ -94,6 +96,28 @@ class CommError(RuntimeError):
 
 class CommTimeout(CommError):
     """No expected message arrived within the timeout."""
+
+
+class JobInterrupted(CommError):
+    """The owning service interrupted this job (cancel or peer failure).
+
+    Raised out of a comm operation on a warm-pool worker when the
+    service posts an interrupt for the job currently running; the
+    worker's phase body reports it like any other failure and the pool
+    loop survives to take the next job.
+    """
+
+
+def pack_fence(job_tag: int, epoch: int) -> int:
+    """Composite (job, epoch) wire fence: ``(job_tag << 8) | epoch % 256``.
+
+    The fence a frame carries must match the receiver's exactly: a
+    frame from another *job* (different ``job_tag``) or another restart
+    *attempt* of the same job (different epoch) is dropped, never
+    delivered.  Single-shot runs use ``job_tag=0``, which degenerates to
+    the historic epoch-only fence byte.
+    """
+    return ((int(job_tag) & 0xFFFFFFFF) << 8) | (int(epoch) & 0xFF)
 
 
 def payload_bytes(obj) -> int:
@@ -204,6 +228,7 @@ class MeshComm:
         pending_sends: int = DEFAULT_PENDING_SENDS,
         chaos=None,
         job_epoch: int = 0,
+        job_tag: int = 0,
     ):
         peers = sorted(peers)
         if peers != [p for p in range(n_workers) if p != rank]:
@@ -226,7 +251,14 @@ class MeshComm:
         #: a message stamped with another epoch is dropped, not delivered.
         #: Transports stamp/check it in their channel primitives.
         self.job_epoch = int(job_epoch)
-        #: Stale frames dropped by the epoch fence (recovery counter).
+        #: Numeric job identity (service multiplexing); 0 = single-shot.
+        #: Combined with the epoch into the composite wire fence so two
+        #: jobs' frames can never cross, even on a reused worker.
+        self.job_tag = int(job_tag)
+        #: The composite fence every outgoing frame carries and every
+        #: incoming MSG frame must match (see :func:`pack_fence`).
+        self.wire_fence = pack_fence(self.job_tag, self.job_epoch)
+        #: Stale frames dropped by the (job, epoch) fence (recovery counter).
         self.fenced_drops = 0
         self._epoch = 0
         #: Messages received but not yet consumed, per peer, in order.
@@ -390,6 +422,20 @@ class MeshComm:
 
     def close(self) -> None:
         """Stop the sender thread (queued messages are flushed first)."""
+        self.shutdown(reuse=False)
+
+    def shutdown(self, reuse: bool = False) -> None:
+        """Stop the sender thread; with ``reuse`` leave channels to the caller.
+
+        ``reuse=True`` is the warm-pool idle reset: flush best-effort,
+        stop and join the sender thread, and drop any parked messages —
+        but do *not* tear down the transport.  The caller owns the
+        channels (per-job pipes it will close itself, or sockets it will
+        hand to the next job); the comm object is finished either way.
+        A sender thread that refuses to die within the join timeout is
+        abandoned — it only references this job's channels, so once the
+        caller closes them its next write fails and it exits.
+        """
         if not self._severed:
             try:
                 self.flush(timeout=5.0)
@@ -398,7 +444,11 @@ class MeshComm:
         self._sendq.put(None)
         if self._sender is not None:
             self._sender.join(timeout=5.0)
-        self._close_transport()
+        if reuse:
+            for dq in self._stash.values():
+                dq.clear()
+        else:
+            self._close_transport()
 
     # -- chaos hooks ----------------------------------------------------------
 

@@ -49,7 +49,13 @@ from .records import NATIVE_DTYPE, RECORD_BYTES
 from .stats import NativeStats, WorkerStats
 from .worker import tcp_worker_main, worker_main
 
-__all__ = ["NativeSorter", "NativeSortResult", "NativeSortError", "native_sort"]
+__all__ = [
+    "NativeSorter",
+    "NativeSortResult",
+    "NativeSortError",
+    "native_sort",
+    "assemble_result",
+]
 
 _MASK = 0xFFFFFFFFFFFFFFFF
 
@@ -58,6 +64,57 @@ _MASK = 0xFFFFFFFFFFFFFFFF
 #: message does not materialize in this window the worker died mid-send
 #: (a torn/wedged result pipe) and the job must fail fast, not hang.
 RESULT_RECV_TIMEOUT = 10.0
+
+
+def assemble_result(
+    job: NativeJob, results: List[tuple], total_time: float
+) -> NativeSortResult:
+    """Fold per-rank ``("ok", ...)`` payloads into one sort result.
+
+    Shared by the single-shot driver and the sort service's scheduler —
+    both collect the same worker reports, whatever channel carried them.
+    """
+    workers: List[WorkerStats] = []
+    outputs: List[OutputMeta] = []
+    input_checksum = 0
+    n_runs = 0
+    for payload in results:
+        _tag, stats, out_meta, chk, worker_runs = payload
+        workers.append(stats)
+        outputs.append(out_meta)
+        input_checksum = (input_checksum + chk) & _MASK
+        n_runs = max(n_runs, worker_runs)
+    outputs.sort(key=lambda m: m.rank)
+
+    native_stats = NativeStats(
+        workers,
+        total_time=total_time,
+        n_runs=n_runs,
+        total_records=job.total_records,
+        record_bytes=RECORD_BYTES,
+    )
+    return NativeSortResult(
+        job=job,
+        stats=native_stats,
+        outputs=outputs,
+        input_checksum=input_checksum,
+    )
+
+
+def _cleanup_spill(job: NativeJob) -> None:
+    """Delete this job's spill files — and *only* this job's.
+
+    Un-namespaced (single-shot) jobs own their directory and remove it
+    wholesale; namespaced jobs share it and remove only their prefix,
+    so an abort can never delete a concurrent job's blocks.
+    """
+    namespace = getattr(job, "spill_namespace", "")
+    if namespace:
+        from .blockstore import purge_namespace
+
+        purge_namespace(job.spill_dir, namespace)
+    else:
+        shutil.rmtree(job.spill_dir, ignore_errors=True)
 
 
 class NativeSortError(RuntimeError):
@@ -144,8 +201,8 @@ class NativeSortResult:
         return np.fromfile(self.outputs[rank].path, dtype=NATIVE_DTYPE)
 
     def cleanup(self) -> None:
-        """Delete the spill directory and everything in it."""
-        shutil.rmtree(self.job.spill_dir, ignore_errors=True)
+        """Delete this job's spill files (the whole dir when un-namespaced)."""
+        _cleanup_spill(self.job)
 
 
 class NativeSorter:
@@ -202,7 +259,7 @@ class NativeSorter:
                 if getattr(job, "cleanup_on_abort", False):
                     # Best effort only: the job is lost either way, and
                     # chaos tests that *want* the wreckage leave this off.
-                    shutil.rmtree(job.spill_dir, ignore_errors=True)
+                    _cleanup_spill(job)
                 raise
             result.stats.restarts = policy.restarts_used
             result.stats.recovery_events = policy.to_dicts()
@@ -309,31 +366,7 @@ class NativeSorter:
     def _assemble(
         self, job: NativeJob, results: List[tuple], total_time: float
     ) -> NativeSortResult:
-        workers: List[WorkerStats] = []
-        outputs: List[OutputMeta] = []
-        input_checksum = 0
-        n_runs = 0
-        for payload in results:
-            _tag, stats, out_meta, chk, worker_runs = payload
-            workers.append(stats)
-            outputs.append(out_meta)
-            input_checksum = (input_checksum + chk) & _MASK
-            n_runs = max(n_runs, worker_runs)
-        outputs.sort(key=lambda m: m.rank)
-
-        native_stats = NativeStats(
-            workers,
-            total_time=total_time,
-            n_runs=n_runs,
-            total_records=job.total_records,
-            record_bytes=RECORD_BYTES,
-        )
-        return NativeSortResult(
-            job=job,
-            stats=native_stats,
-            outputs=outputs,
-            input_checksum=input_checksum,
-        )
+        return assemble_result(job, results, total_time)
 
     def _collect(self, procs, conns) -> List[tuple]:
         """Wait for every worker's result; fail fast on error or death.

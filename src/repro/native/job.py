@@ -115,6 +115,16 @@ class NativeJob:
     #: for good (all restarts exhausted).  Off by default: a populated
     #: spill dir is evidence, and chaos tests assert on its contents.
     cleanup_on_abort: bool = False
+    #: Numeric job identity on the wire (service multiplexing): stamped
+    #: into every frame's fence alongside the epoch so one job's frames
+    #: can never be delivered to another.  0 for single-shot runs.
+    job_tag: int = 0
+    #: Spill-file namespace: when non-empty, every block-store file name
+    #: is prefixed ``<namespace>_`` so concurrent jobs sharing one spill
+    #: directory cannot collide, and cleanup of one job (abort included)
+    #: can only ever touch that job's files.  Empty for single-shot
+    #: runs, which keep the historic flat layout.
+    spill_namespace: str = ""
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -168,6 +178,17 @@ class NativeJob:
             raise ConfigError(
                 "a2a_checkpoint_chunks must be >= 1, got "
                 f"{self.a2a_checkpoint_chunks}"
+            )
+        if not 0 <= self.job_tag < 2**32:
+            raise ConfigError(
+                f"job_tag must fit a u32, got {self.job_tag}"
+            )
+        if self.spill_namespace and not all(
+            c.isalnum() or c in "._-" for c in self.spill_namespace
+        ):
+            raise ConfigError(
+                f"spill_namespace {self.spill_namespace!r} may only use "
+                "alphanumerics, '.', '_' and '-' (it prefixes file names)"
             )
         merge_working = (self.n_runs * 2 + 4) * self.block_records * RECORD_BYTES
         if merge_working > self.memory_bytes + self.chunk_records * RECORD_BYTES:
@@ -280,4 +301,6 @@ class NativeJob:
             "checkpoint": self.checkpointing,
             "max_restarts": self.max_restarts,
             "epoch": self.epoch,
+            "job_tag": self.job_tag,
+            "spill_namespace": self.spill_namespace,
         }

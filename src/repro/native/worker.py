@@ -60,8 +60,14 @@ def _chaos_point(
         chaos.at_point(rank, point, result_conn=result_conn, comm=comm)
 
 
-def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn) -> None:
-    """The four phases over an established mesh; reports, never raises."""
+def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
+                persistent: bool = False) -> None:
+    """The four phases over an established mesh; reports, never raises.
+
+    ``persistent`` is the warm-pool mode: the comm and the result
+    channel outlive this job (the pool worker resets the comm itself and
+    keeps its control pipe), so the final teardown skips both.
+    """
 
     def at(point: str) -> None:
         _chaos_point(job, rank, point, result_conn, comm=comm)
@@ -76,7 +82,8 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn) -> None:
             # resumed epoch must not re-trip the fault that killed it.
             chaos.set_epoch(epoch)
         store = FileBlockStore(
-            job.spill_dir, rank, job.block_records, chaos=chaos
+            job.spill_dir, rank, job.block_records, chaos=chaos,
+            namespace=getattr(job, "spill_namespace", ""),
         )
         # I/O stall attribution: store ops on *this* thread count as
         # per-phase stall; background pipeline threads' ops do not.
@@ -217,14 +224,15 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn) -> None:
                 journal.close()
             except Exception:
                 pass
-        try:
-            comm.close()
-        except Exception:
-            pass
-        try:
-            result_conn.close()
-        except Exception:
-            pass
+        if not persistent:
+            try:
+                comm.close()
+            except Exception:
+                pass
+            try:
+                result_conn.close()
+            except Exception:
+                pass
 
 
 def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> None:
@@ -238,6 +246,7 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
             chaos=getattr(job, "chaos", None),
             pending_sends=getattr(job, "pending_sends", 4),
             job_epoch=getattr(job, "epoch", 0),
+            job_tag=getattr(job, "job_tag", 0),
         )
     except Exception:
         try:
@@ -286,6 +295,7 @@ def tcp_worker_main(
             chaos=getattr(job, "chaos", None),
             heartbeat_s=getattr(job, "heartbeat_s", 5.0),
             job_epoch=getattr(job, "epoch", 0),
+            job_tag=getattr(job, "job_tag", 0),
         )
     except Exception:
         try:

@@ -7,17 +7,18 @@ A TCP stream has no message boundaries, so every message travels as one
 
     offset  size  field
     0       2     magic  "RS"
-    2       1     version (1)
-    3       1     kind    (MSG / HELLO / WELCOME / MESH / RESULT / HEARTBEAT)
-    4       1     flags   (bit 0: RAW payload present)
-    5       1     fence   (u8, job-epoch fence; see below)
-    6       4     epoch   (u32, collective epoch tag; 0 = untagged)
-    10      4     meta_len    (u32, pickled message bytes)
-    14      8     payload_len (u64, raw record bytes; 0 unless FLAG_RAW)
-    22      4     crc     (u32, CRC-32 over meta then payload)
-    26      ...   meta || payload
+    2       1     version (2)
+    3       1     kind    (MSG / HELLO / WELCOME / MESH / RESULT / ... / CTRL)
+    4       1     flags   (bit 0: RAW payload; bit 1: JSON meta)
+    5       1     fence   (u8, epoch half of the (job, epoch) fence)
+    6       4     job     (u32, job half of the (job, epoch) fence)
+    10      4     epoch   (u32, collective epoch tag; 0 = untagged)
+    14      4     meta_len    (u32, pickled — or JSON — message bytes)
+    18      8     payload_len (u64, raw record bytes; 0 unless FLAG_RAW)
+    26      4     crc     (u32, CRC-32 over meta then payload)
+    30      ...   meta || payload
 
-Two paths share this layout:
+Three paths share this layout:
 
 * **Control messages** pickle the whole tuple into ``meta`` and carry no
   payload.
@@ -30,15 +31,27 @@ Two paths share this layout:
   the payload straight into a preallocated ``bytearray`` and reattaches
   it as the tuple's last element (``np.frombuffer`` accepts it without a
   copy).
+* **Service control-plane messages** (``FLAG_JSON``, normally with
+  ``KIND_CTRL``) carry UTF-8 JSON in ``meta`` instead of a pickle —
+  the sort service's client protocol, language-neutral and free of the
+  arbitrary-code surface unpickling would give a remote client.  Sent
+  with :func:`send_json_frame`; :func:`recv_frame` decodes them
+  transparently.
 
-The **fence** byte carries the *job epoch* (restart attempt number,
-modulo 256) of the sender.  After a recovery restart the mesh is
-rebuilt, but a wedged pre-restart process can in principle still hold a
-socket and push stale MSG frames; the comm layer drops any MSG frame
-whose fence disagrees with its own job epoch (counted, never raised),
-so a new epoch can never consume a dead epoch's traffic.  Handshake and
-result kinds carry the fence too, for observability, but only MSG is
-fenced.
+The **fence** is composite: the u8 ``fence`` byte carries the sender's
+*job epoch* (restart attempt number, modulo 256) and the u32 ``job``
+field carries its *job tag* (the sort service's numeric job identity; 0
+for single-shot runs).  :func:`~repro.native.comm_api.pack_fence`
+combines the two into one integer — ``(job << 8) | epoch`` — which is
+what the ``fence`` argument and return value below hold.  After a
+recovery restart the mesh is rebuilt, but a wedged pre-restart process
+can in principle still hold a socket and push stale MSG frames — and on
+a warm service pool a late frame could even belong to another *job*;
+the comm layer drops any MSG frame whose composite fence disagrees with
+its own (counted, never raised), so an epoch can never consume a dead
+epoch's traffic and a job can never consume another job's.  Handshake
+and result kinds carry the fence too, for observability, but only MSG
+is fenced.
 
 Integrity: a wrong magic/version, an implausible length, a CRC mismatch,
 an undecodable pickle, or an epoch tag that disagrees with the decoded
@@ -50,6 +63,7 @@ not a dead one.  EOF *between* frames returns ``None`` (clean close).
 
 from __future__ import annotations
 
+import json
 import pickle
 import socket
 import struct
@@ -63,6 +77,7 @@ __all__ = [
     "MAGIC",
     "VERSION",
     "FLAG_RAW",
+    "FLAG_JSON",
     "KIND_MSG",
     "KIND_HELLO",
     "KIND_WELCOME",
@@ -71,24 +86,27 @@ __all__ = [
     "KIND_HEARTBEAT",
     "KIND_GOODBYE",
     "KIND_RESUME",
+    "KIND_CTRL",
     "MAX_META_BYTES",
     "MAX_PAYLOAD_BYTES",
     "encode_frame",
     "send_frame",
     "send_raw_frame",
+    "send_json_frame",
     "recv_frame",
 ]
 
 MAGIC = b"RS"
-VERSION = 1
+VERSION = 2
 
-FRAME_HEADER = struct.Struct("!2sBBBBIIQI")
+FRAME_HEADER = struct.Struct("!2sBBBBIIIQI")
 
 #: Frame kinds.  MSG carries comm traffic; HELLO/WELCOME/MESH belong to
 #: the rendezvous handshake; RESULT is the worker's report to the
 #: driver; HEARTBEAT keeps idle connections observably alive; GOODBYE
 #: announces a deliberate close (EOF without one = dead PE); RESUME is
-#: the epoch>0 rendezvous reply — the job plus its manifest digest.
+#: the epoch>0 rendezvous reply — the job plus its manifest digest;
+#: CTRL is the sort service's JSON client protocol (submit/status/...).
 KIND_MSG = 0
 KIND_HELLO = 1
 KIND_WELCOME = 2
@@ -97,13 +115,15 @@ KIND_RESULT = 4
 KIND_HEARTBEAT = 5
 KIND_GOODBYE = 6
 KIND_RESUME = 7
+KIND_CTRL = 8
 
 _KINDS = frozenset(
     (KIND_MSG, KIND_HELLO, KIND_WELCOME, KIND_MESH, KIND_RESULT,
-     KIND_HEARTBEAT, KIND_GOODBYE, KIND_RESUME)
+     KIND_HEARTBEAT, KIND_GOODBYE, KIND_RESUME, KIND_CTRL)
 )
 
 FLAG_RAW = 0x01
+FLAG_JSON = 0x02
 
 #: Sanity bounds: a header claiming more than this is garbage (a torn
 #: stream or a non-frame peer), not a plausible message.
@@ -163,8 +183,8 @@ def _frame_parts(kind: int, msg, epoch: Optional[int], fence: int):
         crc = zlib.crc32(payload, crc)
         parts.append(payload)
     parts[0] = FRAME_HEADER.pack(
-        MAGIC, VERSION, kind, flags, fence & 0xFF, epoch, len(meta),
-        payload_len, crc
+        MAGIC, VERSION, kind, flags, fence & 0xFF, (fence >> 8) & 0xFFFFFFFF,
+        epoch, len(meta), payload_len, crc
     )
     return parts
 
@@ -177,7 +197,9 @@ def send_frame(
 
     ``epoch`` defaults to the message's own collective tag (see
     :func:`~repro.native.comm_api.message_epoch`); ``fence`` is the
-    sender's job epoch (restart attempt).  Bulk chunks take the
+    sender's composite (job, epoch) fence (see
+    :func:`~repro.native.comm_api.pack_fence`; a bare job epoch < 256
+    still works — its job half is simply 0).  Bulk chunks take the
     gather-write RAW path — the record buffer goes from the caller's
     memory to the kernel without an intermediate copy.
     """
@@ -200,8 +222,31 @@ def send_raw_frame(
     the unpickling layer must reject them.
     """
     header = FRAME_HEADER.pack(
-        MAGIC, VERSION, kind, 0, fence & 0xFF, 0, len(meta), 0,
-        zlib.crc32(meta)
+        MAGIC, VERSION, kind, 0, fence & 0xFF, (fence >> 8) & 0xFFFFFFFF,
+        0, len(meta), 0, zlib.crc32(meta)
+    )
+    return _send_all(sock, [header, meta])
+
+
+def send_json_frame(
+    sock: socket.socket, kind: int, obj, fence: int = 0
+) -> int:
+    """Send ``obj`` as a UTF-8 JSON frame (``FLAG_JSON``, no payload).
+
+    The sort service's control plane: a client need not (and must not)
+    rely on pickle, so a malicious or buggy peer can at worst deliver
+    bad JSON — rejected as a :class:`CommError` — never executable
+    bytes.  ``obj`` must be JSON-serializable.
+    """
+    meta = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(meta) > MAX_META_BYTES:
+        raise CommError(
+            f"JSON control message of {len(meta)} bytes exceeds the "
+            f"{MAX_META_BYTES}-byte frame bound"
+        )
+    header = FRAME_HEADER.pack(
+        MAGIC, VERSION, kind, FLAG_JSON, fence & 0xFF,
+        (fence >> 8) & 0xFFFFFFFF, 0, len(meta), 0, zlib.crc32(meta)
     )
     return _send_all(sock, [header, meta])
 
@@ -238,17 +283,19 @@ def recv_frame(
 
     ``None`` means the peer closed the connection cleanly at a frame
     boundary.  Any mid-frame EOF, bad magic, implausible length, CRC
-    mismatch, unpicklable meta or epoch/tag disagreement raises
+    mismatch, undecodable meta or epoch/tag disagreement raises
     :class:`CommError`; a receive timeout raises :class:`CommTimeout`.
-    The fence byte is returned raw — fencing policy (drop stale MSG
-    frames) lives in the comm layer, which knows its own job epoch.
+    The composite fence — ``(job << 8) | epoch_byte``, see
+    :func:`~repro.native.comm_api.pack_fence` — is returned raw:
+    fencing policy (drop stale MSG frames) lives in the comm layer,
+    which knows its own (job, epoch) identity.
     """
     header = bytearray(FRAME_HEADER.size)
     if not _recv_exact(sock, memoryview(header), "header", allow_eof=True):
         return None
-    magic, version, kind, flags, fence, epoch, meta_len, payload_len, crc = (
-        FRAME_HEADER.unpack(header)
-    )
+    (magic, version, kind, flags, fence_lo, job, epoch, meta_len,
+     payload_len, crc) = FRAME_HEADER.unpack(header)
+    fence = (job << 8) | fence_lo
     if magic != MAGIC or version != VERSION:
         raise CommError(
             f"bad frame header (magic {magic!r}, version {version}): "
@@ -263,6 +310,8 @@ def recv_frame(
         )
     if payload_len and not flags & FLAG_RAW:
         raise CommError("frame carries a payload but FLAG_RAW is unset")
+    if flags & FLAG_JSON and flags & FLAG_RAW:
+        raise CommError("frame claims both JSON meta and a RAW payload")
     meta = bytearray(meta_len)
     _recv_exact(sock, memoryview(meta), "meta")
     want_crc = zlib.crc32(meta)
@@ -277,7 +326,10 @@ def recv_frame(
             "computed): bytes corrupted in flight"
         )
     try:
-        msg = pickle.loads(bytes(meta))
+        if flags & FLAG_JSON:
+            msg = json.loads(bytes(meta).decode("utf-8"))
+        else:
+            msg = pickle.loads(bytes(meta))
     except Exception as exc:
         raise CommError(f"undecodable frame meta: {exc!r}") from exc
     if payload is not None:

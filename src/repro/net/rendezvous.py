@@ -38,7 +38,7 @@ import socket
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..native.comm_api import CommError, CommTimeout
+from ..native.comm_api import CommError, CommTimeout, pack_fence
 from ..recovery.manifest import job_fingerprint
 from .framing import (
     KIND_HELLO,
@@ -245,7 +245,7 @@ class Coordinator:
                             epoch,
                             job_fingerprint(job),
                         ),
-                        fence=epoch,
+                        fence=pack_fence(getattr(job, "job_tag", 0), epoch),
                     )
                 else:
                     send_frame(

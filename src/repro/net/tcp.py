@@ -72,6 +72,7 @@ class TcpComm(MeshComm):
         chaos=None,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
         job_epoch: int = 0,
+        job_tag: int = 0,
     ):
         if heartbeat_s <= 0:
             raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
@@ -85,6 +86,7 @@ class TcpComm(MeshComm):
             pending_sends=pending_sends,
             chaos=chaos,
             job_epoch=job_epoch,
+            job_tag=job_tag,
         )
         for sock in socks.values():
             sock.settimeout(None)
@@ -105,7 +107,7 @@ class TcpComm(MeshComm):
 
     def _transmit(self, peer: int, msg: tuple) -> None:
         self.socket_bytes_sent += send_frame(
-            self.socks[peer], KIND_MSG, msg, fence=self.job_epoch
+            self.socks[peer], KIND_MSG, msg, fence=self.wire_fence
         )
 
     def _poll_once(self, block_timeout: float) -> bool:
@@ -172,8 +174,9 @@ class TcpComm(MeshComm):
                     f"rank {self.rank}: unexpected frame kind {kind} "
                     f"from peer {peer}"
                 )
-            if fence != self.job_epoch & 0xFF:
-                # Stale frame from a pre-restart job epoch: drop it.
+            if fence != self.wire_fence:
+                # Stale frame from a pre-restart epoch — or, on a warm
+                # service pool, from another job entirely: drop it.
                 self.fenced_drops += 1
                 continue
             self._stash_message(peer, msg)
@@ -239,7 +242,8 @@ class TcpComm(MeshComm):
         # every peer's next poll blocks mid-frame until its receive
         # timeout escalates to CommTimeout.
         header = FRAME_HEADER.pack(
-            MAGIC, VERSION, KIND_MSG, 0, self.job_epoch & 0xFF, 0, 1024, 0, 0
+            MAGIC, VERSION, KIND_MSG, 0, self.job_epoch & 0xFF,
+            self.job_tag & 0xFFFFFFFF, 0, 1024, 0, 0
         )
         for sock in self.socks.values():
             try:

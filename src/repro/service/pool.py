@@ -1,0 +1,304 @@
+"""The warm PE pool: persistent worker processes serving many jobs.
+
+Single-shot runs (:class:`~repro.native.driver.NativeSorter`) fork P
+processes per sort and throw them away.  The service instead keeps a
+pool of *persistent* workers, each owning two long-lived channels back
+to the scheduler:
+
+* a duplex **control pipe** — carries ``("run", seq, job, rank, conns)``
+  dispatches down and ``("result", seq, payload)`` reports up, where
+  ``payload`` is exactly the tuple a single-shot worker would have sent
+  on its result pipe;
+* a one-way **interrupt pipe** — the scheduler drops a dispatch
+  sequence number in to abort the matching job mid-phase (cancel, peer
+  failure, deadline); the worker's :class:`~repro.native.comm.PipeComm`
+  polls it between messages and raises
+  :class:`~repro.native.comm_api.JobInterrupted`.
+
+The mesh is **fresh per job**: the scheduler builds one duplex pipe per
+worker pair at dispatch time and ships each worker its ends *through*
+the control pipe (``multiprocessing``'s connection reduction carries
+the fds), then closes its own copies.  Reusing mesh pipes across jobs
+would let one job's stale bytes corrupt the next; fresh pipes plus the
+(job, epoch) wire fence make cross-job delivery structurally
+impossible.  What *is* reused — the point of the pool — is the warm
+process: an imported interpreter, hot numpy, and the two control
+channels.
+
+A worker that dies (chaos kill, crash) is detected by the scheduler via
+its process sentinel and replaced with a fresh process under a new
+worker id; the pool never shrinks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..native.comm import PipeComm
+from ..native.job import NativeJob
+from ..native.worker import _run_phases
+
+__all__ = ["WarmPool", "WorkerHandle", "pool_worker_main"]
+
+#: Control-pipe verbs (parent -> worker).
+CMD_RUN = "run"
+CMD_STOP = "stop"
+#: Control-pipe verbs (worker -> parent).
+MSG_RESULT = "result"
+
+
+class _ResultProxy:
+    """Adapts the shared control pipe to the worker result-channel shape.
+
+    :func:`~repro.native.worker._run_phases` reports through an object
+    with ``send``; this proxy tags each report with the dispatch
+    sequence number so the scheduler can route it to the right attempt.
+    ``close`` is a no-op — the control pipe outlives the job.  The
+    chaos hooks' raw-corruption entry points (``send_bytes``/``fileno``)
+    degrade to a malformed-but-framed report: service chaos kills
+    processes, it does not tear the multiplexed control stream.
+    """
+
+    def __init__(self, ctrl, seq: int):
+        self._ctrl = ctrl
+        self._seq = seq
+
+    def send(self, obj) -> None:
+        self._ctrl.send((MSG_RESULT, self._seq, obj))
+
+    def send_bytes(self, raw: bytes) -> None:
+        self._ctrl.send((MSG_RESULT, self._seq, ("torn", raw)))
+
+    def fileno(self) -> int:
+        return self._ctrl.fileno()
+
+    def close(self) -> None:
+        pass
+
+
+def _serve_one(seq, job, job_rank, conns, ctrl, interrupt) -> None:
+    """Run one dispatched job on this pool worker, then reset to idle.
+
+    The comm is built over the *fresh* per-job mesh pipes; the interrupt
+    channel is armed with this dispatch's sequence number, so a stale
+    interrupt for an earlier job drains harmlessly.  Whatever happens —
+    success, error report, interrupt — the mesh pipes are closed before
+    returning to the command loop; the control and interrupt channels
+    persist.
+    """
+    proxy = _ResultProxy(ctrl, seq)
+    try:
+        comm = PipeComm(
+            job_rank,
+            job.n_workers,
+            conns,
+            timeout=job.timeout,
+            chaos=getattr(job, "chaos", None),
+            pending_sends=getattr(job, "pending_sends", 4),
+            job_epoch=getattr(job, "epoch", 0),
+            job_tag=getattr(job, "job_tag", 0),
+            interrupt=interrupt,
+            interrupt_tag=seq,
+        )
+    except Exception:
+        try:
+            proxy.send(("error", job_rank, traceback.format_exc()))
+        except Exception:
+            pass
+        for conn in conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        return
+    try:
+        _run_phases(job_rank, job, comm, proxy, persistent=True)
+    finally:
+        try:
+            comm.close()
+        except Exception:
+            pass
+
+
+def pool_worker_main(worker_id: int, ctrl, interrupt) -> None:
+    """Persistent pool-worker loop: serve dispatches until told to stop.
+
+    Exits on an explicit ``("stop",)``, on control-pipe EOF (the service
+    died), or via ``os._exit`` from an injected chaos kill inside a job.
+    """
+    while True:
+        try:
+            cmd = ctrl.recv()
+        except (EOFError, OSError):
+            return
+        if not isinstance(cmd, tuple) or not cmd:
+            continue
+        if cmd[0] == CMD_STOP:
+            return
+        if cmd[0] == CMD_RUN:
+            _seq, job, job_rank, conns = cmd[1], cmd[2], cmd[3], cmd[4]
+            _serve_one(_seq, job, job_rank, conns, ctrl, interrupt)
+
+
+@dataclass
+class WorkerHandle:
+    """Scheduler-side view of one pool worker."""
+
+    worker_id: int
+    proc: object
+    ctrl: object  # service end of the duplex control pipe
+    interrupt: object  # service (write) end of the interrupt pipe
+    #: Dispatch sequence currently running, or None when idle.
+    busy_seq: Optional[int] = None
+    job_id: Optional[str] = None
+    job_rank: Optional[int] = None
+    busy_since: Optional[float] = None
+    jobs_run: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    @property
+    def idle(self) -> bool:
+        return self.busy_seq is None
+
+    def mark_busy(self, seq: int, job_id: str, rank: int) -> None:
+        self.busy_seq = seq
+        self.job_id = job_id
+        self.job_rank = rank
+        self.busy_since = time.monotonic()
+
+    def mark_idle(self) -> None:
+        if self.busy_since is not None:
+            self.busy_seconds += time.monotonic() - self.busy_since
+            self.jobs_run += 1
+        self.busy_seq = None
+        self.job_id = None
+        self.job_rank = None
+        self.busy_since = None
+
+
+class WarmPool:
+    """A fixed-size pool of persistent worker processes."""
+
+    def __init__(self, size: int, ctx=None):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        if ctx is None:
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._ctx = ctx
+        self.size = size
+        self._next_worker_id = 0
+        self.respawns = 0
+        self.handles: List[WorkerHandle] = [self._spawn() for _ in range(size)]
+
+    def _spawn(self) -> WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        ctrl_parent, ctrl_child = self._ctx.Pipe(duplex=True)
+        intr_read, intr_write = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=pool_worker_main,
+            args=(worker_id, ctrl_child, intr_read),
+            name=f"pool-pe-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        # The parent's copies of the child-side ends must close so a dead
+        # worker turns into EOF/sentinel wakeups, never a silent hang.
+        ctrl_child.close()
+        intr_read.close()
+        return WorkerHandle(
+            worker_id=worker_id, proc=proc, ctrl=ctrl_parent,
+            interrupt=intr_write,
+        )
+
+    def idle_handles(self) -> List[WorkerHandle]:
+        return [h for h in self.handles if h.idle and h.proc.is_alive()]
+
+    def dispatch(self, job: NativeJob, seq: int, job_id: str,
+                 handles: List[WorkerHandle]) -> None:
+        """Ship ``job`` to ``handles`` (rank = position in the list).
+
+        Builds the fresh pairwise mesh, sends each worker its dispatch,
+        and closes the scheduler's copies of every mesh end — after
+        which a worker death propagates to its peers as pipe EOF.
+        """
+        P = job.n_workers
+        if len(handles) != P:
+            raise ValueError(f"job wants {P} workers, got {len(handles)}")
+        conns: List[Dict[int, object]] = [dict() for _ in range(P)]
+        for i in range(P):
+            for j in range(i + 1, P):
+                end_i, end_j = self._ctx.Pipe(duplex=True)
+                conns[i][j] = end_i
+                conns[j][i] = end_j
+        try:
+            for rank, handle in enumerate(handles):
+                handle.ctrl.send((CMD_RUN, seq, job, rank, conns[rank]))
+                handle.mark_busy(seq, job_id, rank)
+        finally:
+            for per_rank in conns:
+                for conn in per_rank.values():
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+
+    def interrupt(self, handle: WorkerHandle, seq: int) -> None:
+        """Ask ``handle`` to abort dispatch ``seq`` (best effort)."""
+        try:
+            handle.interrupt.send(seq)
+        except (OSError, ValueError):
+            pass
+
+    def respawn(self, handle: WorkerHandle) -> WorkerHandle:
+        """Replace a dead worker in place; returns the new handle."""
+        idx = self.handles.index(handle)
+        for conn in (handle.ctrl, handle.interrupt):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        handle.proc.join(timeout=5.0)
+        fresh = self._spawn()
+        self.handles[idx] = fresh
+        self.respawns += 1
+        return fresh
+
+    def stop(self) -> None:
+        """Tear the pool down: interrupt, stop, escalate to SIGKILL."""
+        for handle in self.handles:
+            if handle.busy_seq is not None:
+                self.interrupt(handle, handle.busy_seq)
+        for handle in self.handles:
+            try:
+                handle.ctrl.send((CMD_STOP,))
+            except (OSError, ValueError):
+                pass
+            # Closing the interrupt write-end makes any still-running
+            # job abort with "interrupt channel closed" at its next poll.
+            try:
+                handle.interrupt.close()
+            except OSError:
+                pass
+        for handle in self.handles:
+            handle.proc.join(timeout=5.0)
+        for handle in self.handles:
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+                handle.proc.join(timeout=5.0)
+            if handle.proc.is_alive():  # pragma: no cover
+                handle.proc.kill()
+                handle.proc.join(timeout=2.0)
+            try:
+                handle.ctrl.close()
+            except OSError:
+                pass

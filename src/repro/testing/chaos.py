@@ -40,6 +40,8 @@ __all__ = [
     "run_chaos_case",
     "run_chaos_sweep",
     "run_recovery_smoke",
+    "run_service_smoke",
+    "run_service_chaos",
 ]
 
 #: Native phase names, in execution order (mirrors
@@ -637,3 +639,156 @@ def run_recovery_smoke(
         finally:
             shutil.rmtree(spill, ignore_errors=True)
     return verdicts
+
+
+# ------------------------------------------------------- sort-service modes
+
+#: Service-harness job shapes: quick (~0.3 s) and slow (~2 s) two-worker
+#: sorts, sized like the tier-1 suite's.
+_SVC_SMALL = {
+    "data_mib": 128 / 1024, "memory_mib": 48 / 1024, "block_kib": 2.0,
+    "n_workers": 2, "seed": 42, "timeout": 120.0,
+}
+_SVC_SLOW = {
+    "data_mib": 1.0, "memory_mib": 0.25, "block_kib": 2.0,
+    "n_workers": 2, "seed": 7, "timeout": 120.0,
+}
+
+
+def _svc_output_bytes(result) -> bytes:
+    chunks = []
+    for meta in sorted(result.outputs, key=lambda m: m.rank):
+        with open(meta.path, "rb") as handle:
+            chunks.append(handle.read())
+    return b"".join(chunks)
+
+
+def run_service_smoke(spill_root: str, budget: float = 120.0) -> List[dict]:
+    """CI smoke: a live service, two overlapping wire jobs, clean stop.
+
+    Exercises the whole service stack end to end — daemon, warm pool,
+    JSON control plane, concurrent dispatch — and requires both jobs
+    DONE with valid output, zero worker respawns (the pool stayed
+    warm), and a clean shutdown, all inside ``budget`` seconds.
+    """
+    import tempfile
+
+    from ..service import SortClient, SortService
+
+    start = time.monotonic()
+    verdict = {"fault": "service-smoke", "ok": False, "elapsed": 0.0,
+               "outcome": ""}
+    spill = tempfile.mkdtemp(prefix="service-smoke-", dir=spill_root)
+    issues: List[str] = []
+    try:
+        with SortService(pool_size=4, spill_root=spill) as svc:
+            with SortClient(svc.addr) as client:
+                slow = client.submit(dict(_SVC_SLOW, label="slow"))
+                quick = client.submit(dict(_SVC_SMALL, label="quick"))
+                for job_id in (quick, slow):
+                    reply = client.result(job_id, timeout=budget)
+                    state = reply["job"]["state"]
+                    if state != "DONE":
+                        issues.append(
+                            f"{job_id} ended {state}: "
+                            f"{reply['job'].get('error')}"
+                        )
+                stats = client.stats()
+            if stats["respawns"] != 0:
+                issues.append(
+                    f"pool burned {stats['respawns']} respawns on a "
+                    "fault-free run"
+                )
+            if stats["jobs"]["done"] != 2:
+                issues.append(f"expected 2 done jobs, saw {stats['jobs']}")
+    except Exception as exc:  # noqa: BLE001 - the smoke must never raise
+        issues.append(f"smoke raised: {exc!r}")
+    finally:
+        import shutil
+
+        shutil.rmtree(spill, ignore_errors=True)
+    verdict["elapsed"] = time.monotonic() - start
+    if verdict["elapsed"] > budget:
+        issues.append(f"took {verdict['elapsed']:.1f}s > budget {budget}s")
+    verdict["ok"] = not issues
+    verdict["outcome"] = (
+        "two overlapping wire jobs DONE, pool warm, clean shutdown"
+        if not issues else "; ".join(issues)
+    )
+    return [verdict]
+
+
+def run_service_chaos(spill_root: str, budget: float = 180.0) -> List[dict]:
+    """Nightly: kill a pool worker mid-job; only that job feels it.
+
+    Job A runs with one restart allowed; one of its pool workers is
+    SIGKILLed mid-flight.  The contract: concurrent job B completes
+    clean with zero restarts, the pool respawns the victim, job A
+    recovers via its per-job supervisor, and A's recovered output is
+    bitwise identical to a single-shot run of the same spec.
+    """
+    import signal as _signal
+    import tempfile
+
+    from ..native.driver import NativeSorter
+    from ..service import SortService
+    from ..service.jobs import build_native_job
+
+    start = time.monotonic()
+    verdict = {"fault": "service-chaos: kill pool worker mid-job",
+               "ok": False, "elapsed": 0.0, "outcome": "", "restarts": 0}
+    spill = tempfile.mkdtemp(prefix="service-chaos-", dir=spill_root)
+    issues: List[str] = []
+    try:
+        oracle = NativeSorter(
+            build_native_job(dict(_SVC_SLOW), os.path.join(spill, "oracle"))
+        ).run()
+        with SortService(
+            pool_size=4, spill_root=os.path.join(spill, "svc"), listen=None
+        ) as svc:
+            a = svc.submit(dict(_SVC_SLOW, label="victim", max_restarts=1))
+            deadline = time.monotonic() + 30.0
+            pids: List[int] = []
+            while time.monotonic() < deadline and not pids:
+                pids = svc.worker_pids(a)
+                if not pids:
+                    time.sleep(0.01)
+            b = svc.submit(dict(_SVC_SLOW, seed=8, label="bystander"))
+            if not pids:
+                issues.append("victim job never dispatched")
+            else:
+                os.kill(pids[0], _signal.SIGKILL)
+            jb = svc.wait(b, timeout=budget)
+            ja = svc.wait(a, timeout=budget)
+            verdict["restarts"] = ja.policy.restarts_used
+            if jb.state != "DONE":
+                issues.append(f"bystander ended {jb.state}: {jb.error}")
+            elif jb.policy.restarts_used != 0:
+                issues.append("bystander burned a restart")
+            if ja.state != "DONE":
+                issues.append(f"victim ended {ja.state}: {ja.error}")
+            else:
+                if ja.policy.restarts_used < 1:
+                    issues.append("victim recovered without a restart?")
+                if _svc_output_bytes(ja.result) != _svc_output_bytes(oracle):
+                    issues.append(
+                        "victim's recovered output differs from the "
+                        "single-shot oracle"
+                    )
+            if svc.pool.respawns < 1:
+                issues.append("the pool never respawned the killed worker")
+    except Exception as exc:  # noqa: BLE001
+        issues.append(f"service chaos raised: {exc!r}")
+    finally:
+        import shutil
+
+        shutil.rmtree(spill, ignore_errors=True)
+    verdict["elapsed"] = time.monotonic() - start
+    if verdict["elapsed"] > budget:
+        issues.append(f"took {verdict['elapsed']:.1f}s > budget {budget}s")
+    verdict["ok"] = not issues
+    verdict["outcome"] = (
+        f"victim recovered ({verdict['restarts']} restart), bystander "
+        "clean, pool healed" if not issues else "; ".join(issues)
+    )
+    return [verdict]

@@ -72,6 +72,19 @@ def build_parser() -> argparse.ArgumentParser:
         "transport); the fast push-time CI gate",
     )
     parser.add_argument(
+        "--service-smoke", action="store_true",
+        help="run the sort-service smoke (live daemon, two overlapping "
+        "wire jobs, clean shutdown); the push-time CI gate for the "
+        "service subsystem",
+    )
+    parser.add_argument(
+        "--service-chaos", action="store_true",
+        help="kill a pool worker mid-job on a live sort service: the "
+        "victim job must recover via its per-job supervisor, a "
+        "concurrent job must finish untouched, and the pool must respawn "
+        "the worker",
+    )
+    parser.add_argument(
         "--keep-failures", metavar="DIR", default=None,
         help="copy each failing chaos case's spill directory (manifests "
         "included) plus its verdict into DIR as a reproducer artifact",
@@ -143,7 +156,7 @@ def main(argv: List[str] = None) -> int:
         return 0
 
     if not any((args.quick, args.full, args.chaos, args.search, args.replay,
-                args.recover_smoke)):
+                args.recover_smoke, args.service_smoke, args.service_chaos)):
         args.quick = True  # bare invocation = the quick tier
 
     failures: List[dict] = []
@@ -284,6 +297,29 @@ def main(argv: List[str] = None) -> int:
             if bad:
                 failures.extend(bad)
             report["recovery_smoke"] = {
+                "cases": len(verdicts),
+                "failures": len(bad),
+                "verdicts": verdicts,
+            }
+
+        # -- sort-service modes ------------------------------------------------
+        for enabled, key, runner in (
+            (args.service_smoke, "service_smoke", chaos.run_service_smoke),
+            (args.service_chaos, "service_chaos", chaos.run_service_chaos),
+        ):
+            if not enabled:
+                continue
+            verdicts = runner(spill_root)
+            bad = [v for v in verdicts if not v["ok"]]
+            for v in verdicts:
+                flag = "ok  " if v["ok"] else "FAIL"
+                say(
+                    f"{key.replace('_', '-')} {flag} {v['fault']:38s} "
+                    f"{v['elapsed']:6.2f}s  ({v['outcome']})"
+                )
+            if bad:
+                failures.extend(bad)
+            report[key] = {
                 "cases": len(verdicts),
                 "failures": len(bad),
                 "verdicts": verdicts,

@@ -134,7 +134,7 @@ def test_bad_magic_is_rejected(pair):
 
 def test_unknown_kind_is_rejected(pair):
     a, b = pair
-    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, 99, 0, 0, 0, 0, 0, 0))
+    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, 99, 0, 0, 0, 0, 0, 0, 0))
     with pytest.raises(CommError, match="unknown frame kind"):
         recv_frame(b)
 
@@ -142,7 +142,9 @@ def test_unknown_kind_is_rejected(pair):
 def test_implausible_length_is_rejected(pair):
     a, b = pair
     a.sendall(
-        FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, MAX_META_BYTES + 1, 0, 0)
+        FRAME_HEADER.pack(
+            MAGIC, VERSION, KIND_MSG, 0, 0, 0, 0, MAX_META_BYTES + 1, 0, 0
+        )
     )
     with pytest.raises(CommError, match="implausible frame lengths"):
         recv_frame(b)
@@ -150,7 +152,7 @@ def test_implausible_length_is_rejected(pair):
 
 def test_mid_frame_eof_is_a_torn_frame(pair):
     a, b = pair
-    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, 100, 0, 0))
+    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, 0, 100, 0, 0))
     a.sendall(b"only twenty bytes...")
     a.close()
     with pytest.raises(CommError, match="torn frame"):
@@ -174,7 +176,7 @@ def test_raw_frame_carries_preencoded_bytes_and_bad_pickles_fail(pair):
 
 def test_wedged_sender_times_out_mid_frame(pair):
     a, b = pair
-    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, 1024, 0, 0))
+    a.sendall(FRAME_HEADER.pack(MAGIC, VERSION, KIND_MSG, 0, 0, 0, 0, 1024, 0, 0))
     b.settimeout(0.2)
     with pytest.raises(CommTimeout, match="wedged"):
         recv_frame(b)
