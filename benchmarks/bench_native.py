@@ -32,10 +32,31 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core.config import SortConfig  # noqa: E402
 from repro.native import native_sort  # noqa: E402
-from repro.native.records import generate_records, sort_records  # noqa: E402
+from repro.native.records import (  # noqa: E402
+    RECORD_BYTES,
+    generate_records,
+    sort_records,
+)
 from repro.native.stats import NATIVE_PHASES  # noqa: E402
 
 MiB = 2**20
+
+#: Fixed sizing for the committed perf trajectory (``--trajectory``).
+#: Small enough to finish in seconds on a laptop or CI runner, large
+#: enough that the all-to-all actually moves multiple ring-buffers'
+#: worth of bytes per channel pair.
+TRAJECTORY_SIZING = {
+    "n_workers": 4,
+    "data_mib": 8.0,
+    "memory_mib": 4.0,
+    "block_kib": 64.0,
+    "seed": 12345,
+}
+TRAJECTORY_TRANSPORTS = ("pipe", "tcp", "shm")
+TRAJECTORY_SCHEMA = 1
+DEFAULT_TRAJECTORY_FILE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_native.json"
+)
 
 
 def in_ram_baseline(total_records: int, seed: int, skew: bool) -> dict:
@@ -197,6 +218,128 @@ def run_pipelined_comparison(
     return out
 
 
+def measure_trajectory_entry(
+    stamp: str,
+    sizing: dict | None = None,
+    transports: tuple = TRAJECTORY_TRANSPORTS,
+    timeout: float = 600.0,
+) -> dict:
+    """One trajectory data point: per-phase MB/s for every transport.
+
+    Every transport sorts the identical deterministic input at the fixed
+    ``TRAJECTORY_SIZING``, so phase throughputs are directly comparable
+    — only the interconnect differs.  The same-machine ``np.sort`` MB/s
+    rides along as a hardware ceiling, letting the regression gate
+    normalize away machine speed when comparing against the committed
+    baseline (tools/bench_gate.py).
+    """
+    sizing = dict(TRAJECTORY_SIZING if sizing is None else sizing)
+    entry = {"stamp": stamp, "transports": {}}
+    base = in_ram_baseline(
+        total_records=int(
+            sizing["n_workers"] * sizing["data_mib"] * MiB // RECORD_BYTES
+        ),
+        seed=sizing["seed"],
+        skew=False,
+    )
+    entry["np_sort_mb_s"] = base["mb_s"]
+    for transport in transports:
+        result = run_native_bench(
+            n_workers=sizing["n_workers"],
+            data_mib=sizing["data_mib"],
+            memory_mib=sizing["memory_mib"],
+            block_kib=sizing["block_kib"],
+            seed=sizing["seed"],
+            timeout=timeout,
+            transport=transport,
+            baseline=False,
+        )
+        if not result["ok"]:
+            raise RuntimeError(
+                f"trajectory run over {transport!r} failed validation: "
+                f"{result['issues']}"
+            )
+        entry["transports"][transport] = {
+            "phases": {row["phase"]: row["mb_s"] for row in result["phases"]},
+            "sort_mb_s": (
+                result["total_mib"] * MiB / result["sort_phases_s"] / 1e6
+                if result["sort_phases_s"]
+                else 0.0
+            ),
+        }
+    return entry
+
+
+def append_trajectory(
+    path: str = DEFAULT_TRAJECTORY_FILE,
+    sizing: dict | None = None,
+    transports: tuple = TRAJECTORY_TRANSPORTS,
+    timeout: float = 600.0,
+) -> dict:
+    """Measure one entry and append it to the committed trajectory file.
+
+    The file is schema-versioned JSON; entries accumulate so the
+    committed history shows how throughput moved PR over PR.  A sizing
+    mismatch with the existing file is an error — mixed sizings would
+    make the trajectory meaningless.
+    """
+    sizing = dict(TRAJECTORY_SIZING if sizing is None else sizing)
+    if os.path.exists(path):
+        with open(path) as handle:
+            doc = json.load(handle)
+        if doc.get("schema") != TRAJECTORY_SCHEMA:
+            raise ValueError(
+                f"{path}: schema {doc.get('schema')!r} != {TRAJECTORY_SCHEMA}"
+            )
+        if doc.get("sizing") != sizing:
+            raise ValueError(
+                f"{path}: sizing {doc.get('sizing')!r} does not match the "
+                f"requested sizing {sizing!r}; move the old file aside to "
+                "re-baseline"
+            )
+    else:
+        doc = {"schema": TRAJECTORY_SCHEMA, "sizing": sizing, "entries": []}
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    entry = measure_trajectory_entry(
+        stamp, sizing=sizing, transports=transports, timeout=timeout
+    )
+    doc["entries"].append(entry)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry
+
+
+def render_trajectory_entry(entry: dict) -> str:
+    transports = sorted(entry["transports"])
+    phases = []
+    for t in transports:
+        for p in entry["transports"][t]["phases"]:
+            if p not in phases:
+                phases.append(p)
+    lines = [
+        f"trajectory entry {entry['stamp']} "
+        f"(np.sort ceiling {entry['np_sort_mb_s']:.1f} MB/s)",
+        f"{'phase':<16}" + "".join(f"{t:>10}" for t in transports),
+    ]
+    for p in phases:
+        lines.append(
+            f"{p:<16}"
+            + "".join(
+                f"{entry['transports'][t]['phases'].get(p, 0.0):>10.1f}"
+                for t in transports
+            )
+        )
+    lines.append(
+        f"{'sort total':<16}"
+        + "".join(
+            f"{entry['transports'][t]['sort_mb_s']:>10.1f}"
+            for t in transports
+        )
+    )
+    return "\n".join(lines)
+
+
 def render(result: dict) -> str:
     mode = (
         f"W={result['prefetch_blocks']}/wb={result['write_behind_blocks']}"
@@ -305,8 +448,18 @@ def main(argv=None) -> int:
     parser.add_argument("--block-kib", type=float, default=256.0)
     parser.add_argument("--spill-dir", default=None)
     parser.add_argument(
-        "--transport", choices=("pipe", "tcp"), default="pipe",
+        "--transport", choices=("pipe", "tcp", "shm"), default="pipe",
         help="native interconnect substrate",
+    )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="measure one fixed-sizing entry over every transport and "
+        "append it to the committed trajectory file (see --trajectory-file "
+        "and tools/bench_gate.py)",
+    )
+    parser.add_argument(
+        "--trajectory-file", default=DEFAULT_TRAJECTORY_FILE,
+        help="trajectory JSON to append to (default benchmarks/BENCH_native.json)",
     )
     parser.add_argument("--skew", action="store_true")
     parser.add_argument("--seed", type=int, default=12345)
@@ -327,6 +480,14 @@ def main(argv=None) -> int:
         help="emit the raw result dict as JSON instead of the table",
     )
     args = parser.parse_args(argv)
+    if args.trajectory:
+        entry = append_trajectory(path=args.trajectory_file)
+        print(
+            json.dumps(entry, indent=2, sort_keys=True)
+            if args.json
+            else render_trajectory_entry(entry)
+        )
+        return 0
     kwargs = dict(
         n_workers=args.workers,
         data_mib=args.data_mib,

@@ -132,9 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="native per-message receive timeout, seconds",
     )
     parser.add_argument(
-        "--transport", choices=("pipe", "tcp"), default="pipe",
-        help="native interconnect: multiprocessing pipes (single host) "
-        "or real TCP sockets with rendezvous (see docs/TRANSPORT.md)",
+        "--transport", choices=("pipe", "tcp", "shm"), default="pipe",
+        help="native interconnect: multiprocessing pipes (single host), "
+        "real TCP sockets with rendezvous, or zero-copy shared-memory "
+        "rings (single host; see docs/TRANSPORT.md)",
     )
     parser.add_argument(
         "--pending-sends", type=int, default=4, metavar="N",

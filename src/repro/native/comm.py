@@ -102,12 +102,23 @@ class PipeComm(MeshComm):
 
     # -- channel primitives ---------------------------------------------------
 
+    @staticmethod
+    def _pickle_safe(obj):
+        # Pickle cannot serialize a memoryview: the zero-copy hot path
+        # hands chunks around as views, and this transport is where the
+        # copy is unavoidable (Connection.send pickles everything).
+        if isinstance(obj, memoryview):
+            return obj.tobytes()
+        if isinstance(obj, tuple):
+            return tuple(PipeComm._pickle_safe(x) for x in obj)
+        return obj
+
     def _transmit(self, peer: int, msg: tuple) -> None:
         # Pipes have no frame header, so the composite (job, epoch)
         # fence wraps the message itself: (fence, payload).  The payload
         # is always a protocol tuple whose first element is a string, so
         # the wrapper is unambiguous on the receive side.
-        self.conns[peer].send((self.wire_fence, msg))
+        self.conns[peer].send((self.wire_fence, self._pickle_safe(msg)))
 
     def _check_interrupt(self) -> None:
         if self._interrupt is None:
@@ -166,6 +177,17 @@ class PipeComm(MeshComm):
             self._stash_message(peer, msg)
             got = True
         return got
+
+    def _close_transport(self) -> None:
+        # Closing the pipe ends here is what reaps a sender thread still
+        # blocked in Connection.send to a peer that stopped draining (a
+        # collective raised mid-exchange): its write fails immediately
+        # and the thread exits instead of leaking with the fds pinned.
+        for conn in self.conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def _sever_transport(self) -> None:
         for conn in self.conns.values():

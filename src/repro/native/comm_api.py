@@ -287,6 +287,12 @@ class MeshComm:
         self.peer_sent: Dict[int, int] = {p: 0 for p in self.peers}
         self.peer_recv: Dict[int, int] = {p: 0 for p in self.peers}
 
+    #: Best-effort bounds used by :meth:`shutdown`.  Class attributes so
+    #: the wedged-sender teardown tests can shrink them instead of
+    #: waiting out three five-second joins.
+    SHUTDOWN_FLUSH_TIMEOUT = 5.0
+    SHUTDOWN_JOIN_TIMEOUT = 5.0
+
     # -- transport primitives (subclass responsibilities) ---------------------
 
     def _transmit(self, peer: int, msg: tuple) -> None:
@@ -435,20 +441,29 @@ class MeshComm:
         A sender thread that refuses to die within the join timeout is
         abandoned — it only references this job's channels, so once the
         caller closes them its next write fails and it exits.
+
+        Without ``reuse``, a sender still blocked mid-transmit after the
+        join timeout (a collective raised while a peer stopped draining)
+        is *reaped*, not abandoned: closing the transport fails its
+        in-flight write, and a second join collects it.  Leaving it
+        parked forever would leak the thread and pin the channel fds for
+        the life of the process.
         """
         if not self._severed:
             try:
-                self.flush(timeout=5.0)
+                self.flush(timeout=self.SHUTDOWN_FLUSH_TIMEOUT)
             except CommError:
                 pass
         self._sendq.put(None)
         if self._sender is not None:
-            self._sender.join(timeout=5.0)
+            self._sender.join(timeout=self.SHUTDOWN_JOIN_TIMEOUT)
         if reuse:
             for dq in self._stash.values():
                 dq.clear()
         else:
             self._close_transport()
+            if self._sender is not None and self._sender.is_alive():
+                self._sender.join(timeout=self.SHUTDOWN_JOIN_TIMEOUT)
 
     # -- chaos hooks ----------------------------------------------------------
 

@@ -47,7 +47,7 @@ from .job import NativeJob
 from .phases import OutputMeta
 from .records import NATIVE_DTYPE, RECORD_BYTES
 from .stats import NativeStats, WorkerStats
-from .worker import tcp_worker_main, worker_main
+from .worker import shm_worker_main, tcp_worker_main, worker_main
 
 __all__ = [
     "NativeSorter",
@@ -268,6 +268,8 @@ class NativeSorter:
     def _run_attempt(self, job: NativeJob) -> NativeSortResult:
         if job.transport == "tcp":
             return self._run_tcp(job)
+        if job.transport == "shm":
+            return self._run_shm(job)
         return self._run_pipe(job)
 
     def _run_pipe(self, job: NativeJob) -> NativeSortResult:
@@ -297,6 +299,47 @@ class NativeSorter:
             self._reap(procs)
             for rp in result_pipes:
                 rp[0].close()
+        return self._assemble(job, results, time.monotonic() - start)
+
+    def _run_shm(self, job: NativeJob) -> NativeSortResult:
+        """Same-host execution over shared-memory ring buffers.
+
+        The driver owns the segment names: whatever happens to the
+        attempt — success, a chaos ``SIGKILL`` mid-phase, a timeout —
+        the ``finally`` unlinks every ring after the workers are
+        reaped, so ``/dev/shm`` never accumulates leftovers.
+        """
+        from .shm import create_shm_mesh
+
+        mesh = create_shm_mesh(
+            self._ctx, job.n_workers, job_tag=getattr(job, "job_tag", 0)
+        )
+        result_pipes = [self._ctx.Pipe(duplex=False) for _ in range(job.n_workers)]
+
+        procs = []
+        start = time.monotonic()
+        try:
+            for rank in range(job.n_workers):
+                proc = self._ctx.Process(
+                    target=shm_worker_main,
+                    args=(rank, job, mesh.channels[rank], result_pipes[rank][1]),
+                    name=f"native-pe-{rank}",
+                )
+                proc.start()
+                procs.append(proc)
+            # Close the parent's doorbell/result copies so a dead worker
+            # turns into EOF for its peers, not a silent hang.
+            mesh.close_parent_ends()
+            for rank in range(job.n_workers):
+                result_pipes[rank][1].close()
+            try:
+                results = self._collect(procs, [rp[0] for rp in result_pipes])
+            finally:
+                self._reap(procs)
+                for rp in result_pipes:
+                    rp[0].close()
+        finally:
+            mesh.unlink()
         return self._assemble(job, results, time.monotonic() - start)
 
     def _run_tcp(self, job: NativeJob) -> NativeSortResult:

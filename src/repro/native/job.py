@@ -35,7 +35,7 @@ from .records import RECORD_BYTES
 __all__ = ["NativeJob", "SORT_WORKING_COPIES", "TRANSPORTS"]
 
 #: Interconnect substrates the driver can wire up (see docs/TRANSPORT.md).
-TRANSPORTS = ("pipe", "tcp")
+TRANSPORTS = ("pipe", "tcp", "shm")
 
 #: Live record-array copies at run formation's memory peak (input chunk,
 #: sorted copy during the permutation, received exchange slice).

@@ -52,6 +52,7 @@ from .pipeline import (
 )
 from .records import (
     NATIVE_DTYPE,
+    bytes_view,
     generate_records,
     merge_record_arrays,
     records_from_bytes,
@@ -317,8 +318,11 @@ def _distributed_sort_run(
             lo = positions[dest][rank]
             hi = positions[dest + 1][rank]
             for k, s in enumerate(range(lo, hi, block)):
+                # A view, not a copy: the exchange's final flush+barrier
+                # keeps ``records`` alive until every chunk is on the
+                # wire, so shm and TCP sends stay zero-copy end to end.
                 chunk = records[s : min(s + block, hi)]
-                yield dest, ("rfx", run_id, k, chunk.tobytes())
+                yield dest, ("rfx", run_id, k, bytes_view(chunk))
 
     def on_chunk(peer: int, payload: tuple) -> None:
         nonlocal recv_bytes
@@ -400,15 +404,11 @@ def run_formation(ctx: NativeContext) -> List[NativeRun]:
     try:
         for r in range(k, n_runs):
             block_ids = chunks[r] if r < len(chunks) else []
-            parts = [
-                store.read_block(input_path, b, TAG_RF) for b in block_ids
-            ]
-            records = (
-                np.concatenate(parts)
-                if len(parts) > 1
-                else (parts[0] if parts else np.empty(0, dtype=NATIVE_DTYPE))
-            )
-            del parts
+            # Scatter read: every block lands directly in its slice of
+            # the chunk's sort buffer (no per-block arrays, no
+            # concatenate) — one coalesced positioned read per run of
+            # consecutive block IDs.
+            records = store.read_blocks(input_path, block_ids, TAG_RF)
             ctx._add_checksum(records["key"])
             ctx.stats.note_resident(
                 2 * records.nbytes + (wb.queued_bytes() if wb else 0)
@@ -669,7 +669,7 @@ def all_to_all(
                 chunk = prefetcher.get(idx)
             else:
                 chunk = store.read_range(store.piece_path(r), s, count, TAG_A2A)
-            yield dest, ("a2a", r, chunk_k, chunk.tobytes())
+            yield dest, ("a2a", r, chunk_k, bytes_view(chunk))
 
     # Harvest the merge's prediction sequence from the arriving bytes:
     # each chunk lands at a known record offset of the segment, so every

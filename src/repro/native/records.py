@@ -120,6 +120,21 @@ def records_from_bytes(buf: bytes) -> np.ndarray:
     return np.frombuffer(buf, dtype=NATIVE_DTYPE)
 
 
+def bytes_view(records: np.ndarray) -> memoryview:
+    """Zero-copy byte view of a contiguous record array.
+
+    The inverse of :func:`records_from_bytes`: the hot path hands chunks
+    to the interconnect as views of the record arrays they were sliced
+    from (``len()`` of the view is the byte length), so a transport with
+    buffer support — shm rings, TCP gather-writes — never materializes an
+    intermediate ``bytes``.  A non-contiguous input is first compacted
+    (the one place the copy is unavoidable).
+    """
+    if not records.flags["C_CONTIGUOUS"]:
+        records = np.ascontiguousarray(records)
+    return records.view(np.uint8).data
+
+
 def keys_of(records: np.ndarray) -> np.ndarray:
     """The key column of a record array (same dtype as the simulator keys)."""
     return records["key"].astype(KEY_DTYPE, copy=False)

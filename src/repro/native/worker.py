@@ -258,6 +258,39 @@ def worker_main(rank: int, job: NativeJob, peer_conns: Dict, result_conn) -> Non
     _run_phases(rank, job, comm, result_conn)
 
 
+def shm_worker_main(
+    rank: int, job: NativeJob, channels: Dict, result_conn
+) -> None:
+    """Run rank ``rank`` of ``job`` over shared-memory rings.
+
+    ``channels`` maps peer rank to a
+    :class:`~repro.native.shm.ShmChannelSpec`; the comm attaches every
+    ring by name (the driver created the segments before forking).
+    """
+    from .shm import ShmComm
+
+    try:
+        comm = ShmComm(
+            rank,
+            job.n_workers,
+            channels,
+            timeout=job.timeout,
+            chaos=getattr(job, "chaos", None),
+            pending_sends=getattr(job, "pending_sends", 4),
+            job_epoch=getattr(job, "epoch", 0),
+            job_tag=getattr(job, "job_tag", 0),
+            own_channel_ends=True,
+        )
+    except Exception:
+        try:
+            result_conn.send(("error", rank, traceback.format_exc()))
+            result_conn.close()
+        except Exception:
+            pass
+        return
+    _run_phases(rank, job, comm, result_conn)
+
+
 def tcp_worker_main(
     rank: int,
     connect: Tuple[str, int],

@@ -30,7 +30,12 @@ Three paths share this layout:
   bytes are never copied into a concatenation; the receive side reads
   the payload straight into a preallocated ``bytearray`` and reattaches
   it as the tuple's last element (``np.frombuffer`` accepts it without a
-  copy).
+  copy).  Exchange traffic arrives one level down —
+  ``("__xch__", epoch, ("a2a", ..., buf))`` — so the splitter also peels
+  a buffer that ends the message's *last nested tuple* and marks the
+  frame ``FLAG_NESTED`` so the receive side reattaches it at the right
+  depth.  Without the nested case every all-to-all chunk would silently
+  fall back to a full pickle (a copy of every record byte).
 * **Service control-plane messages** (``FLAG_JSON``, normally with
   ``KIND_CTRL``) carry UTF-8 JSON in ``meta`` instead of a pickle —
   the sort service's client protocol, language-neutral and free of the
@@ -78,6 +83,9 @@ __all__ = [
     "VERSION",
     "FLAG_RAW",
     "FLAG_JSON",
+    "FLAG_NESTED",
+    "split_raw_nested",
+    "reattach_payload",
     "KIND_MSG",
     "KIND_HELLO",
     "KIND_WELCOME",
@@ -124,6 +132,10 @@ _KINDS = frozenset(
 
 FLAG_RAW = 0x01
 FLAG_JSON = 0x02
+#: The RAW payload was peeled from the message's trailing *nested*
+#: tuple (the exchange shape) rather than the outer tuple; the receive
+#: side must reattach it one level down.
+FLAG_NESTED = 0x04
 
 #: Sanity bounds: a header claiming more than this is garbage (a torn
 #: stream or a non-frame peer), not a plausible message.
@@ -136,15 +148,50 @@ RAW_THRESHOLD = 256
 
 
 def _split_raw(msg: tuple):
-    """``(meta_tuple, payload)`` — peel a large trailing buffer, if any."""
-    if (
-        isinstance(msg, tuple)
-        and msg
-        and isinstance(msg[-1], (bytes, bytearray, memoryview))
-        and len(msg[-1]) >= RAW_THRESHOLD
-    ):
-        return msg[:-1], msg[-1]
+    """``(meta_tuple, payload)`` — peel a trailing buffer, if any.
+
+    ``bytes``/``bytearray`` below :data:`RAW_THRESHOLD` stay in the
+    pickled meta (the RAW machinery is not worth 17 extra header bytes
+    for tiny control payloads); a ``memoryview`` is peeled at *any*
+    size — views exist only on the zero-copy hot path and can never be
+    pickled, so a short final chunk must still ride the RAW path.
+    """
+    if isinstance(msg, tuple) and msg:
+        tail = msg[-1]
+        if isinstance(tail, memoryview) or (
+            isinstance(tail, (bytes, bytearray))
+            and len(tail) >= RAW_THRESHOLD
+        ):
+            return msg[:-1], tail
     return msg, None
+
+
+def split_raw_nested(msg: tuple):
+    """``(meta_msg, payload, nested)`` — peel a large trailing buffer.
+
+    Checks the outer tuple first, then one level down (the exchange
+    wrapper ``("__xch__", epoch, ("a2a", ..., buf))``); ``nested`` says
+    which case fired so :func:`reattach_payload` can undo the split.
+    """
+    meta, payload = _split_raw(msg)
+    if payload is not None:
+        return meta, payload, False
+    if isinstance(msg, tuple) and msg and isinstance(msg[-1], tuple):
+        inner_meta, payload = _split_raw(msg[-1])
+        if payload is not None:
+            return msg[:-1] + (inner_meta,), payload, True
+    return msg, None, False
+
+
+def reattach_payload(msg: tuple, payload, nested: bool):
+    """Reattach a RAW ``payload`` where :func:`split_raw_nested` took it."""
+    if not isinstance(msg, tuple) or not msg:
+        raise CommError("RAW frame whose meta is not a tuple")
+    if nested:
+        if not isinstance(msg[-1], tuple):
+            raise CommError("nested RAW frame whose trailing meta is not a tuple")
+        return msg[:-1] + (msg[-1] + (payload,),)
+    return msg + (payload,)
 
 
 def _send_all(sock: socket.socket, parts) -> int:
@@ -171,14 +218,14 @@ def _send_all(sock: socket.socket, parts) -> int:
 def _frame_parts(kind: int, msg, epoch: Optional[int], fence: int):
     if epoch is None:
         epoch = message_epoch(msg)
-    meta_msg, payload = _split_raw(msg)
+    meta_msg, payload, nested = split_raw_nested(msg)
     meta = pickle.dumps(meta_msg, protocol=pickle.HIGHEST_PROTOCOL)
     flags = 0
     payload_len = 0
     crc = zlib.crc32(meta)
     parts = [b"", meta]
     if payload is not None:
-        flags |= FLAG_RAW
+        flags |= FLAG_RAW | (FLAG_NESTED if nested else 0)
         payload_len = len(payload)
         crc = zlib.crc32(payload, crc)
         parts.append(payload)
@@ -312,6 +359,8 @@ def recv_frame(
         raise CommError("frame carries a payload but FLAG_RAW is unset")
     if flags & FLAG_JSON and flags & FLAG_RAW:
         raise CommError("frame claims both JSON meta and a RAW payload")
+    if flags & FLAG_NESTED and not flags & FLAG_RAW:
+        raise CommError("frame claims a nested payload but FLAG_RAW is unset")
     meta = bytearray(meta_len)
     _recv_exact(sock, memoryview(meta), "meta")
     want_crc = zlib.crc32(meta)
@@ -333,12 +382,10 @@ def recv_frame(
     except Exception as exc:
         raise CommError(f"undecodable frame meta: {exc!r}") from exc
     if payload is not None:
-        if not isinstance(msg, tuple):
-            raise CommError("RAW frame whose meta is not a tuple")
         # Reattach the record buffer without copying it: downstream
         # consumers (np.frombuffer, struct.unpack_from, file writes)
         # all accept a bytearray.
-        msg = msg + (payload,)
+        msg = reattach_payload(msg, payload, bool(flags & FLAG_NESTED))
     if kind == KIND_MSG and epoch != message_epoch(msg):
         raise CommError(
             f"frame epoch tag {epoch} disagrees with message epoch "

@@ -214,13 +214,23 @@ class TcpComm(MeshComm):
     def _close_transport(self) -> None:
         # Announce the close first: peers still mid-protocol must be able
         # to tell this deliberate shutdown from a dead PE's silent EOF.
-        # The sender thread is already joined, so writing here is safe.
+        # A peer that stopped draining may have left the socket buffer
+        # full (with the sender thread wedged mid-write), so the goodbye
+        # is time-bounded rather than blocking.
         for sock in list(self.socks.values()):
             try:
+                sock.settimeout(1.0)
                 self.socket_bytes_sent += send_frame(sock, KIND_GOODBYE, None)
             except OSError:
                 pass
         for sock in list(self.socks.values()):
+            try:
+                # shutdown() — unlike close() — wakes a sender thread
+                # still blocked in sendmsg on this socket (its write
+                # fails with EPIPE), so shutdown's join can reap it.
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 sock.close()
             except OSError:
@@ -231,6 +241,10 @@ class TcpComm(MeshComm):
         # No GOODBYE — a sever *is* the silent network loss peers must
         # diagnose as a dead PE.
         for sock in list(self.socks.values()):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 sock.close()
             except OSError:

@@ -532,6 +532,10 @@ class SortService:
 
     def _finalize_attempt(self, attempt: _Attempt) -> None:
         self._attempts.pop(attempt.seq, None)
+        # Whatever the outcome, the attempt's shm mesh (if its job ran
+        # the shm transport) is done: unlink the segment names now.  A
+        # straggler PE still attached keeps its mapping until it closes.
+        self.pool.release_mesh(attempt.seq)
         job = self._jobs[attempt.job_id]
         self._reserved_mem = max(0, self._reserved_mem - job.mem_cost)
         self._reserved_spill = max(0, self._reserved_spill - job.spill_cost)

@@ -83,6 +83,7 @@ SPEC_FIELDS = {
     "selection": (str, "sampled"),
     "sample_every": (int, None),
     "timeout": (float, 120.0),
+    "transport": (str, "pipe"),
     "pending_sends": (int, 4),
     "prefetch_blocks": (int, 0),
     "write_behind_blocks": (int, 0),
@@ -125,6 +126,14 @@ def build_native_job(spec: dict, spill_dir: str) -> NativeJob:
     service stamps them after assigning the job id.
     """
     spec = _coerce(spec)
+    # The pool's PEs are local processes wired up by the scheduler, so
+    # only in-host transports make sense here: the per-job mesh is pipe
+    # pairs or shared-memory rings, never a rendezvous'd socket mesh.
+    if spec["transport"] not in ("pipe", "shm"):
+        raise JobRejected(
+            f"service transport must be 'pipe' or 'shm', "
+            f"got {spec['transport']!r}"
+        )
     config = SortConfig(
         data_per_node_bytes=spec["data_mib"] * MiB,
         memory_bytes=spec["memory_mib"] * MiB,
@@ -141,7 +150,7 @@ def build_native_job(spec: dict, spill_dir: str) -> NativeJob:
             spill_dir=spill_dir,
             skew=spec["skew"],
             timeout=spec["timeout"],
-            transport="pipe",
+            transport=spec["transport"],
             pending_sends=spec["pending_sends"],
             prefetch_blocks=spec["prefetch_blocks"],
             write_behind_blocks=spec["write_behind_blocks"],

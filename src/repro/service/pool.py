@@ -92,18 +92,35 @@ def _serve_one(seq, job, job_rank, conns, ctrl, interrupt) -> None:
     """
     proxy = _ResultProxy(ctrl, seq)
     try:
-        comm = PipeComm(
-            job_rank,
-            job.n_workers,
-            conns,
-            timeout=job.timeout,
-            chaos=getattr(job, "chaos", None),
-            pending_sends=getattr(job, "pending_sends", 4),
-            job_epoch=getattr(job, "epoch", 0),
-            job_tag=getattr(job, "job_tag", 0),
-            interrupt=interrupt,
-            interrupt_tag=seq,
-        )
+        if getattr(job, "transport", "pipe") == "shm":
+            from ..native.shm import ShmComm
+
+            comm = ShmComm(
+                job_rank,
+                job.n_workers,
+                conns,
+                timeout=job.timeout,
+                chaos=getattr(job, "chaos", None),
+                pending_sends=getattr(job, "pending_sends", 4),
+                job_epoch=getattr(job, "epoch", 0),
+                job_tag=getattr(job, "job_tag", 0),
+                interrupt=interrupt,
+                interrupt_tag=seq,
+                own_channel_ends=True,
+            )
+        else:
+            comm = PipeComm(
+                job_rank,
+                job.n_workers,
+                conns,
+                timeout=job.timeout,
+                chaos=getattr(job, "chaos", None),
+                pending_sends=getattr(job, "pending_sends", 4),
+                job_epoch=getattr(job, "epoch", 0),
+                job_tag=getattr(job, "job_tag", 0),
+                interrupt=interrupt,
+                interrupt_tag=seq,
+            )
     except Exception:
         try:
             proxy.send(("error", job_rank, traceback.format_exc()))
@@ -112,7 +129,7 @@ def _serve_one(seq, job, job_rank, conns, ctrl, interrupt) -> None:
         for conn in conns.values():
             try:
                 conn.close()
-            except OSError:
+            except Exception:
                 pass
         return
     try:
@@ -197,6 +214,22 @@ class WarmPool:
         self.size = size
         self._next_worker_id = 0
         self.respawns = 0
+        #: Live shm meshes by dispatch seq: the scheduler owns the
+        #: segment names and unlinks them when the attempt finalizes
+        #: (success, failure, or service shutdown) — the no-/dev/shm-leak
+        #: guarantee for pool jobs.
+        self._shm_meshes: Dict[int, object] = {}
+        # Start the resource tracker *before* forking any worker: a pool
+        # PE that later attaches a shm ring must inherit this process's
+        # tracker (registrations are then idempotent set-adds and the
+        # scheduler's unlink clears them) rather than lazily spawn its
+        # own, which would warn about "leaked" segments at exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - non-POSIX fallback
+            pass
         self.handles: List[WorkerHandle] = [self._spawn() for _ in range(size)]
 
     def _spawn(self) -> WorkerHandle:
@@ -234,6 +267,27 @@ class WarmPool:
         P = job.n_workers
         if len(handles) != P:
             raise ValueError(f"job wants {P} workers, got {len(handles)}")
+        if getattr(job, "transport", "pipe") == "shm":
+            from ..native.shm import create_shm_mesh
+
+            mesh = create_shm_mesh(
+                self._ctx, P, job_tag=getattr(job, "job_tag", 0)
+            )
+            # Registered before the sends: whatever happens mid-dispatch,
+            # release_mesh(seq) can always unlink the segments.
+            self._shm_meshes[seq] = mesh
+            try:
+                for rank, handle in enumerate(handles):
+                    # The channel specs ride the control pipe like pipe
+                    # ends do: the doorbell fds via connection reduction,
+                    # the ring segments by name (attached in the worker).
+                    handle.ctrl.send(
+                        (CMD_RUN, seq, job, rank, mesh.channels[rank])
+                    )
+                    handle.mark_busy(seq, job_id, rank)
+            finally:
+                mesh.close_parent_ends()
+            return
         conns: List[Dict[int, object]] = [dict() for _ in range(P)]
         for i in range(P):
             for j in range(i + 1, P):
@@ -251,6 +305,19 @@ class WarmPool:
                         conn.close()
                     except OSError:
                         pass
+
+    def release_mesh(self, seq: int) -> None:
+        """Unlink the shm mesh of dispatch ``seq``, if it had one.
+
+        Idempotent, called from the single attempt-finalization point in
+        the scheduler; a pipe-transport dispatch is a no-op.  POSIX keeps
+        the memory alive for workers still attached (a straggler rank
+        finishing an already-failed attempt), so unlinking at finalize is
+        always safe.
+        """
+        mesh = self._shm_meshes.pop(seq, None)
+        if mesh is not None:
+            mesh.unlink()
 
     def interrupt(self, handle: WorkerHandle, seq: int) -> None:
         """Ask ``handle`` to abort dispatch ``seq`` (best effort)."""
@@ -275,6 +342,8 @@ class WarmPool:
 
     def stop(self) -> None:
         """Tear the pool down: interrupt, stop, escalate to SIGKILL."""
+        for seq in list(self._shm_meshes):
+            self.release_mesh(seq)
         for handle in self.handles:
             if handle.busy_seq is not None:
                 self.interrupt(handle, handle.busy_seq)

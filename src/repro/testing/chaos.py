@@ -574,6 +574,11 @@ def run_chaos_sweep(
             prefix=f"chaos-{_describe_spec(spec).split()[0].replace(':', '-').replace('=', '-')}-",
             dir=spill_root,
         )
+        shm_before = None
+        if transport == "shm":
+            from ..native.shm import list_shm_segments
+
+            shm_before = set(list_shm_segments())
         try:
             verdict = run_chaos_case(
                 spec,
@@ -589,6 +594,19 @@ def run_chaos_sweep(
                 verdict["fault"] += " [pipelined]"
             if transport != "pipe":
                 verdict["fault"] += f" [{transport}]"
+            if shm_before is not None:
+                # A kill at any boundary must not leak ring segments:
+                # the driver unlinks in its attempt teardown even when
+                # the job died mid-phase.
+                from ..native.shm import list_shm_segments
+
+                leaked = sorted(set(list_shm_segments()) - shm_before)
+                if leaked:
+                    verdict["ok"] = False
+                    verdict["outcome"] = (
+                        f"{verdict.get('outcome', '')}; leaked /dev/shm "
+                        f"segments: {leaked}"
+                    ).lstrip("; ")
             verdicts.append(verdict)
             if not verdict["ok"] and keep_failures_dir is not None:
                 keep = os.path.join(

@@ -53,10 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         "pipelined I/O plus a torn-write-inside-write-behind case",
     )
     parser.add_argument(
-        "--transport", choices=("pipe", "tcp", "both"), default="pipe",
-        help="native interconnect for matrix cases; 'tcp' or 'both' adds "
-        "native-only TCP twins of every matrix case and runs the chaos "
-        "sweep over the socket transport too",
+        "--transport", choices=("pipe", "tcp", "shm", "both", "all"),
+        default="pipe",
+        help="native interconnect for matrix cases; 'tcp' or 'shm' adds "
+        "native-only twins of every matrix case over that transport (and "
+        "runs the chaos sweep over it too); 'both' = pipe+tcp, "
+        "'all' = pipe+tcp+shm",
     )
     parser.add_argument(
         "--recover", action="store_true",
@@ -184,20 +186,31 @@ def main(argv: List[str] = None) -> int:
             specs.extend(differential.full_specs(seed=args.seed))
         if args.pipelined and specs:
             specs.extend(differential.pipelined_variants(specs))
-        if args.transport != "pipe" and specs:
-            # Native-only TCP twins of every (non-pipelined) matrix case:
-            # the oracle byte-comparison plus the pipe twin already in
-            # the list prove the socket transport is bitwise-invisible.
-            specs.extend(
-                differential.tcp_variants(
-                    [
-                        s for s in specs
-                        if "native" in s.backends
-                        and s.transport == "pipe"
-                        and not s.pipelined
-                    ]
+        extra_transports = {
+            "pipe": (),
+            "tcp": ("tcp",),
+            "shm": ("shm",),
+            "both": ("tcp",),
+            "all": ("tcp", "shm"),
+        }[args.transport]
+        if extra_transports and specs:
+            # Native-only twins of every (non-pipelined) matrix case over
+            # each extra transport: the oracle byte-comparison plus the
+            # pipe twin already in the list prove the transport is
+            # bitwise-invisible.
+            base = [
+                s for s in specs
+                if "native" in s.backends
+                and s.transport == "pipe"
+                and not s.pipelined
+            ]
+            for extra in extra_transports:
+                variants = (
+                    differential.tcp_variants(base)
+                    if extra == "tcp"
+                    else differential.shm_variants(base)
                 )
-            )
+                specs.extend(variants)
         if args.recover and specs:
             # Native-only recovery twins: the same workloads with a rank
             # killed at the run-formation boundary and one restart — the
@@ -253,9 +266,7 @@ def main(argv: List[str] = None) -> int:
 
         # -- chaos sweep -------------------------------------------------------
         if args.chaos:
-            transports = (
-                ["pipe"] if args.transport == "pipe" else ["pipe", "tcp"]
-            )
+            transports = ["pipe"] + list(extra_transports)
             if args.keep_failures:
                 os.makedirs(args.keep_failures, exist_ok=True)
             verdicts = []

@@ -88,7 +88,7 @@ class CaseSpec:
         for backend in self.backends:
             if backend not in ("native", "sim"):
                 raise ValueError(f"unknown backend {backend!r}")
-        if self.transport not in ("pipe", "tcp"):
+        if self.transport not in ("pipe", "tcp", "shm"):
             raise ValueError(f"unknown transport {self.transport!r}")
 
     # -- replay tokens --------------------------------------------------------
@@ -114,7 +114,7 @@ class CaseSpec:
             raise ValueError(
                 f"bad replay token {token!r}: want "
                 "entry:sizing:p<P>:s<seed>:rand|norand:selection"
-                "[:backends][:pipe][:tcp]"
+                "[:backends][:pipe][:tcp|:shm][:recover]"
             )
         entry, sizing, p, s, rand, selection = parts[:6]
         if not p.startswith("p") or not s.startswith("s"):
@@ -126,8 +126,8 @@ class CaseSpec:
         for part in parts[6:]:
             if part == "pipe":
                 pipelined = True
-            elif part == "tcp":
-                transport = "tcp"
+            elif part in ("tcp", "shm"):
+                transport = part
             elif part == "recover":
                 recover = True
             else:
@@ -253,6 +253,18 @@ def tcp_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
     """
     return [
         replace(spec, backends=("native",), transport="tcp") for spec in specs
+    ]
+
+
+def shm_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+    """Native-only shared-memory twins of ``specs`` (the shm rings).
+
+    The oracle byte-comparison proves the zero-copy ring mesh delivers
+    the identical output the pipe mesh produced, and the cross-checksum
+    in :func:`run_case` binds the two together.
+    """
+    return [
+        replace(spec, backends=("native",), transport="shm") for spec in specs
     ]
 
 

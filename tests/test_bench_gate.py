@@ -1,0 +1,302 @@
+"""The bench regression gate must gate: pass, fail, seed, drift.
+
+tools/bench_gate.py is the CI tripwire over the committed perf
+trajectory (benchmarks/BENCH_native.json).  These tests drive it over
+synthetic trajectories so every exit path is pinned: a clean candidate
+passes, an injected 20% regression fails, a missing baseline is exit 4
+(with a --seed escape), and any malformed or *shrunken* input is schema
+drift — the gate must never pass because there was nothing to compare.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools", "bench_gate.py",
+)
+_spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+PHASES = ("generate", "run_formation", "selection", "all_to_all", "merge")
+SIZING = {
+    "n_workers": 4,
+    "data_mib": 8.0,
+    "memory_mib": 4.0,
+    "block_kib": 64.0,
+    "seed": 12345,
+}
+#: Per-transport phase MB/s for the synthetic machine.  shm all_to_all
+#: is 4x pipe, comfortably above the gate's 1.5x invariant.
+BASE_MB_S = {
+    "pipe": {"generate": 200.0, "run_formation": 30.0, "selection": 900.0,
+             "all_to_all": 100.0, "merge": 150.0},
+    "tcp": {"generate": 210.0, "run_formation": 31.0, "selection": 950.0,
+            "all_to_all": 300.0, "merge": 160.0},
+    "shm": {"generate": 220.0, "run_formation": 32.0, "selection": 1000.0,
+            "all_to_all": 400.0, "merge": 170.0},
+}
+
+
+def make_doc(ceiling=100.0, scale=1.0, transports=("pipe", "tcp", "shm"),
+             sizing=SIZING, stamp="2026-01-01T00:00:00Z"):
+    """A schema-1 trajectory with one entry.
+
+    ``scale`` multiplies every throughput *including* the np.sort
+    ceiling — i.e. the same code on a faster/slower machine.
+    """
+    entry = {
+        "stamp": stamp,
+        "np_sort_mb_s": ceiling * scale,
+        "transports": {
+            t: {
+                "phases": {p: BASE_MB_S[t][p] * scale for p in PHASES},
+                "sort_mb_s": 25.0 * scale,
+            }
+            for t in transports
+        },
+    }
+    return {"schema": 1, "sizing": dict(sizing), "entries": [entry]}
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return write(tmp_path, "baseline.json", make_doc())
+
+
+# -- pass paths ---------------------------------------------------------------
+
+
+def test_identical_candidate_passes(tmp_path, baseline, capsys):
+    cand = write(tmp_path, "cand.json", make_doc())
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 0
+    out = capsys.readouterr().out
+    assert "15 phase throughputs" in out
+
+
+def test_faster_machine_does_not_false_positive(tmp_path, baseline):
+    # Same code on a machine 3x slower: raw MB/s drops 3x everywhere,
+    # but so does the np.sort ceiling — normalization must cancel it.
+    cand = write(tmp_path, "cand.json", make_doc(scale=1 / 3))
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 0
+
+
+def test_dip_within_threshold_passes(tmp_path, baseline):
+    doc = make_doc()
+    e = doc["entries"][-1]
+    for t in e["transports"].values():
+        t["phases"]["merge"] *= 0.90  # 10% < the 15% threshold
+    cand = write(tmp_path, "cand.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 0
+
+
+def test_gate_uses_latest_entry(tmp_path):
+    # History accumulates; only the newest entry on each side is gated.
+    base_doc = make_doc()
+    old = json.loads(json.dumps(base_doc["entries"][0]))
+    old["np_sort_mb_s"] = 1e9  # absurd older entry must be ignored
+    base_doc["entries"].insert(0, old)
+    baseline = write(tmp_path, "baseline.json", base_doc)
+    cand = write(tmp_path, "cand.json", make_doc())
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 0
+
+
+# -- regression paths ---------------------------------------------------------
+
+
+def test_injected_20pct_regression_fails(tmp_path, baseline, capsys):
+    doc = make_doc()
+    doc["entries"][-1]["transports"]["shm"]["phases"]["all_to_all"] *= 0.80
+    cand = write(tmp_path, "cand.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err
+    assert "shm/all_to_all" in err
+
+
+def test_regression_in_any_single_phase_fails(tmp_path, baseline):
+    for transport in ("pipe", "tcp", "shm"):
+        for phase in PHASES:
+            doc = make_doc()
+            doc["entries"][-1]["transports"][transport]["phases"][phase] *= 0.5
+            cand = write(tmp_path, f"c-{transport}-{phase}.json", doc)
+            assert (
+                bench_gate.main(
+                    ["--baseline", baseline, "--candidate", cand]
+                ) == 1
+            ), f"50% regression in {transport}/{phase} must fail the gate"
+
+
+def test_custom_threshold(tmp_path, baseline):
+    doc = make_doc()
+    doc["entries"][-1]["transports"]["pipe"]["phases"]["merge"] *= 0.90
+    cand = write(tmp_path, "cand.json", doc)
+    args = ["--baseline", baseline, "--candidate", cand, "--threshold"]
+    assert bench_gate.main(args + ["0.05"]) == 1
+    assert bench_gate.main(args + ["0.15"]) == 0
+
+
+# -- missing baseline / seeding -----------------------------------------------
+
+
+def test_missing_baseline_is_exit_4(tmp_path):
+    cand = write(tmp_path, "cand.json", make_doc())
+    missing = str(tmp_path / "nope.json")
+    assert bench_gate.main(["--baseline", missing, "--candidate", cand]) == 4
+
+
+def test_seed_installs_candidate_as_baseline(tmp_path):
+    cand = write(tmp_path, "cand.json", make_doc())
+    missing = str(tmp_path / "new-baseline.json")
+    assert bench_gate.main(
+        ["--baseline", missing, "--candidate", cand, "--seed"]
+    ) == 0
+    assert os.path.exists(missing)
+    # The seeded file is immediately usable as a baseline.
+    assert bench_gate.main(["--baseline", missing, "--candidate", cand]) == 0
+
+
+def test_seed_refuses_malformed_candidate(tmp_path):
+    bad = write(tmp_path, "bad.json", {"schema": 99})
+    missing = str(tmp_path / "new-baseline.json")
+    assert bench_gate.main(
+        ["--baseline", missing, "--candidate", bad, "--seed"]
+    ) == 2
+    assert not os.path.exists(missing)
+
+
+# -- schema drift: the gate must never pass vacuously -------------------------
+
+
+def drift_cases():
+    def wrong_schema(doc):
+        doc["schema"] = 2
+
+    def no_entries(doc):
+        doc["entries"] = []
+
+    def missing_ceiling(doc):
+        del doc["entries"][-1]["np_sort_mb_s"]
+
+    def zero_ceiling(doc):
+        doc["entries"][-1]["np_sort_mb_s"] = 0.0
+
+    def bool_mb_s(doc):
+        doc["entries"][-1]["transports"]["pipe"]["phases"]["merge"] = True
+
+    def no_transports(doc):
+        doc["entries"][-1]["transports"] = {}
+
+    def no_phases(doc):
+        doc["entries"][-1]["transports"]["shm"]["phases"] = {}
+
+    return [wrong_schema, no_entries, missing_ceiling, zero_ceiling,
+            bool_mb_s, no_transports, no_phases]
+
+
+@pytest.mark.parametrize("mutate", drift_cases(), ids=lambda f: f.__name__)
+def test_malformed_candidate_is_drift_not_pass(tmp_path, baseline, mutate,
+                                               capsys):
+    doc = make_doc()
+    mutate(doc)
+    cand = write(tmp_path, "cand.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 2
+    assert "SCHEMA DRIFT" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("mutate", drift_cases(), ids=lambda f: f.__name__)
+def test_malformed_baseline_is_drift(tmp_path, mutate):
+    doc = make_doc()
+    mutate(doc)
+    baseline = write(tmp_path, "baseline.json", doc)
+    cand = write(tmp_path, "cand.json", make_doc())
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 2
+
+
+def test_candidate_missing_a_transport_is_drift(tmp_path, baseline, capsys):
+    cand = write(tmp_path, "cand.json", make_doc(transports=("pipe", "tcp")))
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 2
+    assert "missing transport 'shm'" in capsys.readouterr().err
+
+
+def test_candidate_missing_a_phase_is_drift(tmp_path, baseline, capsys):
+    doc = make_doc()
+    del doc["entries"][-1]["transports"]["pipe"]["phases"]["all_to_all"]
+    cand = write(tmp_path, "cand.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 2
+    assert "missing phase 'all_to_all'" in capsys.readouterr().err
+
+
+def test_sizing_mismatch_is_drift(tmp_path, baseline):
+    other = dict(SIZING, data_mib=16.0)
+    cand = write(tmp_path, "cand.json", make_doc(sizing=other))
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 2
+
+
+def test_not_json_is_drift(tmp_path, baseline):
+    cand = tmp_path / "cand.json"
+    cand.write_text("not json {")
+    assert bench_gate.main(
+        ["--baseline", baseline, "--candidate", str(cand)]
+    ) == 2
+
+
+def test_missing_candidate_file_is_an_error(tmp_path, baseline):
+    missing = str(tmp_path / "nope.json")
+    assert bench_gate.main(
+        ["--baseline", baseline, "--candidate", missing]
+    ) == 2
+
+
+def test_candidate_required_without_check(baseline):
+    assert bench_gate.main(["--baseline", baseline]) == 2
+
+
+# -- --check mode and the committed artifact ----------------------------------
+
+
+def test_check_mode_passes_healthy_file(baseline, capsys):
+    assert bench_gate.main(["--baseline", baseline, "--check"]) == 0
+    assert "invariants hold" in capsys.readouterr().out
+
+
+def test_check_mode_fails_shm_speedup_invariant(tmp_path, capsys):
+    doc = make_doc()
+    e = doc["entries"][-1]["transports"]
+    # shm a2a barely above pipe: zero-copy lost its edge -> invariant.
+    e["shm"]["phases"]["all_to_all"] = e["pipe"]["phases"]["all_to_all"] * 1.1
+    baseline = write(tmp_path, "baseline.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--check"]) == 1
+    assert "INVARIANT FAILED" in capsys.readouterr().err
+
+
+def test_check_mode_rejects_malformed_file(tmp_path):
+    baseline = write(tmp_path, "baseline.json", {"schema": 1, "entries": []})
+    assert bench_gate.main(["--baseline", baseline, "--check"]) == 2
+
+
+def test_committed_trajectory_is_healthy():
+    """The file committed in this repo must itself pass the gate's check.
+
+    This is the acceptance bar made executable: schema-valid, and the
+    shm all-to-all at least 1.5x the pipe all-to-all on the machine
+    that produced the committed entry.
+    """
+    committed = os.path.join(
+        os.path.dirname(_GATE_PATH), "..", "benchmarks", "BENCH_native.json"
+    )
+    assert os.path.exists(committed), "benchmarks/BENCH_native.json not committed"
+    doc = bench_gate.load_trajectory(committed)
+    assert bench_gate.check_invariants(bench_gate.latest_entry(doc)) == []
+    sizing = doc["sizing"]
+    assert sizing["n_workers"] == 4 and sizing["data_mib"] == 8.0

@@ -1,23 +1,27 @@
 """Contract test: every ``Comm`` implementation honors the same protocol.
 
 Each test runs once per transport — ``PipeComm`` over multiprocessing
-pipes and ``TcpComm`` over a socketpair mesh — driven by threads (both
-transports are indifferent to whether their ends live in threads or
-processes, and threads keep the tests fast and debuggable).  What this
-file pins down is the *shared* semantics: stash-aware matching, epoch
-discipline of the collectives, wire accounting, and the protocol shape
-``native/phases.py`` relies on, so a new transport only has to pass this
-file to be trusted with the sort.
+pipes, ``TcpComm`` over a socketpair mesh, and ``ShmComm`` over
+shared-memory rings — driven by threads (the transports are indifferent
+to whether their ends live in threads or processes, and threads keep
+the tests fast and debuggable).  What this file pins down is the
+*shared* semantics: stash-aware matching, epoch discipline of the
+collectives, wire accounting, wedged-peer escalation, teardown thread
+hygiene, and the protocol shape ``native/phases.py`` relies on, so a
+new transport only has to pass this file to be trusted with the sort.
 """
 
 import multiprocessing as mp
 import socket
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
 from repro.native.comm import PipeComm
-from repro.native.comm_api import Comm, CommTimeout, MeshComm
+from repro.native.comm_api import Comm, CommError, CommTimeout, MeshComm
+from repro.native.shm import ShmComm, create_shm_mesh
 from repro.net.tcp import TcpComm
 
 
@@ -41,7 +45,19 @@ def make_tcp_comms(n, timeout=30.0):
     return [TcpComm(r, n, socks[r], timeout=timeout) for r in range(n)]
 
 
-MAKERS = {"pipe": make_pipe_comms, "tcp": make_tcp_comms}
+def make_shm_comms(n, timeout=30.0, ring_bytes=256 * 1024):
+    mesh = create_shm_mesh(mp.get_context(), n, ring_bytes=ring_bytes)
+    comms = [
+        ShmComm(r, n, mesh.channels[r], timeout=timeout) for r in range(n)
+    ]
+    # Every endpoint has attached: the names can go right away (POSIX
+    # keeps the memory alive until the last close), so even an aborted
+    # test leaves nothing behind in /dev/shm.
+    mesh.unlink()
+    return comms
+
+
+MAKERS = {"pipe": make_pipe_comms, "tcp": make_tcp_comms, "shm": make_shm_comms}
 
 
 def run_all(comms, fn):
@@ -170,6 +186,67 @@ def test_exchange_delivers_every_chunk_once(mesh3):
 def test_recv_match_times_out(mesh2):
     with pytest.raises(CommTimeout):
         mesh2[0].recv_match(lambda p, m: True, timeout=0.1)
+
+
+def test_wedged_peer_escalates_to_timeout(transport):
+    """A peer that stops draining (nothing closed) must surface as
+    CommTimeout, never a hang: the exchange deadline is the escape."""
+    comms = MAKERS[transport](2, timeout=2.0)
+    try:
+        comms[1].wedge()
+
+        def body0(c):
+            def outgoing():
+                for k in range(64):
+                    yield 1, ("x", c.rank, k, b"\xcd" * 4096)
+
+            with pytest.raises(CommTimeout):
+                c.exchange(outgoing(), lambda p, m: None)
+            return True
+
+        assert run_all([comms[0]], body0) == [True]
+    finally:
+        for c in comms:
+            c.close()
+
+
+def _alive_sender_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name.startswith("native-send-") and t.is_alive()
+    ]
+
+
+def test_close_after_comm_error_reaps_sender_thread(transport):
+    """Regression: teardown after a mid-exchange failure must reap a
+    sender thread blocked in a full channel, not leak it (with the
+    channel fds pinned) for the life of the process."""
+    before = set(threading.enumerate())
+    comms = MAKERS[transport](2, timeout=1.0)
+    for c in comms:
+        c.SHUTDOWN_FLUSH_TIMEOUT = 0.2
+        c.SHUTDOWN_JOIN_TIMEOUT = 1.0
+    try:
+        # Rank 1 never drains: rank 0's sender eventually blocks inside
+        # _transmit with the OS buffer / ring full.
+        blob = b"\xee" * (1 << 20)
+        for k in range(64):
+            comms[0].post(1, ("big", k, blob))
+        # The forced failure a collective would raise mid-exchange.
+        with pytest.raises((CommTimeout, CommError)):
+            comms[0].flush(timeout=0.3)
+    finally:
+        for c in comms:
+            c.close()
+    deadline = time.monotonic() + 5.0
+    while _alive_sender_threads() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert _alive_sender_threads() == []
+    leaked = [
+        t for t in threading.enumerate()
+        if t not in before and t.is_alive() and not t.daemon
+    ]
+    assert leaked == []
 
 
 def test_selection_round_matches_across_transports(transport):

@@ -47,6 +47,66 @@ def test_read_block_short_last_block(store):
     assert np.array_equal(store.read_block(path, 2, "t"), records[16:])
 
 
+def test_read_blocks_matches_per_block_reads(store):
+    """The scatter read is bitwise the concatenation of its blocks."""
+    records = some_records(20)  # blocks: 8 + 8 + 4
+    path = store.input_path()
+    store.write_file(path, records, tag="w")
+    for ids in ([0, 1, 2], [2, 0, 1], [1], [0, 2], [2, 1, 0]):
+        got = store.read_blocks(path, ids, tag="r")
+        want = np.concatenate(
+            [store.read_block(path, b, "r") for b in ids]
+        )
+        assert np.array_equal(got, want), ids
+
+
+def test_read_blocks_short_block_mid_list(store):
+    """A shuffled schedule can put the file's short last block anywhere."""
+    records = some_records(20)
+    path = store.input_path()
+    store.write_file(path, records, tag="w")
+    got = store.read_blocks(path, [0, 2, 1], tag="r")
+    assert len(got) == 20
+    assert np.array_equal(got[8:12], records[16:20])  # the short block
+    assert np.array_equal(got[12:], records[8:16])
+
+
+def test_read_blocks_coalesces_consecutive_ids(store):
+    """Consecutive full blocks become one positioned read, not three."""
+    records = some_records(32)  # four full blocks
+    path = store.input_path()
+    store.write_file(path, records, tag="w")
+    got = store.read_blocks(path, [0, 1, 2, 3], tag="r")
+    assert np.array_equal(got, records)
+    assert store.reads["r"] == 1
+    assert store.bytes_read["r"] == records.nbytes
+    # A gap breaks the run: [0, 2, 3] is two reads.
+    store.read_blocks(path, [0, 2, 3], tag="r2")
+    assert store.reads["r2"] == 2
+
+
+def test_read_blocks_empty_and_accounting(store):
+    records = some_records(16)
+    path = store.input_path()
+    store.write_file(path, records, tag="w")
+    empty = store.read_blocks(path, [], tag="r")
+    assert len(empty) == 0 and empty.dtype == NATIVE_DTYPE
+    assert "r" not in store.bytes_read
+    store.read_blocks(path, [1], tag="r")
+    assert store.bytes_read["r"] == 8 * RECORD_BYTES
+
+
+def test_bytes_view_roundtrip():
+    from repro.native.records import bytes_view, records_from_bytes
+
+    records = some_records(12)
+    view = bytes_view(records[3:9])
+    assert isinstance(view, memoryview)
+    assert len(view) == 6 * RECORD_BYTES
+    assert np.array_equal(records_from_bytes(view), records[3:9])
+    assert bytes(view) == records[3:9].tobytes()
+
+
 def test_write_at_places_chunks_exactly(store):
     path = store.segment_path(0)
     store.preallocate(path, 16)

@@ -212,6 +212,38 @@ class TestConcurrentJobs:
             )
 
 
+# ------------------------------------------------------------ shm transport
+
+
+class TestShmTransportJobs:
+    def test_shm_job_matches_pipe_job_bitwise(self, tmp_path):
+        """A ``transport: shm`` spec runs on the warm pool over
+        shared-memory rings and produces byte-identical output."""
+        from repro.native.shm import list_shm_segments
+
+        before = set(list_shm_segments())
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path / "svc"), listen=None
+        ) as svc:
+            shm = svc.wait(svc.submit(dict(SMALL, transport="shm")), timeout=120)
+            pipe = svc.wait(svc.submit(dict(SMALL, transport="pipe")), timeout=120)
+            assert shm.state == "DONE", shm.error
+            assert pipe.state == "DONE", pipe.error
+            assert output_bytes(shm.job, shm.result.outputs) == (
+                output_bytes(pipe.job, pipe.result.outputs)
+            )
+            # The attempt finalized: its ring segments are already gone.
+            assert set(list_shm_segments()) - before == set()
+        assert set(list_shm_segments()) - before == set()
+
+    def test_tcp_spec_is_rejected(self, tmp_path):
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path), listen=None
+        ) as svc:
+            with pytest.raises(JobRejected):
+                svc.submit(dict(SMALL, transport="tcp"))
+
+
 # ---------------------------------------------------------------- admission
 
 

@@ -1,0 +1,278 @@
+"""CI regression gate over the committed native-bench trajectory.
+
+``benchmarks/BENCH_native.json`` is a committed, schema-versioned
+history of per-phase MB/s for every transport at one fixed sizing
+(``benchmarks/bench_native.py --trajectory`` appends entries).  This
+gate compares a freshly measured candidate entry against the committed
+baseline and fails when any phase of any transport regresses by more
+than the threshold.
+
+Machines differ, so raw MB/s is not comparable across runners.  Every
+trajectory entry carries the same-machine ``np.sort`` MB/s as a
+hardware ceiling; the gate compares *normalized* throughput
+(phase MB/s divided by that ceiling), which cancels CPU/memory speed
+and leaves the code's efficiency.
+
+Usage::
+
+    # structural check of the committed file (+ perf invariants)
+    python tools/bench_gate.py --check
+
+    # the CI gate: measure fresh, compare against the committed baseline
+    python benchmarks/bench_native.py --trajectory --trajectory-file fresh.json
+    python tools/bench_gate.py --candidate fresh.json
+
+Exit codes (the gate never passes vacuously — a missing transport or
+phase in the candidate is schema drift, not a pass):
+
+    0  pass
+    1  regression beyond --threshold, or a perf invariant failed
+    2  schema drift (malformed file, sizing mismatch, missing
+       transport/phase in the candidate)
+    4  baseline missing (pass --seed to install the candidate as the
+       new baseline)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import List
+
+EXPECTED_SCHEMA = 1
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "benchmarks", "BENCH_native.json",
+)
+DEFAULT_THRESHOLD = 0.15
+#: Perf invariant from the transport work: zero-copy shared memory must
+#: beat pickled pipes by at least this factor on the all-to-all phase.
+MIN_SHM_A2A_SPEEDUP = 1.5
+
+
+class SchemaError(ValueError):
+    """The trajectory file does not match the expected schema."""
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise SchemaError(msg)
+
+
+def _positive_number(value, what: str) -> float:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{what} must be a number, got {value!r}",
+    )
+    _require(value > 0, f"{what} must be > 0, got {value!r}")
+    return float(value)
+
+
+def load_trajectory(path: str) -> dict:
+    """Load + validate a trajectory file; raise SchemaError on drift."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON: {exc}") from exc
+    _require(isinstance(doc, dict), f"{path}: top level must be an object")
+    _require(
+        doc.get("schema") == EXPECTED_SCHEMA,
+        f"{path}: schema {doc.get('schema')!r} != {EXPECTED_SCHEMA}",
+    )
+    _require(
+        isinstance(doc.get("sizing"), dict) and doc["sizing"],
+        f"{path}: missing sizing object",
+    )
+    entries = doc.get("entries")
+    _require(
+        isinstance(entries, list) and entries,
+        f"{path}: entries must be a non-empty list",
+    )
+    for i, entry in enumerate(entries):
+        where = f"{path}: entries[{i}]"
+        _require(isinstance(entry, dict), f"{where} must be an object")
+        _require(
+            isinstance(entry.get("stamp"), str) and entry["stamp"],
+            f"{where}.stamp must be a non-empty string",
+        )
+        _positive_number(entry.get("np_sort_mb_s"), f"{where}.np_sort_mb_s")
+        transports = entry.get("transports")
+        _require(
+            isinstance(transports, dict) and transports,
+            f"{where}.transports must be a non-empty object",
+        )
+        for t, tdoc in transports.items():
+            twhere = f"{where}.transports[{t!r}]"
+            _require(isinstance(tdoc, dict), f"{twhere} must be an object")
+            phases = tdoc.get("phases")
+            _require(
+                isinstance(phases, dict) and phases,
+                f"{twhere}.phases must be a non-empty object",
+            )
+            for p, mb_s in phases.items():
+                _positive_number(mb_s, f"{twhere}.phases[{p!r}]")
+            _positive_number(tdoc.get("sort_mb_s"), f"{twhere}.sort_mb_s")
+    return doc
+
+
+def latest_entry(doc: dict) -> dict:
+    return doc["entries"][-1]
+
+
+def compare_entries(
+    baseline: dict, candidate: dict, threshold: float = DEFAULT_THRESHOLD
+) -> List[str]:
+    """Regression messages for candidate vs baseline (empty = pass).
+
+    Throughputs are normalized by each entry's own ``np.sort`` ceiling
+    before comparison.  Every transport and phase present in the
+    baseline must be present in the candidate — a shrunken candidate is
+    schema drift (SchemaError), never a silent pass.
+    """
+    base_ceil = baseline["np_sort_mb_s"]
+    cand_ceil = candidate["np_sort_mb_s"]
+    regressions: List[str] = []
+    for t, base_t in baseline["transports"].items():
+        _require(
+            t in candidate["transports"],
+            f"candidate is missing transport {t!r} present in the baseline",
+        )
+        cand_t = candidate["transports"][t]
+        for p, base_mb_s in base_t["phases"].items():
+            _require(
+                p in cand_t["phases"],
+                f"candidate transport {t!r} is missing phase {p!r} "
+                "present in the baseline",
+            )
+            base_norm = base_mb_s / base_ceil
+            cand_norm = cand_t["phases"][p] / cand_ceil
+            if cand_norm < base_norm * (1.0 - threshold):
+                regressions.append(
+                    f"{t}/{p}: normalized throughput fell "
+                    f"{1.0 - cand_norm / base_norm:.0%} "
+                    f"(baseline {base_mb_s:.1f} MB/s @ ceiling "
+                    f"{base_ceil:.1f}, candidate "
+                    f"{cand_t['phases'][p]:.1f} MB/s @ ceiling "
+                    f"{cand_ceil:.1f}; threshold {threshold:.0%})"
+                )
+    return regressions
+
+
+def check_invariants(
+    entry: dict, min_shm_speedup: float = MIN_SHM_A2A_SPEEDUP
+) -> List[str]:
+    """Perf invariants the committed trajectory must uphold."""
+    problems: List[str] = []
+    transports = entry["transports"]
+    if "shm" in transports and "pipe" in transports:
+        shm_a2a = transports["shm"]["phases"].get("all_to_all", 0.0)
+        pipe_a2a = transports["pipe"]["phases"].get("all_to_all", 0.0)
+        if shm_a2a < min_shm_speedup * pipe_a2a:
+            problems.append(
+                f"shm all_to_all {shm_a2a:.1f} MB/s is below "
+                f"{min_shm_speedup}x pipe ({pipe_a2a:.1f} MB/s): the "
+                "zero-copy path has lost its edge"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=os.path.normpath(DEFAULT_BASELINE),
+        help="committed trajectory file (default benchmarks/BENCH_native.json)",
+    )
+    parser.add_argument(
+        "--candidate", default=None,
+        help="freshly measured trajectory file; its latest entry is "
+        "gated against the baseline's latest entry",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="max tolerated normalized regression per phase (default 0.15)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="only validate the baseline file and its perf invariants "
+        "(no candidate measurement needed)",
+    )
+    parser.add_argument(
+        "--seed", action="store_true",
+        help="if the baseline is missing, install the candidate as the "
+        "new baseline instead of failing with exit 4",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.check and args.candidate is None:
+        print("error: --candidate is required unless --check", file=sys.stderr)
+        return 2
+
+    try:
+        if not os.path.exists(args.baseline):
+            if args.seed and args.candidate:
+                load_trajectory(args.candidate)  # refuse to seed garbage
+                shutil.copyfile(args.candidate, args.baseline)
+                print(f"seeded baseline {args.baseline} from {args.candidate}")
+                return 0
+            print(
+                f"error: baseline {args.baseline} is missing "
+                "(run bench_native.py --trajectory and commit it, or pass "
+                "--seed with a --candidate)",
+                file=sys.stderr,
+            )
+            return 4
+        base_doc = load_trajectory(args.baseline)
+
+        if args.check:
+            problems = check_invariants(latest_entry(base_doc))
+            for p in problems:
+                print(f"INVARIANT FAILED: {p}", file=sys.stderr)
+            if problems:
+                return 1
+            n = len(base_doc["entries"])
+            print(
+                f"bench gate --check: {args.baseline} ok "
+                f"({n} entr{'y' if n == 1 else 'ies'}, invariants hold)"
+            )
+            return 0
+
+        if not os.path.exists(args.candidate):
+            print(
+                f"error: candidate {args.candidate} is missing",
+                file=sys.stderr,
+            )
+            return 2
+        cand_doc = load_trajectory(args.candidate)
+        _require(
+            cand_doc["sizing"] == base_doc["sizing"],
+            f"candidate sizing {cand_doc['sizing']!r} != baseline sizing "
+            f"{base_doc['sizing']!r}",
+        )
+        regressions = compare_entries(
+            latest_entry(base_doc), latest_entry(cand_doc),
+            threshold=args.threshold,
+        )
+    except SchemaError as exc:
+        print(f"SCHEMA DRIFT: {exc}", file=sys.stderr)
+        return 2
+
+    for r in regressions:
+        print(f"REGRESSION: {r}", file=sys.stderr)
+    if regressions:
+        return 1
+    base = latest_entry(base_doc)
+    n_phases = sum(len(t["phases"]) for t in base["transports"].values())
+    print(
+        f"bench gate: {n_phases} phase throughputs across "
+        f"{len(base['transports'])} transports within "
+        f"{args.threshold:.0%} of the committed baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
