@@ -172,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="native recovery: journal per-rank manifests at phase "
         "boundaries even when --max-restarts is 0",
     )
+    parser.add_argument(
+        "--records", choices=("fixed16", "string"), default="fixed16",
+        help="native record model: the paper's fixed 16-byte records or "
+        "length-prefixed byte-string keys with LCP-compressed splitters "
+        "(see docs/NATIVE.md)",
+    )
     return parser
 
 
@@ -311,6 +317,7 @@ def run_native(args, config: SortConfig) -> int:
             max_restarts=args.max_restarts,
             checkpoint=args.checkpoint,
             cleanup_on_abort=not args.keep_spill,
+            records=args.records,
         )
     except ConfigError as exc:
         print(f"config error: {exc}", file=sys.stderr)

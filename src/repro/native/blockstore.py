@@ -36,9 +36,26 @@ from typing import Dict, Iterator, Optional, Tuple
 import numpy as np
 
 from ..em.cache import LRUCache
-from .records import NATIVE_DTYPE, RECORD_BYTES, read_records
+from .records import (
+    NATIVE_DTYPE,
+    RECORD_BYTES,
+    VarlenBatch,
+    read_records,
+    varlen_index_path,
+)
 
-__all__ = ["FileBlockStore", "SequentialReader", "purge_namespace"]
+__all__ = [
+    "FileBlockStore",
+    "SequentialReader",
+    "VarlenAppender",
+    "VarlenProbeCache",
+    "purge_namespace",
+]
+
+#: Suffix appended to a phase tag for record-boundary index I/O, so the
+#: per-phase *data* byte counters stay exactly conserved (index bytes
+#: are bookkeeping, not records).
+INDEX_TAG_SUFFIX = ":index"
 
 
 def purge_namespace(root: str, namespace: str) -> int:
@@ -185,7 +202,16 @@ class FileBlockStore:
         t0 = time.monotonic()
         bs = self.block_records
         file_records = os.path.getsize(path) // RECORD_BYTES
-        counts = [max(0, min(bs, file_records - b * bs)) for b in ids]
+        n_blocks = (file_records + bs - 1) // bs
+        bad = [b for b in ids if b < 0 or b >= n_blocks]
+        if bad:
+            # A clamped-to-zero read here would silently return a short
+            # array and corrupt whatever schedule asked for the block.
+            raise ValueError(
+                f"{path}: block id {bad[0]} out of range "
+                f"(file has {n_blocks} blocks of {bs} records)"
+            )
+        counts = [min(bs, file_records - b * bs) for b in ids]
         out = np.empty(sum(counts), dtype=NATIVE_DTYPE)
         mv = out.view(np.uint8).data
         use_preadv = hasattr(os, "preadv")
@@ -315,11 +341,174 @@ class FileBlockStore:
             os.remove(path)
         except FileNotFoundError:
             pass
+        # Varlen files carry a boundary-index sidecar; drop it (and its
+        # cache entry) with the data so teardown stays one call per path.
+        try:
+            os.remove(varlen_index_path(path))
+        except FileNotFoundError:
+            pass
+        self._invalidate_varlen_index(path)
 
     # -- probe reads (multiway selection) -------------------------------------
 
     def probe_cache(self, capacity_blocks: int) -> "ProbeCache":
         return ProbeCache(self, capacity_blocks)
+
+    # -- variable-length record I/O -------------------------------------------
+    #
+    # Varlen files are byte streams plus a ``<path>.idx`` sidecar of
+    # ``int64`` record-boundary offsets (see records.write_varlen_file),
+    # so "block b" still means "records [b*B, (b+1)*B)" — only addressed
+    # by byte offsets from the index instead of ``b * RECORD_BYTES``.
+    # Index I/O is charged under ``tag + INDEX_TAG_SUFFIX`` to keep the
+    # per-phase data byte counters exactly conserved.
+
+    def varlen_offsets(self, path: str, tag: str) -> np.ndarray:
+        """The record-boundary offsets of a varlen file (cached)."""
+        with self._lock:
+            cache = getattr(self, "_varlen_idx", None)
+            if cache is None:
+                cache = self._varlen_idx = {}
+            offsets = cache.get(path)
+        if offsets is not None:
+            return offsets
+        t0 = time.monotonic()
+        offsets = np.fromfile(varlen_index_path(path), dtype=np.int64)
+        self._charge_stall(tag, time.monotonic() - t0)
+        self.charge_read(tag + INDEX_TAG_SUFFIX, offsets.nbytes)
+        if len(offsets) < 1 or offsets[0] != 0:
+            raise ValueError(f"{varlen_index_path(path)}: malformed index")
+        with self._lock:
+            self._varlen_idx[path] = offsets
+        return offsets
+
+    def _invalidate_varlen_index(self, path: str) -> None:
+        with self._lock:
+            cache = getattr(self, "_varlen_idx", None)
+            if cache is not None:
+                cache.pop(path, None)
+
+    def varlen_record_count(self, path: str, tag: str) -> int:
+        return len(self.varlen_offsets(path, tag)) - 1
+
+    def read_varlen_range(
+        self,
+        path: str,
+        start: int,
+        count: int,
+        tag: str,
+        offsets: Optional[np.ndarray] = None,
+    ) -> VarlenBatch:
+        """Read ``count`` records at record offset ``start`` (one pread).
+
+        ``offsets`` overrides the sidecar index — the merge phase reads
+        segment files whose boundaries it already holds in memory (the
+        all-to-all computed them), so segments need no ``.idx`` on disk.
+        """
+        if offsets is None:
+            offsets = self.varlen_offsets(path, tag)
+        n = len(offsets) - 1
+        if start < 0 or start > n:
+            raise ValueError(f"{path}: record start {start} out of range 0..{n}")
+        stop = min(start + count, n)
+        lo = int(offsets[start])
+        hi = int(offsets[stop])
+        nbytes = hi - lo
+        t0 = time.monotonic()
+        out = np.empty(nbytes, dtype=np.uint8)
+        mv = out.data
+        use_preadv = hasattr(os, "preadv")
+        with open(path, "rb", buffering=0) as fh:
+            fd = fh.fileno()
+            done = 0
+            while done < nbytes:
+                dst = mv[done:nbytes]
+                if use_preadv:
+                    got = os.preadv(fd, [dst], lo + done)
+                else:  # pragma: no cover - non-POSIX fallback
+                    fh.seek(lo + done)
+                    got = fh.readinto(dst)
+                if not got:
+                    raise IOError(
+                        f"{path}: short read at byte {lo + done} "
+                        f"({done} of {nbytes})"
+                    )
+                done += got
+        self._charge_stall(tag, time.monotonic() - t0)
+        self.charge_read(tag, nbytes)
+        return VarlenBatch(out, offsets[start : stop + 1] - lo)
+
+    def read_varlen_blocks(self, path: str, block_ids, tag: str) -> VarlenBatch:
+        """Scatter-read whole varlen blocks (cf. :meth:`read_blocks`).
+
+        The same contract: maximal runs of consecutive block IDs
+        coalesce into one positioned read, the last block may be short,
+        and an out-of-range ID raises ``ValueError``.
+        """
+        ids = list(block_ids)
+        if not ids:
+            return VarlenBatch.empty()
+        offsets = self.varlen_offsets(path, tag)
+        n = len(offsets) - 1
+        bs = self.block_records
+        n_blocks = (n + bs - 1) // bs
+        bad = [b for b in ids if b < 0 or b >= n_blocks]
+        if bad:
+            raise ValueError(
+                f"{path}: block id {bad[0]} out of range "
+                f"(file has {n_blocks} blocks of {bs} records)"
+            )
+        parts = []
+        i = 0
+        while i < len(ids):
+            j = i + 1
+            while j < len(ids) and ids[j] == ids[j - 1] + 1:
+                j += 1
+            start = ids[i] * bs
+            stop = min(ids[j - 1] * bs + bs, n)
+            parts.append(
+                self.read_varlen_range(
+                    path, start, stop - start, tag, offsets=offsets
+                )
+            )
+            i = j
+        return VarlenBatch.concat(parts)
+
+    def write_varlen_file(self, path: str, batch: VarlenBatch, tag: str) -> None:
+        """Write a batch as ``path`` + ``path.idx``, with accounting."""
+        appender = self.varlen_appender(path, tag)
+        appender.append(batch)
+        appender.close()
+
+    def varlen_appender(self, path: str, tag: str) -> "VarlenAppender":
+        return VarlenAppender(self, path, tag)
+
+    def write_at_bytes(
+        self, handle, byte_offset: int, payload, tag: str
+    ) -> None:
+        """Place a raw byte chunk at a known byte offset (string phase 3)."""
+        t0 = time.monotonic()
+        handle.seek(byte_offset)
+        clip = self._write_gate(handle, getattr(handle, "name", "?"), len(payload))
+        if clip is not None:
+            handle.write(bytes(payload)[:clip])
+            raise self.chaos.enospc_error(getattr(handle, "name", "?"))
+        handle.write(payload)
+        self._charge_stall(tag, time.monotonic() - t0)
+        self.charge_write(tag, len(payload))
+
+    def preallocate_bytes(self, path: str, nbytes: int) -> None:
+        """Byte-sized :meth:`preallocate` (same size-idempotence contract)."""
+        try:
+            if os.path.getsize(path) == nbytes:
+                return
+        except OSError:
+            pass
+        with open(path, "wb") as handle:
+            handle.truncate(nbytes)
+
+    def varlen_probe_cache(self, capacity_blocks: int) -> "VarlenProbeCache":
+        return VarlenProbeCache(self, capacity_blocks)
 
 
 class ProbeCache:
@@ -350,6 +539,87 @@ class ProbeCache:
             self.cache.put((path, block_idx), cached)
             self.block_reads += 1
         return int(cached[pos - block_idx * self.store.block_records])
+
+
+class VarlenAppender:
+    """Stream-append varlen batches to one file, writing the index on close.
+
+    The string phases' counterpart of open-handle ``append_records``:
+    input generation and the merge emit batches as they go; the
+    record-boundary offsets accumulate in memory and land in the
+    ``.idx`` sidecar when the file is complete.
+    """
+
+    def __init__(self, store: FileBlockStore, path: str, tag: str):
+        self.store = store
+        self.path = path
+        self.tag = tag
+        self._handle = open(path, "wb")
+        self._offsets = [0]
+        self._total = 0
+        self._closed = False
+
+    @property
+    def n_records(self) -> int:
+        return len(self._offsets) - 1
+
+    def append(self, batch: VarlenBatch) -> None:
+        mv = batch.bytes_view()
+        t0 = time.monotonic()
+        clip = self.store._write_gate(self._handle, self.path, len(mv))
+        if clip is not None:
+            self._handle.write(bytes(mv)[:clip])
+            raise self.store.chaos.enospc_error(self.path)
+        self._handle.write(mv)
+        self.store._charge_stall(self.tag, time.monotonic() - t0)
+        self.store.charge_write(self.tag, len(mv))
+        base = self._total
+        self._offsets.extend(base + int(o) for o in batch.offsets[1:])
+        self._total = base + len(mv)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.close()
+        offsets = np.asarray(self._offsets, dtype=np.int64)
+        with open(varlen_index_path(self.path), "wb") as handle:
+            offsets.tofile(handle)
+        self.store.charge_write(self.tag + INDEX_TAG_SUFFIX, offsets.nbytes)
+        self.store._invalidate_varlen_index(self.path)
+
+
+class VarlenProbeCache:
+    """Block-granular *string* key reads with an LRU (cf. ProbeCache).
+
+    Returns the raw byte key; the selection driver embeds it into the
+    order-preserving integer form the shared multiway-selection kernel
+    compares (see ``records.embed_key``).
+    """
+
+    def __init__(self, store: FileBlockStore, capacity_blocks: int):
+        self.store = store
+        self.cache = LRUCache(max(1, capacity_blocks))
+        self.block_reads = 0
+
+    @property
+    def hits(self) -> int:
+        return self.cache.hits
+
+    def key_at(self, path: str, pos: int, tag: str) -> bytes:
+        block_idx = pos // self.store.block_records
+        cached = self.cache.get((path, block_idx))
+        if cached is None:
+            batch = self.store.read_varlen_range(
+                path,
+                block_idx * self.store.block_records,
+                self.store.block_records,
+                tag,
+            )
+            cached = batch.keys()
+            self.cache.put((path, block_idx), cached)
+            self.block_reads += 1
+        return cached[pos - block_idx * self.store.block_records]
 
 
 class SequentialReader:

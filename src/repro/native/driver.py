@@ -45,7 +45,6 @@ from ..workloads.validation import ValidationReport
 from .comm_api import DEFAULT_PENDING_SENDS
 from .job import NativeJob
 from .phases import OutputMeta
-from .records import NATIVE_DTYPE, RECORD_BYTES
 from .stats import NativeStats, WorkerStats
 from .worker import shm_worker_main, tcp_worker_main, worker_main
 
@@ -91,7 +90,7 @@ def assemble_result(
         total_time=total_time,
         n_runs=n_runs,
         total_records=job.total_records,
-        record_bytes=RECORD_BYTES,
+        record_bytes=job.record_bytes,
     )
     return NativeSortResult(
         job=job,
@@ -189,16 +188,19 @@ class NativeSortResult:
             ok=not issues, issues=issues, total_keys=total, checksum=out_sum
         )
 
-    def output_keys(self) -> List[np.ndarray]:
-        """Per-rank output key arrays (reads the files; test-scale only)."""
-        out = []
-        for meta in self.outputs:
-            records = np.fromfile(meta.path, dtype=NATIVE_DTYPE)
-            out.append(records["key"].copy())
-        return out
+    def output_keys(self) -> List:
+        """Per-rank output keys (reads the files; test-scale only).
 
-    def output_records(self, rank: int) -> np.ndarray:
-        return np.fromfile(self.outputs[rank].path, dtype=NATIVE_DTYPE)
+        ``uint64`` arrays under the fixed model, lists of byte strings
+        under the string model — both compare with ``<`` and slot into
+        the conformance oracle unchanged.
+        """
+        model = self.job.model
+        return [model.output_keys(meta.path) for meta in self.outputs]
+
+    def output_records(self, rank: int):
+        """One rank's decoded output (record array or VarlenBatch)."""
+        return self.job.model.read_output(self.outputs[rank].path)
 
     def cleanup(self) -> None:
         """Delete this job's spill files (the whole dir when un-namespaced)."""
@@ -670,6 +672,7 @@ def native_sort(
     write_behind_blocks: int = 0,
     max_restarts: int = 0,
     checkpoint: bool = False,
+    records: str = "fixed16",
 ) -> NativeSortResult:
     """Convenience one-call native sort (generate, sort, return result).
 
@@ -693,5 +696,6 @@ def native_sort(
         write_behind_blocks=write_behind_blocks,
         max_restarts=max_restarts,
         checkpoint=checkpoint,
+        records=records,
     )
     return NativeSorter(job).run()

@@ -125,6 +125,12 @@ class NativeJob:
     #: can only ever touch that job's files.  Empty for single-shot
     #: runs, which keep the historic flat layout.
     spill_namespace: str = ""
+    #: Record model: ``"fixed16"`` (the paper's 16-byte element) or
+    #: ``"string"`` (length-prefixed variable records with byte-string
+    #: keys, sorted byte-lexicographically; see docs/NATIVE.md).  The
+    #: string model sizes itself by the same nominal 16 bytes/record, so
+    #: a given data volume sorts the same record count either way.
+    records: str = "fixed16"
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -190,6 +196,29 @@ class NativeJob:
                 f"spill_namespace {self.spill_namespace!r} may only use "
                 "alphanumerics, '.', '_' and '-' (it prefixes file names)"
             )
+        from .records import MODELS
+
+        if self.records not in MODELS:
+            raise ConfigError(
+                f"unknown record model {self.records!r}; choose from "
+                f"{tuple(sorted(MODELS))}"
+            )
+        if self.varlen:
+            # Follow-ups tracked in ROADMAP: the recovery journal, the
+            # pipelined I/O layer and the chaos write gate are all
+            # slot-addressed today.
+            if self.checkpointing or self.epoch > 0:
+                raise ConfigError(
+                    "records='string' does not support checkpoint/resume yet"
+                )
+            if self.pipelined:
+                raise ConfigError(
+                    "records='string' does not support pipelined I/O yet"
+                )
+            if self.chaos is not None:
+                raise ConfigError(
+                    "records='string' does not support chaos injection yet"
+                )
         merge_working = (self.n_runs * 2 + 4) * self.block_records * RECORD_BYTES
         if merge_working > self.memory_bytes + self.chunk_records * RECORD_BYTES:
             raise ConfigError(
@@ -203,7 +232,20 @@ class NativeJob:
 
     @property
     def record_bytes(self) -> int:
+        """Nominal bytes per record (sizing; exact only for fixed16)."""
         return RECORD_BYTES
+
+    @property
+    def varlen(self) -> bool:
+        """Whether this job sorts variable-length records."""
+        return self.records != "fixed16"
+
+    @property
+    def model(self):
+        """The resolved :class:`~repro.native.records.RecordModel`."""
+        from .records import resolve_model
+
+        return resolve_model(self.records)
 
     @property
     def memory_bytes(self) -> int:
@@ -303,4 +345,5 @@ class NativeJob:
             "epoch": self.epoch,
             "job_tag": self.job_tag,
             "spill_namespace": self.spill_namespace,
+            "records": self.records,
         }

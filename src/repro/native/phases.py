@@ -52,6 +52,7 @@ from .pipeline import (
 )
 from .records import (
     NATIVE_DTYPE,
+    RECORD_BYTES,
     bytes_view,
     generate_records,
     merge_record_arrays,
@@ -195,7 +196,7 @@ TAG_RECOVERY = "recovery"
 def _block_crcs(records: np.ndarray, block_records: int) -> List[int]:
     """CRC-32 of each block of an in-memory record array."""
     view = memoryview(np.ascontiguousarray(records)).cast("B")
-    step = block_records * 16
+    step = block_records * RECORD_BYTES
     return [
         zlib.crc32(view[s : s + step]) for s in range(0, len(view), step)
     ] if len(view) else []
@@ -697,12 +698,12 @@ def all_to_all(
         kind, r, k, buf = payload
         assert kind == "a2a"
         offset = seg_base[r][peer] + k * block
-        n_recs = len(buf) // 16
+        n_recs = len(buf) // RECORD_BYTES
         first_block = -(-offset // block)  # first block starting in the chunk
         for b in range(first_block, (offset + n_recs + block - 1) // block):
             pos = b * block
             if pos < offset + n_recs:
-                key = struct.unpack_from("<Q", buf, (pos - offset) * 16)[0]
+                key = struct.unpack_from("<Q", buf, (pos - offset) * RECORD_BYTES)[0]
                 first_keys[r][b] = key
                 if journal is not None:
                     new_keys[(r, b)] = key
@@ -758,7 +759,9 @@ def all_to_all(
     for r in range(len(runs)):
         store.remove(store.piece_path(r))
     ctx.stats.note_resident(
-        (2 + 4 + job.prefetch_blocks + job.write_behind_blocks) * block * 16
+        (2 + 4 + job.prefetch_blocks + job.write_behind_blocks)
+        * block
+        * RECORD_BYTES
     )
     return seg_len, block_first_keys
 
@@ -883,7 +886,7 @@ def merge(
 
             def note_working_set(batch_bytes: int) -> None:
                 ctx.stats.note_resident(
-                    sum(len(b) for b in buffers if b is not None) * 16
+                    sum(len(b) for b in buffers if b is not None) * RECORD_BYTES
                     + 2 * batch_bytes
                     + (prefetcher.buffered_bytes() if prefetcher else 0)
                     + (wb.queued_bytes() if wb else 0)

@@ -1,0 +1,706 @@
+"""CANONICALMERGESORT over variable-length string records.
+
+The string twins of the four fixed-record phases in
+:mod:`repro.native.phases`, same contracts, generalized from slot
+arithmetic to byte-lexicographic key ranks:
+
+* records are the length-prefixed varlen layout of
+  :class:`~repro.native.records.VarlenBatch`, stored as byte files with
+  an ``.idx`` record-boundary sidecar (:mod:`repro.native.blockstore`);
+* the exact multiway selection reuses the *unchanged* integer kernels of
+  :mod:`repro.algos.multiway_selection` — NUL-free keys embed into
+  integers preserving lexicographic order
+  (:func:`~repro.native.records.embed_key`), with the pad width agreed
+  globally from the maximum key length;
+* every sorted key sequence that crosses the wire — the run-formation
+  sample allgather, the internal-sort exchange, the all-to-all record
+  chunks — travels LCP front-coded per *Communication-Efficient String
+  Sorting* (Bingmann, Sanders, Schimek), and the trimmed bytes are
+  counted so the volume accounting stays provable::
+
+      <phase>_wire_bytes == <phase>_raw_bytes
+                            + <phase>_overhead_bytes
+                            - <phase>_trimmed_bytes
+
+Splitter ranks stay *record-count* ranks (rank i owns records
+``[i*N/P, (i+1)*N/P)`` of the sorted order, exactly the fixed-model
+contract, so the oracle's exact-rank cut carries over); byte-rank
+bookkeeping appears where the fixed code used ``pos * RECORD_BYTES`` —
+segment placement, boundary harvesting, conservation — via the offset
+arrays the senders ship along with each chunk.
+
+String jobs do not (yet) support checkpoint/recovery, pipelined I/O, or
+chaos injection; :class:`~repro.native.job.NativeJob` validation rejects
+those combinations up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algos.multiway_selection import (
+    select_bisect_coroutine,
+    select_coroutine,
+)
+from .phases import (
+    TAG_A2A,
+    TAG_MERGE,
+    TAG_RF,
+    TAG_SEL,
+    NativeContext,
+    NativeRun,
+    OutputMeta,
+    _chunk_schedule,
+)
+from .records import (
+    VarlenBatch,
+    embed_key,
+    generate_string_batch,
+    lcp_decode_batch,
+    lcp_decode_keys,
+    lcp_encode_batch,
+    lcp_encode_keys,
+    merge_varlen_batches,
+    string_checksum,
+)
+
+__all__ = [
+    "StrPieceMeta",
+    "generate_input",
+    "run_formation",
+    "selection",
+    "all_to_all",
+    "merge",
+]
+
+
+@dataclass
+class StrPieceMeta:
+    """Descriptor of one worker's varlen piece of one run.
+
+    Duck-typed where :class:`~repro.native.phases.NativeRun` cares
+    (``n_records``); samples travel LCP front-coded in the metadata
+    allgather and decode lazily on first use.
+    """
+
+    run: int
+    rank: int
+    n_records: int
+    samples_wire: bytes
+    sample_every: int
+    max_key_len: int
+    _samples: Optional[List[bytes]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def sample_keys(self) -> List[bytes]:
+        if self._samples is None:
+            self._samples = lcp_decode_keys(self.samples_wire)
+        return self._samples
+
+    @property
+    def n_keys(self) -> int:
+        return self.n_records
+
+
+def _count_lcp(ctx: NativeContext, phase: str, raw: int, wire: int,
+               overhead: int, trimmed: int) -> None:
+    """Accumulate the provable LCP volume identity for one phase."""
+    ctx.stats.add_counter(f"{phase}_raw_bytes", float(raw))
+    ctx.stats.add_counter(f"{phase}_wire_bytes", float(wire))
+    ctx.stats.add_counter(f"{phase}_overhead_bytes", float(overhead))
+    ctx.stats.add_counter(f"{phase}_trimmed_bytes", float(trimmed))
+
+
+# --------------------------------------------------------------- phase 0
+
+
+def generate_input(ctx: NativeContext) -> None:
+    """Write this worker's string input slice (index order)."""
+    job = ctx.job
+    start = job.worker_start(ctx.rank)
+    n = job.records_per_worker
+    batch_n = max(job.block_records, job.chunk_records)
+    appender = ctx.store.varlen_appender(ctx.store.input_path(), "generate")
+    try:
+        for s in range(0, n, batch_n):
+            count = min(batch_n, n - s)
+            appender.append(
+                generate_string_batch(
+                    start + s, count, seed=job.config.seed, skew=job.skew
+                )
+            )
+    finally:
+        appender.close()
+
+
+# --------------------------------------------------------------- phase 1
+
+
+def _sample_warm_start(
+    samples: List[List[bytes]],
+    sample_every: int,
+    rank: int,
+    lengths: Sequence[int],
+) -> Tuple[List[int], int]:
+    """Pure-Python port of ``sample_initial_positions`` for bytes keys.
+
+    ``samples[j][i]`` is the key at position ``i * sample_every`` of
+    sequence ``j``; ties sort by (key, sequence, sample index), matching
+    the numpy ``lexsort`` of the fixed kernel.
+    """
+    n_seqs = len(samples)
+    total = sum(len(s) for s in samples)
+    if total == 0 or rank == 0:
+        return [0] * n_seqs, sample_every
+    triples = sorted(
+        (key, j, i)
+        for j, seq in enumerate(samples)
+        for i, key in enumerate(seq)
+    )
+    t = min(rank // sample_every, total - 1)
+    counts = [0] * n_seqs
+    for _key, j, _i in triples[: t + 1]:
+        counts[j] += 1
+    positions = [0] * n_seqs
+    for j in range(n_seqs):
+        c = counts[j]
+        pos = 0 if c == 0 else (c - 1) * sample_every
+        positions[j] = min(pos, int(lengths[j]))
+    return positions, sample_every
+
+
+def _piece_warm_start(
+    run_samples: List[List[Tuple[bytes, int]]],
+    rank: int,
+    lengths: Sequence[int],
+    sample_every: int,
+) -> Tuple[List[int], int]:
+    """Pure-Python port of ``warm_start_from_samples`` for bytes keys.
+
+    ``run_samples[r]`` is the run's (key, global position) sample pairs
+    in position order, stitched across the rank-ordered pieces.
+    """
+    n_runs = len(run_samples)
+    if rank <= 0:
+        return [0] * n_runs, sample_every
+    triples = sorted(
+        (key, r, pos)
+        for r, pairs in enumerate(run_samples)
+        for key, pos in pairs
+    )
+    if not triples:
+        return [0] * n_runs, sample_every
+    t = min(rank // sample_every, len(triples) - 1)
+    counts = [0] * n_runs
+    for _key, r, _pos in triples[: t + 1]:
+        counts[r] += 1
+    out = [0] * n_runs
+    for r in range(n_runs):
+        c = counts[r]
+        if c > 0:
+            out[r] = min(run_samples[r][c - 1][1], int(lengths[r]))
+    return out, sample_every
+
+
+def _distributed_sort_run(
+    ctx: NativeContext, batch: VarlenBatch, run_id: int
+) -> VarlenBatch:
+    """Globally sort one string run; returns this rank's exact piece.
+
+    Identical structure to the fixed ``_distributed_sort_run`` — exact
+    record-count quantiles via the shared probe-selection kernel, a
+    chunked all-to-all, a stable batch merge — with the sample allgather
+    and the record chunks LCP front-coded for the wire.
+    """
+    job, comm, rank = ctx.job, ctx.comm, ctx.rank
+    n_workers = job.n_workers
+    if n_workers == 1:
+        return batch
+
+    keys = batch.keys()
+    lengths: List[int] = comm.allgather(len(batch))
+    total = sum(lengths)
+    target = rank * total // n_workers
+    width = comm.allreduce(batch.max_key_len() + 1, max)
+
+    my_samples = keys[:: job.sample_every]
+    wire, saved = lcp_encode_keys(my_samples)
+    _count_lcp(
+        ctx, "rf_sample",
+        raw=sum(len(k) for k in my_samples),
+        wire=len(wire),
+        overhead=4 + 8 * len(my_samples),
+        trimmed=saved,
+    )
+    sample_lists = [lcp_decode_keys(w) for w in comm.allgather(wire)]
+    init_pos, init_step = _sample_warm_start(
+        sample_lists, job.sample_every, target, lengths
+    )
+    gen = select_coroutine(
+        lengths, target, init_positions=init_pos, init_step=init_step
+    )
+    result = comm.selection_round(
+        gen,
+        local_lookup=lambda pos: embed_key(keys[pos], width),
+        owner_of=lambda seq: seq,
+    )
+    ctx.stats.add_counter("internal_selection_touches", result.touches)
+
+    positions: List[List[int]] = comm.allgather(result.positions)
+    positions.append(list(lengths))
+
+    block = job.block_records
+    received: Dict[int, List[Tuple[int, bytes]]] = {
+        j: [] for j in range(n_workers)
+    }
+    recv_bytes = 0
+
+    def outgoing():
+        for dest in range(n_workers):
+            lo = positions[dest][rank]
+            hi = positions[dest + 1][rank]
+            for k, s in enumerate(range(lo, hi, block)):
+                chunk = batch.slice(s, min(s + block, hi))
+                chunk_wire, chunk_saved = lcp_encode_batch(chunk)
+                _count_lcp(
+                    ctx, "rf_xchg",
+                    raw=chunk.nbytes,
+                    wire=len(chunk_wire),
+                    overhead=4 + 4 * len(chunk),
+                    trimmed=chunk_saved,
+                )
+                yield dest, ("sfx", run_id, k, chunk_wire)
+
+    def on_chunk(peer: int, payload: tuple) -> None:
+        nonlocal recv_bytes
+        kind, rid, k, buf = payload
+        assert kind == "sfx" and rid == run_id
+        received[peer].append((k, bytes(buf)))
+        recv_bytes += len(buf)
+
+    comm.exchange(outgoing(), on_chunk)
+    ctx.stats.note_resident(batch.nbytes + recv_bytes)
+    del batch, keys
+
+    parts = []
+    for sender in range(n_workers):
+        bufs = [lcp_decode_batch(b) for _k, b in sorted(received[sender])]
+        received[sender] = []
+        if bufs:
+            parts.append(VarlenBatch.concat(bufs))
+    merged = merge_varlen_batches(parts)
+    ctx.stats.note_resident(2 * merged.nbytes)
+    ctx.stats.add_counter(
+        "internal_sort_sent_records", sum(lengths) // n_workers
+    )
+    return merged
+
+
+def run_formation(ctx: NativeContext) -> List[NativeRun]:
+    """Phase 1: form R globally sorted string runs, one piece file each."""
+    job, comm, store = ctx.job, ctx.comm, ctx.store
+    chunks = _chunk_schedule(ctx)
+    n_runs = comm.allreduce(len(chunks), max)
+    input_path = store.input_path()
+
+    metas: List[StrPieceMeta] = []
+    for r in range(n_runs):
+        block_ids = chunks[r] if r < len(chunks) else []
+        batch = store.read_varlen_blocks(input_path, block_ids, TAG_RF)
+        ctx.input_checksum = string_checksum(batch, ctx.input_checksum)
+        ctx.stats.note_resident(2 * batch.nbytes)
+        batch = batch.sort()
+
+        piece = _distributed_sort_run(ctx, batch, run_id=r)
+        del batch
+
+        store.write_varlen_file(store.piece_path(r), piece, TAG_RF)
+        sample = piece.keys()[:: job.sample_every]
+        samples_wire, _saved = lcp_encode_keys(sample)
+        metas.append(
+            StrPieceMeta(
+                run=r,
+                rank=ctx.rank,
+                n_records=len(piece),
+                samples_wire=samples_wire,
+                sample_every=job.sample_every,
+                max_key_len=piece.max_key_len(),
+            )
+        )
+        del piece
+    ctx.stats.add_counter("runs_formed", len(metas))
+
+    all_metas: List[List[StrPieceMeta]] = comm.allgather(metas)
+    return [
+        NativeRun(r, [all_metas[j][r] for j in range(job.n_workers)])
+        for r in range(n_runs)
+    ]
+
+
+# --------------------------------------------------------------- phase 2
+
+
+def selection(ctx: NativeContext, runs: List[NativeRun]) -> List[List[int]]:
+    """Phase 2: exact record-rank splitters over the string runs.
+
+    The probe loop is the fixed one verbatim except that a probe reply
+    is the record's *byte key* read through the varlen probe cache and
+    embedded into the order-preserving integer the shared selection
+    kernel compares; the pad width comes from the allgathered per-piece
+    maximum key lengths, so every rank embeds identically.
+    """
+    job, comm, store = ctx.job, ctx.comm, ctx.store
+    lengths = [run.n_records for run in runs]
+    total = sum(lengths)
+    target = ctx.rank * total // job.n_workers
+    width = 1 + max(
+        (p.max_key_len for run in runs for p in run.pieces), default=0
+    )
+
+    if job.config.selection == "sampled":
+        run_samples: List[List[Tuple[bytes, int]]] = []
+        for run in runs:
+            pairs: List[Tuple[bytes, int]] = []
+            for n, piece in enumerate(run.pieces):
+                for i, key in enumerate(piece.sample_keys):
+                    pairs.append((key, i * piece.sample_every + run.offsets[n]))
+            run_samples.append(pairs)
+        init_pos, init_step = _piece_warm_start(
+            run_samples, target, lengths, job.sample_every
+        )
+        gen = select_coroutine(
+            lengths, target, init_positions=init_pos, init_step=init_step
+        )
+    elif job.config.selection == "basic":
+        gen = select_coroutine(lengths, target)
+    else:
+        gen = select_bisect_coroutine(lengths, target)
+
+    cache = store.varlen_probe_cache(job.selection_cache_blocks)
+    try:
+        request = next(gen)
+        while True:
+            r, gpos = request
+            owner, lpos = runs[r].locate(gpos)
+            if owner != ctx.rank:
+                ctx.stats.add_counter("selection_remote_probes")
+            key = cache.key_at(store.piece_path(r, owner), lpos, TAG_SEL)
+            request = gen.send(embed_key(key, width))
+    except StopIteration as stop:
+        result = stop.value
+
+    ctx.stats.add_counter("selection_touches", result.touches)
+    ctx.stats.add_counter("selection_block_reads", cache.block_reads)
+    ctx.stats.add_counter("selection_cache_hits", cache.hits)
+    ctx.stats.add_counter(
+        "selection_fixup_swaps", getattr(result, "fixup_swaps", 0)
+    )
+
+    all_positions: List[List[int]] = comm.allgather(list(result.positions))
+    splits = [list(p) for p in all_positions]
+    splits.append(list(lengths))
+    return splits
+
+
+# --------------------------------------------------------------- phase 3
+
+
+def all_to_all(
+    ctx: NativeContext, runs: List[NativeRun], splits: List[List[int]]
+) -> Tuple[List[int], List[np.ndarray]]:
+    """Phase 3: the string all-to-all, disk → wire → disk, prefix-trimmed.
+
+    Record-space layout (who owns which records of which run) is the
+    fixed phase verbatim; bytes need one extra agreement round — an
+    allgather of each sender's per-(run, dest) slice byte sizes — so
+    every receiver can precompute exact byte bases per channel and place
+    arrivals positionally, preserving the no-post-hoc-sort property.
+    Chunks travel LCP front-coded; each carries its record and byte
+    offset *within its channel*, and the receiver rebuilds the segment's
+    record-boundary offsets as the bytes land (the varlen analogue of
+    the fixed phase's free prediction-key harvest).
+
+    Returns ``(seg_len, seg_bounds)``: per-run record counts and the
+    per-run record-boundary byte-offset arrays of this rank's segments.
+    """
+    job, comm, store, rank = ctx.job, ctx.comm, ctx.store, ctx.rank
+    n_workers = job.n_workers
+    block = job.block_records
+
+    # Record-space receiver layout — identical to the fixed phase.
+    seg_base: List[List[int]] = []
+    seg_len: List[int] = []
+    for r, run in enumerate(runs):
+        seg_lo, seg_hi = splits[rank][r], splits[rank + 1][r]
+        bases, acc = [], 0
+        for j in range(n_workers):
+            piece_lo = run.offsets[j]
+            piece_hi = piece_lo + run.pieces[j].n_records
+            overlap = max(0, min(seg_hi, piece_hi) - max(seg_lo, piece_lo))
+            bases.append(acc)
+            acc += overlap
+        seg_base.append(bases)
+        seg_len.append(acc)
+        if acc != seg_hi - seg_lo:
+            raise AssertionError(
+                f"run {r}: segment layout {acc} != splitter span "
+                f"{seg_hi - seg_lo}"
+            )
+
+    # Byte-space agreement: every sender publishes the encoded byte size
+    # of its piece slice per (run, dest); receivers prefix-sum their
+    # column into exact per-channel byte bases.
+    offs_by_run: Dict[int, np.ndarray] = {}
+    my_sizes: List[List[int]] = [[0] * n_workers for _ in runs]
+    for r, run in enumerate(runs):
+        offs = store.varlen_offsets(store.piece_path(r), TAG_A2A)
+        offs_by_run[r] = offs
+        my_off = run.offsets[rank]
+        my_len = run.pieces[rank].n_records
+        for dest in range(n_workers):
+            lo = max(0, min(splits[dest][r] - my_off, my_len))
+            hi = max(lo, min(my_len, splits[dest + 1][r] - my_off))
+            my_sizes[r][dest] = int(offs[hi] - offs[lo])
+    all_sizes: List[List[List[int]]] = comm.allgather(my_sizes)
+
+    seg_base_bytes: List[List[int]] = []
+    seg_bytes: List[int] = []
+    for r in range(len(runs)):
+        bases, acc = [], 0
+        for j in range(n_workers):
+            bases.append(acc)
+            acc += all_sizes[j][r][rank]
+        seg_base_bytes.append(bases)
+        seg_bytes.append(acc)
+
+    handles = []
+    seg_bounds: List[np.ndarray] = []
+    for r in range(len(runs)):
+        path = store.segment_path(r)
+        store.preallocate_bytes(path, seg_bytes[r])
+        handles.append(open(path, "r+b"))
+        bounds = np.full(seg_len[r] + 1, -1, dtype=np.int64)
+        bounds[0] = 0
+        seg_bounds.append(bounds)
+
+    # (dest, run, chunk_k, piece-local start, count, channel-local lo)
+    send_plan: List[Tuple[int, int, int, int, int, int]] = []
+    for r, run in enumerate(runs):
+        my_off = run.offsets[rank]
+        my_len = run.pieces[rank].n_records
+        for dest in range(n_workers):
+            lo = max(0, splits[dest][r] - my_off)
+            hi = min(my_len, splits[dest + 1][r] - my_off)
+            for chunk_k, s in enumerate(range(lo, hi, block)):
+                send_plan.append(
+                    (dest, r, chunk_k, s, min(block, hi - s), lo)
+                )
+
+    def outgoing():
+        for dest, r, chunk_k, s, count, lo in send_plan:
+            chunk = store.read_varlen_range(
+                store.piece_path(r), s, count, TAG_A2A,
+                offsets=offs_by_run[r],
+            )
+            wire, saved = lcp_encode_batch(chunk)
+            _count_lcp(
+                ctx, "a2a",
+                raw=chunk.nbytes,
+                wire=len(wire),
+                overhead=4 + 4 * len(chunk),
+                trimmed=saved,
+            )
+            offs = offs_by_run[r]
+            byte_off = int(offs[s] - offs[lo])
+            ctx.stats.note_resident(2 * chunk.nbytes)
+            yield dest, ("sa2a", r, s - lo, byte_off, wire)
+
+    def on_chunk(peer: int, payload: tuple) -> None:
+        kind, r, rec_off, byte_off, buf = payload
+        assert kind == "sa2a"
+        arrived = lcp_decode_batch(buf)
+        base_rec = seg_base[r][peer]
+        base_byte = seg_base_bytes[r][peer]
+        store.write_at_bytes(
+            handles[r], base_byte + byte_off, arrived.bytes_view(), TAG_A2A
+        )
+        bounds = seg_bounds[r]
+        g = base_rec + rec_off
+        start = base_byte + byte_off
+        for i in range(len(arrived)):
+            bounds[g + i + 1] = start + int(arrived.offsets[i + 1])
+        ctx.stats.note_resident(2 * arrived.nbytes)
+
+    try:
+        comm.exchange(outgoing(), on_chunk)
+    finally:
+        for handle in handles:
+            handle.close()
+
+    for r in range(len(runs)):
+        bounds = seg_bounds[r]
+        if len(bounds) > 1 and (
+            bool(np.any(bounds[1:] < 0))
+            or int(bounds[-1]) != seg_bytes[r]
+            or bool(np.any(np.diff(bounds) < 0))
+        ):
+            raise AssertionError(
+                f"run {r}: segment boundary reconstruction incomplete "
+                f"({int(bounds[-1])} of {seg_bytes[r]} bytes claimed)"
+            )
+
+    for r in range(len(runs)):
+        store.remove(store.piece_path(r))
+    return seg_len, seg_bounds
+
+
+# --------------------------------------------------------------- phase 4
+
+
+class _SegmentReader:
+    """Stream one varlen segment block-of-records by block (cf.
+    SequentialReader), addressed through its in-memory boundary array."""
+
+    def __init__(self, store, path: str, bounds: np.ndarray, block: int):
+        self.store = store
+        self.path = path
+        self.bounds = bounds
+        self.block = block
+        self.n_records = len(bounds) - 1
+        self.pos = 0
+
+    def next_block(self) -> Optional[VarlenBatch]:
+        if self.pos >= self.n_records:
+            return None
+        count = min(self.block, self.n_records - self.pos)
+        out = self.store.read_varlen_range(
+            self.path, self.pos, count, TAG_MERGE, offsets=self.bounds
+        )
+        if len(out) != count:
+            raise IOError(
+                f"{self.path}: short read at record {self.pos} "
+                f"({len(out)} of {count})"
+            )
+        self.pos += count
+        return out
+
+
+def merge(
+    ctx: NativeContext,
+    seg_len: List[int],
+    seg_bounds: List[np.ndarray],
+) -> OutputMeta:
+    """Phase 4: R-way streaming merge of the string segments.
+
+    The fixed merge's structure — one buffered block per run, every
+    round emits all records ≤ the smallest buffer-tail key — with byte
+    keys and the varlen batch kernels; verification (sortedness, count,
+    first/last key, the order-independent string checksum) streams with
+    the output exactly as before.
+    """
+    job, store, rank = ctx.job, ctx.store, ctx.rank
+    block = job.block_records
+
+    readers = [
+        _SegmentReader(store, store.segment_path(r), seg_bounds[r], block)
+        for r in range(len(seg_len))
+    ]
+
+    out_path = store.output_path()
+    checksum = 0
+    count = 0
+    first_key: Optional[bytes] = None
+    last_key: Optional[bytes] = None
+    sorted_ok = True
+    appender = store.varlen_appender(out_path, TAG_MERGE)
+
+    def emit(batch: VarlenBatch) -> None:
+        nonlocal checksum, count, first_key, last_key, sorted_ok
+        if not len(batch):
+            return
+        keys = batch.keys()
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            sorted_ok = False
+        if last_key is not None and keys[0] < last_key:
+            sorted_ok = False
+        if first_key is None:
+            first_key = keys[0]
+        last_key = keys[-1]
+        checksum = string_checksum(batch, checksum)
+        count += len(batch)
+        appender.append(batch)
+
+    def note_working_set(batch_bytes: int) -> None:
+        ctx.stats.note_resident(
+            sum(b.nbytes for b in buffers if b is not None) + 2 * batch_bytes
+        )
+
+    try:
+        buffers: List[Optional[VarlenBatch]] = [
+            reader.next_block() for reader in readers
+        ]
+        while True:
+            active = [i for i, b in enumerate(buffers) if b is not None]
+            if not active:
+                break
+            for i in active:
+                if len(buffers[i]) == 0:
+                    buffers[i] = readers[i].next_block()
+            active = [
+                i for i, b in enumerate(buffers) if b is not None and len(b)
+            ]
+            if not active:
+                break
+            if len(active) == 1:
+                i = active[0]
+                note_working_set(buffers[i].nbytes)
+                emit(buffers[i])
+                buffers[i] = VarlenBatch.empty()
+                while True:
+                    nxt = readers[i].next_block()
+                    if nxt is None:
+                        buffers[i] = None
+                        break
+                    note_working_set(nxt.nbytes)
+                    emit(nxt)
+                continue
+            bound = min(buffers[i].keys()[-1] for i in active)
+            parts = []
+            for i in active:
+                buf = buffers[i]
+                keys = buf.keys()
+                # bisect_right over the sorted buffer keys.
+                lo, hi = 0, len(keys)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if keys[mid] <= bound:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo:
+                    parts.append(buf.slice(0, lo))
+                    buffers[i] = buf.slice(lo, len(buf))
+            batch = merge_varlen_batches(parts)
+            note_working_set(batch.nbytes)
+            emit(batch)
+    finally:
+        appender.close()
+
+    meta = OutputMeta(
+        rank=rank,
+        path=out_path,
+        n_records=count,
+        first_key=first_key,
+        last_key=last_key,
+        checksum=checksum,
+        sorted_ok=sorted_ok,
+    )
+    for r in range(len(seg_len)):
+        store.remove(store.segment_path(r))
+    ctx.stats.add_counter("merge_arity", float(len(seg_len)))
+    return meta

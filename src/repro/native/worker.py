@@ -72,6 +72,26 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
     def at(point: str) -> None:
         _chaos_point(job, rank, point, result_conn, comm=comm)
 
+    # The record model picks the phase implementations: the fixed-slot
+    # phases or their byte-rank string twins (same signatures, same
+    # contracts — see strphases).  Job validation guarantees varlen jobs
+    # never reach the checkpoint/resume branches below.
+    if getattr(job, "records", "fixed16") != "fixed16":
+        from . import strphases
+
+        phase_fns = (
+            strphases.generate_input,
+            strphases.run_formation,
+            strphases.selection,
+            strphases.all_to_all,
+            strphases.merge,
+        )
+    else:
+        phase_fns = (generate_input, run_formation, selection, all_to_all, merge)
+    fn_generate, fn_run_formation, fn_selection, fn_all_to_all, fn_merge = (
+        phase_fns
+    )
+
     journal = None
     try:
         stats = WorkerStats(rank=rank)
@@ -120,7 +140,7 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
             comm.set_phase("generate")
             at("before:generate")
             with PhaseClock(stats, "generate"):
-                generate_input(ctx)
+                fn_generate(ctx)
                 if journal is not None:
                     journal.generate_done()
                 comm.barrier()
@@ -140,7 +160,7 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
                         [resume.rf_runs[r] for r in range(len(resume.rf_runs))],
                     )
             else:
-                runs = run_formation(ctx)
+                runs = fn_run_formation(ctx)
             comm.barrier()
         at("after:run_formation")
         comm.set_phase("selection")
@@ -150,7 +170,7 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
                 splits = [list(row) for row in resume.selection_splits]
                 stats.add_counter("recovery_phases_restored")
             else:
-                splits = selection(ctx, runs)
+                splits = fn_selection(ctx, runs)
             comm.barrier()
         at("after:selection")
         comm.set_phase("all_to_all")
@@ -167,7 +187,7 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
                 for r in range(len(seg_len)):
                     store.remove(store.piece_path(r))
             else:
-                seg_len, block_first_keys = all_to_all(ctx, runs, splits)
+                seg_len, block_first_keys = fn_all_to_all(ctx, runs, splits)
             comm.barrier()
         at("after:all_to_all")
         comm.set_phase("merge")
@@ -186,7 +206,7 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
                 for r in range(len(seg_len)):
                     store.remove(store.segment_path(r))
             else:
-                out_meta = merge(ctx, seg_len, block_first_keys)
+                out_meta = fn_merge(ctx, seg_len, block_first_keys)
             comm.barrier()
         at("after:merge")
 

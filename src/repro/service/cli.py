@@ -140,6 +140,11 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
         "--cleanup-on-abort", action="store_true",
         help="purge the job's spill namespace if it fails for good",
     )
+    parser.add_argument(
+        "--records", choices=("fixed16", "string"), default="fixed16",
+        help="record model: fixed 16-byte or variable-length string "
+        "records (see docs/NATIVE.md)",
+    )
 
 
 def _spec_from_args(args) -> dict:
@@ -154,6 +159,7 @@ def _spec_from_args(args) -> dict:
         "timeout": args.timeout,
         "max_restarts": args.max_restarts,
         "cleanup_on_abort": args.cleanup_on_abort,
+        "records": args.records,
     }
 
 

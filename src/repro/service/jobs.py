@@ -91,6 +91,7 @@ SPEC_FIELDS = {
     "checkpoint": (bool, False),
     "a2a_checkpoint_chunks": (int, 8),
     "cleanup_on_abort": (bool, False),
+    "records": (str, "fixed16"),
     "chaos": (object, None),
 }
 
@@ -159,6 +160,7 @@ def build_native_job(spec: dict, spill_dir: str) -> NativeJob:
             checkpoint=spec["checkpoint"],
             a2a_checkpoint_chunks=spec["a2a_checkpoint_chunks"],
             cleanup_on_abort=spec["cleanup_on_abort"],
+            records=spec["records"],
         )
     except ConfigError as exc:
         raise JobRejected(str(exc)) from exc

@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         "fast)",
     )
     parser.add_argument(
+        "--strings", action="store_true",
+        help="additionally run native-only string twins of every matrix "
+        "case (variable-length records via the order-preserving u64-to-"
+        "string map, LCP-compressed splitters, decoded sorted() oracle)",
+    )
+    parser.add_argument(
         "--recover-smoke", action="store_true",
         help="run only the recovery smoke (one boundary kill + resume per "
         "transport); the fast push-time CI gate",
@@ -185,7 +191,11 @@ def main(argv: List[str] = None) -> int:
         if args.full:
             specs.extend(differential.full_specs(seed=args.seed))
         if args.pipelined and specs:
-            specs.extend(differential.pipelined_variants(specs))
+            specs.extend(
+                differential.pipelined_variants(
+                    [s for s in specs if s.records == "fixed16"]
+                )
+            )
         extra_transports = {
             "pipe": (),
             "tcp": ("tcp",),
@@ -222,6 +232,24 @@ def main(argv: List[str] = None) -> int:
                         if "native" in s.backends
                         and not s.pipelined
                         and not s.recover
+                        and s.records == "fixed16"
+                    ]
+                )
+            )
+        if args.strings and specs:
+            # Native-only string twins over every transport already in
+            # the list: the identical corpus keys, mapped through the
+            # order-preserving u64-to-string embedding, sorted as
+            # variable-length records against an independent decoded
+            # sorted() oracle.
+            specs.extend(
+                differential.string_variants(
+                    [
+                        s for s in specs
+                        if "native" in s.backends
+                        and not s.pipelined
+                        and not s.recover
+                        and s.records == "fixed16"
                     ]
                 )
             )

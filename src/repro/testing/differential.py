@@ -39,6 +39,7 @@ __all__ = [
     "pipelined_variants",
     "tcp_variants",
     "recovery_variants",
+    "string_variants",
     "run_case",
     "run_sim_case",
     "run_native_case",
@@ -80,6 +81,11 @@ class CaseSpec:
     #: rank death and resumes from its manifests.  The oracle comparison
     #: is unchanged — recovery must be bitwise-invisible.
     recover: bool = False
+    #: Native record model.  ``"string"`` maps each corpus key through
+    #: the order-preserving :func:`~repro.native.records.string_key_from_u64`
+    #: and sorts the variable-length records; the oracle becomes an
+    #: independent Python ``sorted()`` of the decoded byte strings.
+    records: str = "fixed16"
 
     def __post_init__(self):
         if self.entry not in corpus.ENTRIES:
@@ -90,6 +96,16 @@ class CaseSpec:
                 raise ValueError(f"unknown backend {backend!r}")
         if self.transport not in ("pipe", "tcp", "shm"):
             raise ValueError(f"unknown transport {self.transport!r}")
+        if self.records not in ("fixed16", "string"):
+            raise ValueError(f"unknown record model {self.records!r}")
+        if self.records != "fixed16":
+            if "sim" in self.backends:
+                raise ValueError("string cases run the native backend only")
+            if self.pipelined or self.recover:
+                raise ValueError(
+                    "string cases support neither pipelined I/O nor "
+                    "recovery yet (NativeJob rejects both)"
+                )
 
     # -- replay tokens --------------------------------------------------------
 
@@ -105,6 +121,8 @@ class CaseSpec:
             token += f":{self.transport}"
         if self.recover:
             token += ":recover"
+        if self.records != "fixed16":
+            token += ":str"
         return token
 
     @classmethod
@@ -114,7 +132,7 @@ class CaseSpec:
             raise ValueError(
                 f"bad replay token {token!r}: want "
                 "entry:sizing:p<P>:s<seed>:rand|norand:selection"
-                "[:backends][:pipe][:tcp|:shm][:recover]"
+                "[:backends][:pipe][:tcp|:shm][:recover][:str]"
             )
         entry, sizing, p, s, rand, selection = parts[:6]
         if not p.startswith("p") or not s.startswith("s"):
@@ -123,6 +141,7 @@ class CaseSpec:
         pipelined = False
         transport = "pipe"
         recover = False
+        records = "fixed16"
         for part in parts[6:]:
             if part == "pipe":
                 pipelined = True
@@ -130,6 +149,8 @@ class CaseSpec:
                 transport = part
             elif part == "recover":
                 recover = True
+            elif part == "str":
+                records = "string"
             else:
                 backends = tuple(part.split("+"))
         return cls(
@@ -143,6 +164,7 @@ class CaseSpec:
             pipelined=pipelined,
             transport=transport,
             recover=recover,
+            records=records,
         )
 
     def replay_command(self) -> str:
@@ -268,6 +290,25 @@ def shm_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
     ]
 
 
+def string_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+    """Native-only string twins of ``specs`` (variable-length records).
+
+    Each twin maps the corpus's u64 keys through the order- and
+    duplicate-preserving :func:`~repro.native.records.string_key_from_u64`
+    and sorts the resulting length-prefixed records.  The oracle is an
+    *independent* Python ``sorted()`` of the decoded byte strings cut at
+    the canonical ``i*N/P`` boundaries — so every corpus distribution
+    (duplicates, staircases, adversarial splits) re-exercises the byte-
+    rank selection and the LCP-compressed exchange.
+    """
+    return [
+        replace(spec, backends=("native",), records="string")
+        for spec in specs
+        if not spec.pipelined and not spec.recover
+        and spec.records == "fixed16"
+    ]
+
+
 def recovery_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
     """Native-only recovery twins of ``specs`` (kill + resume).
 
@@ -332,7 +373,10 @@ def _compare_to_oracle(
 def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult:
     """One case through the native backend, checked against the oracle."""
     from ..native import NativeJob, NativeSorter
-    from ..native.records import NATIVE_DTYPE, make_records
+    from ..native.records import NATIVE_DTYPE, RECORD_BYTES, make_records
+
+    if spec.records != "fixed16":
+        return _run_native_string_case(spec, workdir=workdir)
 
     parts = spec.input_parts()
     expect = oracle.expected_outputs(parts)
@@ -419,9 +463,9 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
                         "does not round-trip to the input"
                     )
 
-        # Conservation: every conserved phase moved exactly N*16 bytes
+        # Conservation: every conserved phase moved exactly N·record_bytes
         # through the block store, summed over the workers.
-        nbytes = total * 16
+        nbytes = total * RECORD_BYTES
         for phase, (check_r, check_w) in _CONSERVED_NATIVE.items():
             if spec.recover and phase == "run_formation":
                 # The resumed epoch restores its runs from the manifest:
@@ -433,13 +477,178 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
             if check_r and got_r != nbytes:
                 result.divergences.append(
                     f"native conservation: {phase} read {got_r} bytes, "
-                    f"want exactly N*16 = {nbytes}"
+                    f"want exactly N*{RECORD_BYTES} = {nbytes}"
                 )
             if check_w and got_w != nbytes:
                 result.divergences.append(
                     f"native conservation: {phase} wrote {got_w} bytes, "
-                    f"want exactly N*16 = {nbytes}"
+                    f"want exactly N*{RECORD_BYTES} = {nbytes}"
                 )
+    finally:
+        if own_dir:
+            shutil.rmtree(spill, ignore_errors=True)
+    return result
+
+
+#: The LCP wire-volume counter families every string sort must balance:
+#: ``wire == raw + overhead - trimmed``, per phase, exactly.
+_LCP_FAMILIES = ("rf_sample", "rf_xchg", "a2a")
+
+
+def _run_native_string_case(
+    spec: CaseSpec, workdir: Optional[str] = None
+) -> CaseResult:
+    """One *string-model* case through the native backend.
+
+    The corpus keys are mapped through the order- and duplicate-
+    preserving :func:`~repro.native.records.string_key_from_u64`; the
+    oracle is an independent Python ``sorted()`` of the decoded byte
+    strings cut at the canonical ``i*N/P`` boundaries.  Conservation is
+    checked in *encoded* bytes (length prefix + key + payload; the
+    ``:index``-tagged sidecar I/O is bookkept separately), and the LCP
+    wire counters must balance their volume identity exactly.
+    """
+    from ..native import NativeJob, NativeSorter
+    from ..native.records import (
+        VarlenBatch,
+        string_checksum,
+        string_key_from_u64,
+        write_varlen_file,
+    )
+
+    parts = spec.input_parts()
+    n = spec.sizing_obj.n_per_rank
+    total = n * spec.n_workers
+    result = CaseResult(spec=spec, backend="native", total_records=total)
+
+    keys_in: List[bytes] = [
+        string_key_from_u64(int(v)) for part in parts for v in part
+    ]
+    input_batch = VarlenBatch.build(keys_in, range(total))
+    want_checksum = string_checksum(input_batch)
+    nbytes = input_batch.nbytes  # conserved volume, in encoded bytes
+    expect = sorted(keys_in)
+    bounds = [i * total // spec.n_workers for i in range(spec.n_workers + 1)]
+
+    own_dir = workdir is None
+    spill = workdir or tempfile.mkdtemp(prefix="repro-conf-")
+    try:
+        os.makedirs(spill, exist_ok=True)
+        # Pre-write the inputs: payload = global input index, so the
+        # output can be traced back to the exact input permutation.
+        for rank in range(spec.n_workers):
+            write_varlen_file(
+                os.path.join(spill, f"input_{rank}.dat"),
+                input_batch.slice(rank * n, rank * n + n),
+            )
+        job = NativeJob(
+            config=_config_for(spec),
+            n_workers=spec.n_workers,
+            spill_dir=spill,
+            generate=False,
+            timeout=120.0,
+            transport=spec.transport,
+            records="string",
+        )
+        sort = NativeSorter(job).run()
+
+        result.checksum = sort.input_checksum
+        if sort.input_checksum != want_checksum:
+            result.divergences.append(
+                f"native str: streamed input checksum "
+                f"{sort.input_checksum:#x} != oracle {want_checksum:#x}"
+            )
+        report = sort.validate()
+        if not report.ok:
+            result.divergences.extend(
+                f"native str validate: {i}" for i in report.issues
+            )
+
+        # Byte-identical per-rank comparison against the decoded oracle.
+        out_batches = [
+            sort.output_records(rank) for rank in range(spec.n_workers)
+        ]
+        for rank, batch in enumerate(out_batches):
+            got = batch.keys()
+            want = expect[bounds[rank] : bounds[rank + 1]]
+            if len(got) != len(want):
+                result.divergences.append(
+                    f"native str: rank {rank} holds {len(got)} records, "
+                    f"canonical share is {len(want)}"
+                )
+            elif got != want:
+                bad = next(
+                    i for i, (g, w) in enumerate(zip(got, want)) if g != w
+                )
+                result.divergences.append(
+                    f"native str: rank {rank} diverges from the decoded "
+                    f"sorted() oracle at record {bad}: got {got[bad]!r}, "
+                    f"want {want[bad]!r}"
+                )
+
+        # Payload integrity: a permutation of the global input indices,
+        # and every (key, payload) pair round-trips to the input.
+        payloads = [int(p) for b in out_batches for p in b.payloads()]
+        if len(payloads) == total:
+            if sorted(payloads) != list(range(total)):
+                result.divergences.append(
+                    "native str: output payloads are not a permutation of "
+                    "the global input indices"
+                )
+            else:
+                out_keys = [k for b in out_batches for k in b.keys()]
+                if any(
+                    keys_in[p] != k for p, k in zip(payloads, out_keys)
+                ):
+                    result.divergences.append(
+                        "native str: some output record's (key, payload) "
+                        "pair does not round-trip to the input"
+                    )
+
+        # Conservation, in encoded bytes: the offset-index sidecars are
+        # charged under their own ":index" tags, so the conserved phase
+        # tags must still move exactly the input's encoded volume.
+        for phase, (check_r, check_w) in _CONSERVED_NATIVE.items():
+            got_r = sum(w.bytes_read.get(phase, 0) for w in sort.stats.workers)
+            got_w = sum(
+                w.bytes_written.get(phase, 0) for w in sort.stats.workers
+            )
+            if check_r and got_r != nbytes:
+                result.divergences.append(
+                    f"native str conservation: {phase} read {got_r} bytes, "
+                    f"want exactly the encoded volume {nbytes}"
+                )
+            if check_w and got_w != nbytes:
+                result.divergences.append(
+                    f"native str conservation: {phase} wrote {got_w} bytes, "
+                    f"want exactly the encoded volume {nbytes}"
+                )
+
+        # The LCP identity: per family, wire == raw + overhead - trimmed
+        # (it is linear, so it survives summing over workers), and the
+        # hex-prefixed corpus keys must actually compress somewhere.
+        trimmed_total = 0
+        for fam in _LCP_FAMILIES:
+            sums = {
+                kind: sum(
+                    w.counters.get(f"{fam}_{kind}_bytes", 0)
+                    for w in sort.stats.workers
+                )
+                for kind in ("raw", "wire", "overhead", "trimmed")
+            }
+            trimmed_total += sums["trimmed"]
+            if sums["wire"] != sums["raw"] + sums["overhead"] - sums["trimmed"]:
+                result.divergences.append(
+                    f"native str: LCP volume identity broken for {fam}: "
+                    f"wire {sums['wire']:.0f} != raw {sums['raw']:.0f} + "
+                    f"overhead {sums['overhead']:.0f} - trimmed "
+                    f"{sums['trimmed']:.0f}"
+                )
+        if spec.n_workers > 1 and total > 1 and trimmed_total <= 0:
+            result.divergences.append(
+                "native str: LCP compression trimmed 0 bytes across every "
+                "phase — front coding is not engaging"
+            )
     finally:
         if own_dir:
             shutil.rmtree(spill, ignore_errors=True)

@@ -17,10 +17,22 @@ from repro.testing import corpus, differential, oracle, properties
 pytestmark = pytest.mark.conformance
 
 FULL = differential.full_specs(seed=42)
+FULL_STR = differential.string_variants(FULL)
 
 
 @pytest.mark.parametrize("spec", FULL, ids=[s.to_token() for s in FULL])
 def test_full_matrix_case(spec, tmp_path):
+    for result in differential.run_case(spec, workdir=str(tmp_path / "spill")):
+        assert result.ok, (
+            f"[{result.backend}] {spec.to_token()} diverged:\n  "
+            + "\n  ".join(result.divergences)
+            + f"\nreplay: {spec.replay_command()}"
+        )
+
+
+@pytest.mark.parametrize("spec", FULL_STR, ids=[s.to_token() for s in FULL_STR])
+def test_full_matrix_string_twin(spec, tmp_path):
+    """Every nightly matrix case again as a variable-length string sort."""
     for result in differential.run_case(spec, workdir=str(tmp_path / "spill")):
         assert result.ok, (
             f"[{result.backend}] {spec.to_token()} diverged:\n  "

@@ -72,6 +72,63 @@ def test_pipelined_token_round_trips():
     assert differential.CaseSpec.from_token(token) == spec
 
 
+# String twins of a quick-matrix slice: the same corpus keys mapped
+# through the order-preserving u64-to-string embedding, sorted as
+# variable-length records against an independent decoded sorted()
+# oracle.  (Every matrix case gets a string twin nightly via
+# `conformance --strings`.)
+STR_QUICK = differential.string_variants(QUICK[:3])
+
+
+@pytest.mark.parametrize(
+    "spec", STR_QUICK, ids=[s.to_token() for s in STR_QUICK]
+)
+def test_quick_matrix_string_twin(spec, tmp_path):
+    assert spec.records == "string" and spec.backends == ("native",)
+    for result in differential.run_case(spec, workdir=str(tmp_path / "spill")):
+        assert result.ok, (
+            f"[{result.backend}] {spec.to_token()} diverged:\n  "
+            + "\n  ".join(result.divergences)
+            + f"\nreplay: {spec.replay_command()}"
+        )
+
+
+def test_string_token_round_trips():
+    spec = differential.CaseSpec(
+        "uniform", "base", n_workers=2, seed=5,
+        backends=("native",), records="string",
+    )
+    token = spec.to_token()
+    assert token.endswith(":str")
+    assert differential.CaseSpec.from_token(token) == spec
+
+
+def test_string_divergence_is_actually_detected(tmp_path, monkeypatch):
+    """The string harness must not vacuously pass either: corrupt one
+    output key behind the backend's back and the case must diverge."""
+    from repro.native.driver import NativeSortResult
+
+    real_records = NativeSortResult.output_records
+
+    def corrupted(self, rank):
+        from repro.native.records import VarlenBatch
+
+        batch = real_records(self, rank)
+        if rank == 0 and len(batch):
+            keys = batch.keys()
+            keys[0] = keys[0] + b"z"
+            return VarlenBatch.build(keys, batch.payloads())
+        return batch
+
+    monkeypatch.setattr(NativeSortResult, "output_records", corrupted)
+    spec = differential.CaseSpec(
+        "uniform", "base", n_workers=2, seed=11,
+        backends=("native",), records="string",
+    )
+    (result,) = differential.run_case(spec, workdir=str(tmp_path / "s"))
+    assert not result.ok
+
+
 def test_quick_matrix_is_tier1_sized():
     # The matrix the CLI and this file share: <= 8 corpus pairs, plus
     # fig6 (no-randomization) variants of the flagged entries only.
