@@ -53,6 +53,10 @@ TRAJECTORY_SIZING = {
     "seed": 12345,
 }
 TRAJECTORY_TRANSPORTS = ("pipe", "tcp", "shm")
+#: Backends measured per trajectory run (one entry each, same stamp):
+#: the canonical-vs-striped rows are where the all-to-all amplification
+#: crossover lives, guidesort rides along for the merge comparison.
+TRAJECTORY_ALGOS = ("canonical", "striped", "guidesort")
 TRAJECTORY_SCHEMA = 1
 DEFAULT_TRAJECTORY_FILE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_native.json"
@@ -83,6 +87,7 @@ def run_native_bench(
     prefetch_blocks: int = 0,
     write_behind_blocks: int = 0,
     baseline: bool = True,
+    algo: str = "canonical",
 ) -> dict:
     """One native sort + the RAM baseline; returns a comparison dict."""
     config = SortConfig(
@@ -99,6 +104,7 @@ def run_native_bench(
             skew=skew, timeout=timeout, transport=transport,
             prefetch_blocks=prefetch_blocks,
             write_behind_blocks=write_behind_blocks,
+            algo=algo,
         )
         report = result.validate()
         stats = result.stats
@@ -122,6 +128,7 @@ def run_native_bench(
             "ok": report.ok,
             "issues": report.issues,
             "n_workers": n_workers,
+            "algo": algo,
             "transport": transport,
             "prefetch_blocks": prefetch_blocks,
             "write_behind_blocks": write_behind_blocks,
@@ -223,6 +230,7 @@ def measure_trajectory_entry(
     sizing: dict | None = None,
     transports: tuple = TRAJECTORY_TRANSPORTS,
     timeout: float = 600.0,
+    algo: str = "canonical",
 ) -> dict:
     """One trajectory data point: per-phase MB/s for every transport.
 
@@ -232,9 +240,17 @@ def measure_trajectory_entry(
     rides along as a hardware ceiling, letting the regression gate
     normalize away machine speed when comparing against the committed
     baseline (tools/bench_gate.py).
+
+    ``algo`` tags the entry with the backend it measured (the gate
+    treats a missing tag as ``"canonical"``).  Phases that move zero
+    disk bytes under a backend (striped's planning-only selection and
+    its empty all-to-all slot) are omitted from the phases map — the
+    per-phase ``wire_volume_mib`` map alongside is where the striped
+    exchange volume (and the amplification vs canonical's single
+    all-to-all) is recorded.
     """
     sizing = dict(TRAJECTORY_SIZING if sizing is None else sizing)
-    entry = {"stamp": stamp, "transports": {}}
+    entry = {"stamp": stamp, "algo": algo, "transports": {}}
     base = in_ram_baseline(
         total_records=int(
             sizing["n_workers"] * sizing["data_mib"] * MiB // RECORD_BYTES
@@ -253,6 +269,7 @@ def measure_trajectory_entry(
             timeout=timeout,
             transport=transport,
             baseline=False,
+            algo=algo,
         )
         if not result["ok"]:
             raise RuntimeError(
@@ -260,7 +277,19 @@ def measure_trajectory_entry(
                 f"{result['issues']}"
             )
         entry["transports"][transport] = {
-            "phases": {row["phase"]: row["mb_s"] for row in result["phases"]},
+            # Only phases that actually move disk bytes are gated:
+            # striped's planning-only selection and its empty all-to-all
+            # slot have sub-millisecond walls, and gating N/wall on those
+            # is pure timer noise.
+            "phases": {
+                row["phase"]: row["mb_s"]
+                for row in result["phases"]
+                if row["disk_mib"] > 0.0
+            },
+            "wire_volume_mib": {
+                row["phase"]: row["wire_volume_mib"]
+                for row in result["phases"]
+            },
             "sort_mb_s": (
                 result["total_mib"] * MiB / result["sort_phases_s"] / 1e6
                 if result["sort_phases_s"]
@@ -275,13 +304,16 @@ def append_trajectory(
     sizing: dict | None = None,
     transports: tuple = TRAJECTORY_TRANSPORTS,
     timeout: float = 600.0,
-) -> dict:
-    """Measure one entry and append it to the committed trajectory file.
+    algos: tuple = TRAJECTORY_ALGOS,
+) -> list:
+    """Measure one entry per backend and append them to the trajectory.
 
     The file is schema-versioned JSON; entries accumulate so the
     committed history shows how throughput moved PR over PR.  A sizing
     mismatch with the existing file is an error — mixed sizings would
-    make the trajectory meaningless.
+    make the trajectory meaningless.  All appended entries share one
+    stamp; the ``algo`` tag tells them apart (the regression gate
+    compares per backend).
     """
     sizing = dict(TRAJECTORY_SIZING if sizing is None else sizing)
     if os.path.exists(path):
@@ -300,14 +332,18 @@ def append_trajectory(
     else:
         doc = {"schema": TRAJECTORY_SCHEMA, "sizing": sizing, "entries": []}
     stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    entry = measure_trajectory_entry(
-        stamp, sizing=sizing, transports=transports, timeout=timeout
-    )
-    doc["entries"].append(entry)
+    entries = [
+        measure_trajectory_entry(
+            stamp, sizing=sizing, transports=transports, timeout=timeout,
+            algo=algo,
+        )
+        for algo in algos
+    ]
+    doc["entries"].extend(entries)
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    return entry
+    return entries
 
 
 def render_trajectory_entry(entry: dict) -> str:
@@ -319,6 +355,7 @@ def render_trajectory_entry(entry: dict) -> str:
                 phases.append(p)
     lines = [
         f"trajectory entry {entry['stamp']} "
+        f"[{entry.get('algo', 'canonical')}] "
         f"(np.sort ceiling {entry['np_sort_mb_s']:.1f} MB/s)",
         f"{'phase':<16}" + "".join(f"{t:>10}" for t in transports),
     ]
@@ -452,6 +489,12 @@ def main(argv=None) -> int:
         help="native interconnect substrate",
     )
     parser.add_argument(
+        "--algo", choices=("canonical", "striped", "guidesort"),
+        default="canonical",
+        help="native sort backend (ad-hoc runs; --trajectory always "
+        "measures every backend)",
+    )
+    parser.add_argument(
         "--trajectory", action="store_true",
         help="measure one fixed-sizing entry over every transport and "
         "append it to the committed trajectory file (see --trajectory-file "
@@ -481,11 +524,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.trajectory:
-        entry = append_trajectory(path=args.trajectory_file)
+        entries = append_trajectory(path=args.trajectory_file)
         print(
-            json.dumps(entry, indent=2, sort_keys=True)
+            json.dumps(entries, indent=2, sort_keys=True)
             if args.json
-            else render_trajectory_entry(entry)
+            else "\n\n".join(render_trajectory_entry(e) for e in entries)
         )
         return 0
     kwargs = dict(
@@ -497,8 +540,11 @@ def main(argv=None) -> int:
         transport=args.transport,
         skew=args.skew,
         seed=args.seed,
+        algo=args.algo,
     )
-    if args.sync_only:
+    if args.sync_only or args.algo != "canonical":
+        # Non-canonical backends reject pipelined I/O (NativeJob gates
+        # it), so there is no pipelined comparison to run for them.
         result = run_native_bench(**kwargs)
         print(json.dumps(result, indent=2) if args.json else render(result))
         return 0 if result["ok"] else 1

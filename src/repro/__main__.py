@@ -55,6 +55,10 @@ from . import (
 
 ALGORITHMS = ("canonical", "striped", "nowsort", "samplesort")
 
+#: Native backend registry names (repro.native.algos); a separate axis
+#: from the sim-only ``--algorithm`` above.
+NATIVE_ALGORITHMS = ("canonical", "striped", "guidesort")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -178,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
         "length-prefixed byte-string keys with LCP-compressed splitters "
         "(see docs/NATIVE.md)",
     )
+    parser.add_argument(
+        "--algo", choices=NATIVE_ALGORITHMS, default="canonical",
+        help="native sort backend: the paper's canonical pipeline, the "
+        "globally striped mergesort, or the guide-sequence merge "
+        "(see docs/NATIVE.md)",
+    )
     return parser
 
 
@@ -200,6 +210,10 @@ def _emit(args, report: dict) -> None:
 
 
 def run_sim(args, config: SortConfig) -> int:
+    if args.algo != "canonical":
+        print("--algo picks the native backend; the sim backend is driven "
+              "by --algorithm", file=sys.stderr)
+        return 2
     cluster = Cluster(args.nodes)
     tracer = None
     if args.utilization:
@@ -318,6 +332,7 @@ def run_native(args, config: SortConfig) -> int:
             checkpoint=args.checkpoint,
             cleanup_on_abort=not args.keep_spill,
             records=args.records,
+            algo=args.algo,
         )
     except ConfigError as exc:
         print(f"config error: {exc}", file=sys.stderr)

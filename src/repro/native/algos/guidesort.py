@@ -1,0 +1,161 @@
+"""Guidesort: a deterministic guide-sequence merge (Hagerup, PAPERS.md).
+
+Hagerup's observation is that the optimal parallel-disk merge schedule
+does not need canonical's buffered-writing simulation (Appendix A's
+duality): a single deterministic **guide sequence** — the blocks' first
+keys in sorted order — already tells the merge both *what to fetch next*
+and *how far it may safely emit*.  This backend keeps canonical's first
+three phases bit-for-bit (local runs, exact multiway selection, the
+N·16-byte external all-to-all into per-run segment files) and replaces
+only the merge:
+
+* the guide is the prediction sequence ``sorted((first_key, run,
+  block))`` over the segment blocks, built from the keys the all-to-all
+  harvested for free;
+* the merge walks the guide once: fetch the named block (reads are
+  sequential within every segment file, because first keys ascend
+  within a sorted run), then emit every buffered record strictly below
+  the *next* guide key — records provably complete, since every
+  unfetched block's records are at least its first key;
+* at most ~2 blocks per run are buffered at once (a block is fully
+  emittable as soon as its successor block is fetched, ties excepted),
+  so the working set matches canonical's R-way bound without tracking
+  buffer tails at all.
+
+One pass, each segment block read exactly once, zero wire traffic:
+the phase conservation invariants are canonical's (merge reads and
+writes exactly N·16 bytes).  The schedule itself is the *eager* one —
+plain guide order — which :func:`repro.em.prefetch.schedule_is_valid`
+accepts for any pool of at least ``R + 1`` buffers; canonical's
+Appendix-A schedule exists to get away with fewer buffers, which is the
+trade the decision matrix in docs/NATIVE.md spells out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..phases import (
+    _MASK,
+    TAG_MERGE,
+    NativeContext,
+    OutputMeta,
+    all_to_all,
+    generate_input,
+    run_formation,
+    selection,
+)
+from ..records import merge_record_arrays
+
+__all__ = [
+    "generate_input",
+    "run_formation",
+    "selection",
+    "all_to_all",
+    "merge",
+]
+
+
+def merge(
+    ctx: NativeContext,
+    seg_len: List[int],
+    block_first_keys: Optional[List[List[int]]] = None,
+) -> OutputMeta:
+    """Single-pass guide-driven merge of the segment files.
+
+    Signature-compatible with :func:`repro.native.phases.merge`; the
+    harvested ``block_first_keys`` are required — they *are* the guide.
+    """
+    job, store, rank = ctx.job, ctx.store, ctx.rank
+    block = job.block_records
+    if block_first_keys is None:
+        raise AssertionError(
+            "guidesort merge needs the harvested block first keys "
+            "(the guide sequence); run it after the canonical all-to-all"
+        )
+
+    guide = sorted(
+        (block_first_keys[r][b], r, b)
+        for r, n in enumerate(seg_len)
+        for b in range(-(-n // block))
+    )
+
+    out_path = store.output_path()
+    checksum = 0
+    count = 0
+    first_key: Optional[int] = None
+    last_key: Optional[int] = None
+    sorted_ok = True
+    #: Fetched-but-unemitted buffers, per run, in fetch (= key) order.
+    pending: List[List[np.ndarray]] = [[] for _ in seg_len]
+
+    with open(out_path, "wb") as out:
+
+        def emit(batch: np.ndarray) -> None:
+            nonlocal checksum, count, first_key, last_key, sorted_ok
+            if not len(batch):
+                return
+            keys = batch["key"]
+            if len(keys) > 1 and not bool(np.all(keys[:-1] <= keys[1:])):
+                sorted_ok = False
+            if last_key is not None and int(keys[0]) < last_key:
+                sorted_ok = False
+            if first_key is None:
+                first_key = int(keys[0])
+            last_key = int(keys[-1])
+            with np.errstate(over="ignore"):
+                checksum = (checksum + int(np.add.reduce(keys))) & _MASK
+            count += len(batch)
+            store.append_records(out, batch, TAG_MERGE)
+
+        for i, (_key, r, b) in enumerate(guide):
+            start = b * block
+            pending[r].append(
+                store.read_range(
+                    store.segment_path(r),
+                    start,
+                    min(block, seg_len[r] - start),
+                    TAG_MERGE,
+                )
+            )
+            bound = guide[i + 1][0] if i + 1 < len(guide) else None
+
+            parts: List[np.ndarray] = []
+            for j, bufs in enumerate(pending):
+                if not bufs:
+                    continue
+                if bound is None:
+                    parts.extend(bufs)
+                    pending[j] = []
+                    continue
+                kept: List[np.ndarray] = []
+                for buf in bufs:
+                    cut = int(np.searchsorted(buf["key"], bound, side="left"))
+                    if cut:
+                        parts.append(buf[:cut])
+                    if cut < len(buf):
+                        kept.append(buf[cut:])
+                pending[j] = kept
+            if parts:
+                batch = merge_record_arrays(parts)
+                ctx.stats.note_resident(
+                    sum(b.nbytes for bufs in pending for b in bufs)
+                    + 2 * batch.nbytes
+                )
+                emit(batch)
+
+    for r in range(len(seg_len)):
+        store.remove(store.segment_path(r))
+    ctx.stats.add_counter("guide_blocks", float(len(guide)))
+    ctx.stats.add_counter("merge_arity", float(len(seg_len)))
+    return OutputMeta(
+        rank=rank,
+        path=out_path,
+        n_records=count,
+        first_key=first_key,
+        last_key=last_key,
+        checksum=checksum & _MASK,
+        sorted_ok=sorted_ok,
+    )

@@ -673,6 +673,7 @@ def native_sort(
     max_restarts: int = 0,
     checkpoint: bool = False,
     records: str = "fixed16",
+    algo: str = "canonical",
 ) -> NativeSortResult:
     """Convenience one-call native sort (generate, sort, return result).
 
@@ -697,5 +698,6 @@ def native_sort(
         max_restarts=max_restarts,
         checkpoint=checkpoint,
         records=records,
+        algo=algo,
     )
     return NativeSorter(job).run()

@@ -131,6 +131,12 @@ class NativeJob:
     #: string model sizes itself by the same nominal 16 bytes/record, so
     #: a given data volume sorts the same record count either way.
     records: str = "fixed16"
+    #: Sort algorithm backend: ``"canonical"`` (CANONICALMERGESORT, the
+    #: default), ``"striped"`` (mergesort with global striping — paper
+    #: Section III's baseline) or ``"guidesort"`` (deterministic
+    #: guide-sequence merge).  See docs/NATIVE.md for the decision
+    #: matrix; all backends produce the identical canonical output.
+    algo: str = "canonical"
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -218,6 +224,33 @@ class NativeJob:
             if self.chaos is not None:
                 raise ConfigError(
                     "records='string' does not support chaos injection yet"
+                )
+        from .algos import ALGORITHMS
+
+        if self.algo not in ALGORITHMS:
+            raise ConfigError(
+                f"unknown algorithm {self.algo!r}; choose from {ALGORITHMS}"
+            )
+        if self.algo != "canonical":
+            # The new backends run the paper's fixed element only, and
+            # (like the string model before them) the recovery journal,
+            # the pipelined I/O layer and the chaos write gate are
+            # canonical-phase-addressed today (ROADMAP follow-ups).
+            if self.varlen:
+                raise ConfigError(
+                    f"algo={self.algo!r} only supports records='fixed16' yet"
+                )
+            if self.checkpointing or self.epoch > 0:
+                raise ConfigError(
+                    f"algo={self.algo!r} does not support checkpoint/resume yet"
+                )
+            if self.pipelined:
+                raise ConfigError(
+                    f"algo={self.algo!r} does not support pipelined I/O yet"
+                )
+            if self.chaos is not None:
+                raise ConfigError(
+                    f"algo={self.algo!r} does not support chaos injection yet"
                 )
         merge_working = (self.n_runs * 2 + 4) * self.block_records * RECORD_BYTES
         if merge_working > self.memory_bytes + self.chunk_records * RECORD_BYTES:
@@ -346,4 +379,5 @@ class NativeJob:
             "job_tag": self.job_tag,
             "spill_namespace": self.spill_namespace,
             "records": self.records,
+            "algo": self.algo,
         }

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +46,10 @@ __all__ = [
     "varlen_from_bytes",
     "merge_varlen_batches",
     "string_key_from_u64",
+    "url_key_from_u64",
+    "logline_key_from_u64",
+    "STRING_FAMILIES",
+    "resolve_string_family",
     "generate_string_batch",
     "string_checksum",
     "embed_key",
@@ -555,6 +559,82 @@ def string_key_from_u64(value: int) -> bytes:
     """
     value = int(value) & _U64_MASK
     return f"{value:016x}".encode("ascii") + b"." + b"k" * (value % 23)
+
+
+#: 26 ** 14 > 2 ** 64: fourteen lowercase base-26 digits cover the key space.
+_B26_WIDTH = 14
+
+
+def _base26(value: int) -> bytes:
+    digits = bytearray(_B26_WIDTH)
+    for i in range(_B26_WIDTH - 1, -1, -1):
+        digits[i] = 0x61 + value % 26
+        value //= 26
+    return bytes(digits)
+
+
+def url_key_from_u64(value: int) -> bytes:
+    """URL-corpus family: the u64 key as an ``https://`` address.
+
+    The host and path carry the key as fixed-width base-26 digits with
+    the separators at fixed offsets, so byte order equals u64 order; the
+    variable ``?p=`` query tail only ever follows a fully discriminating
+    prefix.  The long shared scheme+domain prefix is the classic
+    real-world regime for front coding (every web-crawl key set starts
+    with a handful of schemes and a heavy-hitter set of hosts).
+    """
+    value = int(value) & _U64_MASK
+    digits = _base26(value)
+    return (
+        b"https://"
+        + digits[:7]
+        + b".example.com/"
+        + digits[7:]
+        + b"?p="
+        + b"x" * (value % 19)
+    )
+
+
+#: Severity token for a log line; any deterministic pick keeps the map
+#: duplicate-preserving, and variety makes the tails realistic.
+_LOG_LEVELS = (b"DEBUG", b"INFO", b"WARN", b"ERROR")
+
+
+def logline_key_from_u64(value: int) -> bytes:
+    """Log-corpus family: the u64 key as a timestamped log line.
+
+    The key becomes a fixed-width decimal ``seconds.micros`` timestamp
+    (zero padding preserves numeric order bytewise), followed by a
+    deterministic severity + message tail.  Sorting by line is sorting
+    by time — the canonical log-merge workload — and nearby timestamps
+    share long digit prefixes for the LCP coder to trim.
+    """
+    value = int(value) & _U64_MASK
+    stamp = b"%014d.%06dZ" % (value // 10**6, value % 10**6)
+    level = _LOG_LEVELS[value % 4]
+    return stamp + b" " + level + b" worker=/job/" + b"r" * (value % 11)
+
+
+#: The conformance-corpus string families: one synthetic map plus two
+#: real-workload shapes.  Every family is an order- and duplicate-
+#: preserving u64-to-bytes embedding, so any corpus key distribution
+#: can be replayed under any family against the decoded sorted() oracle.
+STRING_FAMILIES: Dict[str, Callable[[int], bytes]] = {
+    "hex": string_key_from_u64,
+    "url": url_key_from_u64,
+    "log": logline_key_from_u64,
+}
+
+
+def resolve_string_family(name: str) -> Callable[[int], bytes]:
+    """The key map for a string family, or ValueError for unknown names."""
+    try:
+        return STRING_FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown string family {name!r}; choose from "
+            f"{sorted(STRING_FAMILIES)}"
+        ) from None
 
 
 def generate_string_batch(

@@ -31,6 +31,7 @@ import os
 import traceback
 from typing import Dict, Optional, Tuple
 
+from .algos import resolve_algorithm
 from .blockstore import FileBlockStore
 from .comm import PipeComm
 from .comm_api import Comm
@@ -38,12 +39,7 @@ from .job import NativeJob
 from .phases import (
     NativeContext,
     OutputMeta,
-    all_to_all,
-    generate_input,
-    merge,
     restore_runs,
-    run_formation,
-    selection,
     verify_restored_pieces,
 )
 from .stats import PhaseClock, WorkerStats, max_rss_bytes
@@ -72,24 +68,17 @@ def _run_phases(rank: int, job: NativeJob, comm: Comm, result_conn,
     def at(point: str) -> None:
         _chaos_point(job, rank, point, result_conn, comm=comm)
 
-    # The record model picks the phase implementations: the fixed-slot
-    # phases or their byte-rank string twins (same signatures, same
-    # contracts — see strphases).  Job validation guarantees varlen jobs
+    # The (algorithm, record model) pair picks the phase implementations
+    # from the backend registry (see native/algos): canonical's
+    # fixed-slot phases, their byte-rank string twins, or the striped /
+    # guidesort backends.  Job validation guarantees only registered
+    # combinations arrive here, and that non-canonical and varlen jobs
     # never reach the checkpoint/resume branches below.
-    if getattr(job, "records", "fixed16") != "fixed16":
-        from . import strphases
-
-        phase_fns = (
-            strphases.generate_input,
-            strphases.run_formation,
-            strphases.selection,
-            strphases.all_to_all,
-            strphases.merge,
-        )
-    else:
-        phase_fns = (generate_input, run_formation, selection, all_to_all, merge)
+    algorithm = resolve_algorithm(
+        getattr(job, "algo", "canonical"), getattr(job, "records", "fixed16")
+    )
     fn_generate, fn_run_formation, fn_selection, fn_all_to_all, fn_merge = (
-        phase_fns
+        algorithm.phase_fns
     )
 
     journal = None

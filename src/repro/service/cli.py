@@ -145,6 +145,11 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
         help="record model: fixed 16-byte or variable-length string "
         "records (see docs/NATIVE.md)",
     )
+    parser.add_argument(
+        "--algo", choices=("canonical", "striped", "guidesort"),
+        default="canonical",
+        help="native sort backend (see docs/NATIVE.md)",
+    )
 
 
 def _spec_from_args(args) -> dict:
@@ -160,6 +165,7 @@ def _spec_from_args(args) -> dict:
         "max_restarts": args.max_restarts,
         "cleanup_on_abort": args.cleanup_on_abort,
         "records": args.records,
+        "algo": args.algo,
     }
 
 

@@ -92,6 +92,7 @@ SPEC_FIELDS = {
     "a2a_checkpoint_chunks": (int, 8),
     "cleanup_on_abort": (bool, False),
     "records": (str, "fixed16"),
+    "algo": (str, "canonical"),
     "chaos": (object, None),
 }
 
@@ -161,6 +162,7 @@ def build_native_job(spec: dict, spill_dir: str) -> NativeJob:
             a2a_checkpoint_chunks=spec["a2a_checkpoint_chunks"],
             cleanup_on_abort=spec["cleanup_on_abort"],
             records=spec["records"],
+            algo=spec["algo"],
         )
     except ConfigError as exc:
         raise JobRejected(str(exc)) from exc

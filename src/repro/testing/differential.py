@@ -40,6 +40,8 @@ __all__ = [
     "tcp_variants",
     "recovery_variants",
     "string_variants",
+    "striped_variants",
+    "guidesort_variants",
     "run_case",
     "run_sim_case",
     "run_native_case",
@@ -56,6 +58,71 @@ _CONSERVED_NATIVE = {
     "all_to_all": (True, True),      # reads pieces, writes segments
     "merge": (True, True),           # reads segments, writes output
 }
+
+
+def _check_striped_conservation(workers, nbytes: int) -> List[str]:
+    """The striped backend's own conservation profile.
+
+    Striping moves the data in *two* exchanges instead of canonical's
+    one: run formation stripe-writes every record exactly once (wire
+    volume exactly N·16), the merge re-sorts and places every record
+    (wire volume at least 2·N·16 — resends of not-yet-final records push
+    it higher), and the selection / all-to-all slots move nothing at
+    all.  Disk conservation still holds per pass: run formation and
+    merge each read and write exactly N·16 bytes.
+    """
+    issues: List[str] = []
+
+    def io(phase):
+        return (
+            sum(w.bytes_read.get(phase, 0) for w in workers),
+            sum(w.bytes_written.get(phase, 0) for w in workers),
+        )
+
+    def wire(phase):
+        return sum(
+            w.comm_wire_sent.get(phase, 0) + w.comm_local_bytes.get(phase, 0)
+            for w in workers
+        )
+
+    for phase in ("run_formation", "merge"):
+        got_r, got_w = io(phase)
+        if got_r != nbytes:
+            issues.append(
+                f"striped conservation: {phase} read {got_r} bytes, "
+                f"want exactly N*16 = {nbytes}"
+            )
+        if got_w != nbytes:
+            issues.append(
+                f"striped conservation: {phase} wrote {got_w} bytes, "
+                f"want exactly N*16 = {nbytes}"
+            )
+    for phase in ("selection", "all_to_all"):
+        got_r, got_w = io(phase)
+        if got_r or got_w:
+            issues.append(
+                f"striped conservation: {phase} moved {got_r}+{got_w} "
+                "bytes through the block store, want 0 (planning only)"
+            )
+        vol = wire(phase)
+        if vol:
+            issues.append(
+                f"striped conservation: {phase} wire volume {vol}, want 0"
+            )
+    vol = wire("run_formation")
+    if vol != nbytes:
+        issues.append(
+            f"striped conservation: run_formation wire volume {vol}, want "
+            f"exactly N*16 = {nbytes} (every record stripe-written once)"
+        )
+    vol = wire("merge")
+    if vol < 2 * nbytes:
+        issues.append(
+            f"striped conservation: merge wire volume {vol} < 2*N*16 = "
+            f"{2 * nbytes} (sort exchange + placement both move every "
+            "record — the amplification canonical avoids)"
+        )
+    return issues
 
 
 @dataclass(frozen=True)
@@ -86,6 +153,15 @@ class CaseSpec:
     #: and sorts the variable-length records; the oracle becomes an
     #: independent Python ``sorted()`` of the decoded byte strings.
     records: str = "fixed16"
+    #: Native sort backend (:mod:`repro.native.algos`).  Every backend
+    #: must reproduce the oracle byte-identically; only the conservation
+    #: profile differs (striped asserts its own wire/IO bounds).
+    algo: str = "canonical"
+    #: String workload family (:data:`~repro.native.records.STRING_FAMILIES`):
+    #: ``"hex"`` is the synthetic hex-prefixed map, ``"url"`` and ``"log"``
+    #: are the real-workload shapes (web-crawl URLs, timestamped log
+    #: lines).  Only meaningful with ``records="string"``.
+    string_family: str = "hex"
 
     def __post_init__(self):
         if self.entry not in corpus.ENTRIES:
@@ -106,6 +182,34 @@ class CaseSpec:
                     "string cases support neither pipelined I/O nor "
                     "recovery yet (NativeJob rejects both)"
                 )
+        from ..native.records import STRING_FAMILIES
+
+        if self.string_family not in STRING_FAMILIES:
+            raise ValueError(
+                f"unknown string family {self.string_family!r}; choose "
+                f"from {sorted(STRING_FAMILIES)}"
+            )
+        if self.string_family != "hex" and self.records != "string":
+            raise ValueError(
+                f"string family {self.string_family!r} requires "
+                'records="string"'
+            )
+        if self.algo not in ("canonical", "striped", "guidesort"):
+            raise ValueError(f"unknown algorithm {self.algo!r}")
+        if self.algo != "canonical":
+            if "sim" in self.backends:
+                raise ValueError(
+                    "non-canonical algo cases run the native backend only"
+                )
+            if self.records != "fixed16":
+                raise ValueError(
+                    f"algo {self.algo!r} only supports fixed16 records yet"
+                )
+            if self.pipelined or self.recover:
+                raise ValueError(
+                    f"algo {self.algo!r} supports neither pipelined I/O "
+                    "nor recovery yet (NativeJob rejects both)"
+                )
 
     # -- replay tokens --------------------------------------------------------
 
@@ -122,7 +226,14 @@ class CaseSpec:
         if self.recover:
             token += ":recover"
         if self.records != "fixed16":
-            token += ":str"
+            token += (
+                ":str" if self.string_family == "hex"
+                else f":str-{self.string_family}"
+            )
+        if self.algo == "striped":
+            token += ":striped"
+        elif self.algo == "guidesort":
+            token += ":guide"
         return token
 
     @classmethod
@@ -132,7 +243,8 @@ class CaseSpec:
             raise ValueError(
                 f"bad replay token {token!r}: want "
                 "entry:sizing:p<P>:s<seed>:rand|norand:selection"
-                "[:backends][:pipe][:tcp|:shm][:recover][:str]"
+                "[:backends][:pipe][:tcp|:shm][:recover]"
+                "[:str|:str-url|:str-log][:striped|:guide]"
             )
         entry, sizing, p, s, rand, selection = parts[:6]
         if not p.startswith("p") or not s.startswith("s"):
@@ -142,6 +254,8 @@ class CaseSpec:
         transport = "pipe"
         recover = False
         records = "fixed16"
+        algo = "canonical"
+        string_family = "hex"
         for part in parts[6:]:
             if part == "pipe":
                 pipelined = True
@@ -151,6 +265,13 @@ class CaseSpec:
                 recover = True
             elif part == "str":
                 records = "string"
+            elif part.startswith("str-"):
+                records = "string"
+                string_family = part[len("str-"):]
+            elif part == "striped":
+                algo = "striped"
+            elif part == "guide":
+                algo = "guidesort"
             else:
                 backends = tuple(part.split("+"))
         return cls(
@@ -165,6 +286,8 @@ class CaseSpec:
             transport=transport,
             recover=recover,
             records=records,
+            algo=algo,
+            string_family=string_family,
         )
 
     def replay_command(self) -> str:
@@ -290,22 +413,78 @@ def shm_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
     ]
 
 
-def string_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+#: Deterministic family rotation for :func:`string_variants` — the
+#: synthetic hex map plus the real-workload URL and log-line corpora.
+STRING_FAMILY_CYCLE = ("hex", "url", "log")
+
+
+def string_variants(
+    specs: Sequence[CaseSpec],
+    families: Sequence[str] = STRING_FAMILY_CYCLE,
+) -> List[CaseSpec]:
     """Native-only string twins of ``specs`` (variable-length records).
 
-    Each twin maps the corpus's u64 keys through the order- and
-    duplicate-preserving :func:`~repro.native.records.string_key_from_u64`
-    and sorts the resulting length-prefixed records.  The oracle is an
-    *independent* Python ``sorted()`` of the decoded byte strings cut at
-    the canonical ``i*N/P`` boundaries — so every corpus distribution
-    (duplicates, staircases, adversarial splits) re-exercises the byte-
-    rank selection and the LCP-compressed exchange.
+    Each twin maps the corpus's u64 keys through an order- and
+    duplicate-preserving u64-to-bytes embedding
+    (:data:`~repro.native.records.STRING_FAMILIES`) and sorts the
+    resulting length-prefixed records.  The oracle is an *independent*
+    Python ``sorted()`` of the decoded byte strings cut at the canonical
+    ``i*N/P`` boundaries — so every corpus distribution (duplicates,
+    staircases, adversarial splits) re-exercises the byte-rank selection
+    and the LCP-compressed exchange.
+
+    Twins cycle deterministically through ``families`` (synthetic hex,
+    URL-like, log-line), so any slice of three or more specs covers all
+    the corpus's string shapes without multiplying the case count.
+    """
+    eligible = [
+        spec for spec in specs
+        if not spec.pipelined and not spec.recover
+        and spec.records == "fixed16" and spec.algo == "canonical"
+    ]
+    return [
+        replace(
+            spec,
+            backends=("native",),
+            records="string",
+            string_family=families[i % len(families)],
+        )
+        for i, spec in enumerate(eligible)
+    ]
+
+
+def striped_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+    """Native-only striped-mergesort twins of ``specs``.
+
+    Each twin sorts the identical workload with the globally striped
+    backend (:mod:`repro.native.algos.striped`): runs striped block-wise
+    over all PEs, merge by collective batch re-sort.  The oracle
+    byte-comparison proves the striped data path converges to the same
+    canonical balanced output; the conservation check switches to the
+    striped wire profile (run-formation wire exactly N·16, merge wire at
+    least 2·N·16, the all-to-all slot empty).
     """
     return [
-        replace(spec, backends=("native",), records="string")
+        replace(spec, backends=("native",), algo="striped")
         for spec in specs
         if not spec.pipelined and not spec.recover
-        and spec.records == "fixed16"
+        and spec.records == "fixed16" and spec.algo == "canonical"
+    ]
+
+
+def guidesort_variants(specs: Sequence[CaseSpec]) -> List[CaseSpec]:
+    """Native-only Guidesort twins of ``specs``.
+
+    Each twin keeps canonical phases 1–3 and swaps the merge for the
+    deterministic guide-sequence pass
+    (:mod:`repro.native.algos.guidesort`); conservation invariants are
+    canonical's, byte for byte.
+    """
+    return [
+        replace(spec, backends=("native",), algo="guidesort")
+        for spec in specs
+        if not spec.pipelined and not spec.recover
+        and spec.records == "fixed16" and spec.algo == "canonical"
     ]
 
 
@@ -412,6 +591,7 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
             write_behind_blocks=4 if spec.pipelined else 0,
             chaos=chaos,
             max_restarts=1 if spec.recover else 0,
+            algo=spec.algo,
         )
         sort = NativeSorter(job).run()
 
@@ -464,9 +644,18 @@ def run_native_case(spec: CaseSpec, workdir: Optional[str] = None) -> CaseResult
                     )
 
         # Conservation: every conserved phase moved exactly N·record_bytes
-        # through the block store, summed over the workers.
+        # through the block store, summed over the workers.  The striped
+        # backend asserts its own profile (two exchanges, empty
+        # all-to-all slot); canonical and guidesort share the canonical
+        # one.
         nbytes = total * RECORD_BYTES
-        for phase, (check_r, check_w) in _CONSERVED_NATIVE.items():
+        if spec.algo == "striped":
+            result.divergences.extend(
+                _check_striped_conservation(sort.stats.workers, nbytes)
+            )
+        for phase, (check_r, check_w) in (
+            {} if spec.algo == "striped" else _CONSERVED_NATIVE
+        ).items():
             if spec.recover and phase == "run_formation":
                 # The resumed epoch restores its runs from the manifest:
                 # by design it re-reads zero input bytes, so conservation
@@ -500,10 +689,11 @@ def _run_native_string_case(
 ) -> CaseResult:
     """One *string-model* case through the native backend.
 
-    The corpus keys are mapped through the order- and duplicate-
-    preserving :func:`~repro.native.records.string_key_from_u64`; the
-    oracle is an independent Python ``sorted()`` of the decoded byte
-    strings cut at the canonical ``i*N/P`` boundaries.  Conservation is
+    The corpus keys are mapped through the case's string family — an
+    order- and duplicate-preserving u64-to-bytes embedding from
+    :data:`~repro.native.records.STRING_FAMILIES`; the oracle is an
+    independent Python ``sorted()`` of the decoded byte strings cut at
+    the canonical ``i*N/P`` boundaries.  Conservation is
     checked in *encoded* bytes (length prefix + key + payload; the
     ``:index``-tagged sidecar I/O is bookkept separately), and the LCP
     wire counters must balance their volume identity exactly.
@@ -511,8 +701,8 @@ def _run_native_string_case(
     from ..native import NativeJob, NativeSorter
     from ..native.records import (
         VarlenBatch,
+        resolve_string_family,
         string_checksum,
-        string_key_from_u64,
         write_varlen_file,
     )
 
@@ -521,8 +711,9 @@ def _run_native_string_case(
     total = n * spec.n_workers
     result = CaseResult(spec=spec, backend="native", total_records=total)
 
+    key_map = resolve_string_family(spec.string_family)
     keys_in: List[bytes] = [
-        string_key_from_u64(int(v)) for part in parts for v in part
+        key_map(int(v)) for part in parts for v in part
     ]
     input_batch = VarlenBatch.build(keys_in, range(total))
     want_checksum = string_checksum(input_batch)
@@ -626,7 +817,7 @@ def _run_native_string_case(
 
         # The LCP identity: per family, wire == raw + overhead - trimmed
         # (it is linear, so it survives summing over workers), and the
-        # hex-prefixed corpus keys must actually compress somewhere.
+        # corpus keys of every family must actually compress somewhere.
         trimmed_total = 0
         for fam in _LCP_FAMILIES:
             sums = {

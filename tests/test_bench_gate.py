@@ -288,15 +288,119 @@ def test_check_mode_rejects_malformed_file(tmp_path):
 def test_committed_trajectory_is_healthy():
     """The file committed in this repo must itself pass the gate's check.
 
-    This is the acceptance bar made executable: schema-valid, and the
-    shm all-to-all at least 1.5x the pipe all-to-all on the machine
-    that produced the committed entry.
+    This is the acceptance bar made executable: schema-valid, the shm
+    all-to-all at least 1.5x the pipe all-to-all on the machine that
+    produced the committed canonical entry, and the bake-off recorded —
+    a canonical and a striped entry must both be present, with the
+    striped entry's measured exchange volume showing the amplification
+    (run-formation wire == N, merge wire >= 2N, empty all-to-all slot).
     """
     committed = os.path.join(
         os.path.dirname(_GATE_PATH), "..", "benchmarks", "BENCH_native.json"
     )
     assert os.path.exists(committed), "benchmarks/BENCH_native.json not committed"
     doc = bench_gate.load_trajectory(committed)
-    assert bench_gate.check_invariants(bench_gate.latest_entry(doc)) == []
+    algos = bench_gate.algos_present(doc)
+    assert "canonical" in algos and "striped" in algos
+    for algo in algos:
+        entry = bench_gate.latest_entry(doc, algo)
+        assert bench_gate.check_invariants(entry) == [], algo
     sizing = doc["sizing"]
     assert sizing["n_workers"] == 4 and sizing["data_mib"] == 8.0
+    n_mib = sizing["n_workers"] * sizing["data_mib"]
+    striped = bench_gate.latest_entry(doc, "striped")
+    for t, tdoc in striped["transports"].items():
+        wire = tdoc["wire_volume_mib"]
+        assert abs(wire["run_formation"] - n_mib) < 1e-6, t
+        assert wire["merge"] >= 2 * n_mib, t
+        assert wire["all_to_all"] == 0.0, t
+
+
+# -- per-backend (algo-tagged) entries ----------------------------------------
+
+
+def tag_algo(doc, algo):
+    """Tag every entry of ``doc`` with a backend name, in place."""
+    for entry in doc["entries"]:
+        entry["algo"] = algo
+    return doc
+
+
+def make_bakeoff_doc(scale=1.0):
+    """A trajectory holding one untagged entry plus a striped entry.
+
+    The untagged entry is the pre-bake-off history: the gate must treat
+    its missing ``algo`` field as ``"canonical"``.
+    """
+    doc = make_doc(scale=scale)
+    striped = json.loads(json.dumps(doc["entries"][0]))
+    striped["algo"] = "striped"
+    # Striped's planning-only phases move no disk bytes and are not
+    # recorded (nothing to gate there).
+    for t in striped["transports"].values():
+        del t["phases"]["selection"]
+        del t["phases"]["all_to_all"]
+    doc["entries"].append(striped)
+    return doc
+
+
+def test_missing_algo_field_means_canonical():
+    """Entries predating the algo tag are canonical — pinned behavior."""
+    assert bench_gate.entry_algo({}) == "canonical"
+    assert bench_gate.entry_algo({"algo": "striped"}) == "striped"
+    doc = make_bakeoff_doc()
+    assert bench_gate.algos_present(doc) == ["canonical", "striped"]
+    assert bench_gate.latest_entry(doc, "canonical") is doc["entries"][0]
+    assert bench_gate.latest_entry(doc, "striped") is doc["entries"][1]
+    assert bench_gate.latest_entry(doc, "guidesort") is None
+
+
+def test_bakeoff_candidate_gates_per_backend(tmp_path):
+    baseline = write(tmp_path, "baseline.json", make_bakeoff_doc())
+    cand = write(tmp_path, "cand.json", make_bakeoff_doc(scale=0.5))
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 0
+
+
+def test_regression_in_one_backend_fails(tmp_path, capsys):
+    baseline = write(tmp_path, "baseline.json", make_bakeoff_doc())
+    doc = make_bakeoff_doc()
+    doc["entries"][1]["transports"]["pipe"]["phases"]["merge"] *= 0.5
+    cand = write(tmp_path, "cand.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 1
+    assert "pipe/merge" in capsys.readouterr().err
+
+
+def test_candidate_missing_a_backend_is_drift(tmp_path, capsys):
+    baseline = write(tmp_path, "baseline.json", make_bakeoff_doc())
+    cand = write(tmp_path, "cand.json", make_doc())  # canonical only
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 2
+    assert "missing backend 'striped'" in capsys.readouterr().err
+
+
+def test_new_backend_in_candidate_only_passes(tmp_path):
+    # A backend the baseline has never seen gains its baseline when the
+    # candidate file is committed; it must not fail the gate today.
+    baseline = write(tmp_path, "baseline.json", make_doc())
+    cand = write(tmp_path, "cand.json", make_bakeoff_doc())
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 0
+
+
+def test_check_gates_every_backend(tmp_path, capsys):
+    # An invariant violation in the *canonical* entry fails --check even
+    # when a later striped entry is the file's newest.
+    doc = make_bakeoff_doc()
+    e = doc["entries"][0]["transports"]
+    e["shm"]["phases"]["all_to_all"] = e["pipe"]["phases"]["all_to_all"] * 1.1
+    baseline = write(tmp_path, "baseline.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--check"]) == 1
+    assert "INVARIANT FAILED" in capsys.readouterr().err
+
+
+def test_shm_invariant_skipped_for_noncanonical():
+    # A striped entry with a slow shm all-to-all is not an invariant
+    # breach: its all-to-all slot is empty by design.
+    doc = make_doc()
+    tag_algo(doc, "striped")
+    e = doc["entries"][0]["transports"]
+    e["shm"]["phases"]["all_to_all"] = e["pipe"]["phases"]["all_to_all"] * 0.5
+    assert bench_gate.check_invariants(doc["entries"][0]) == []

@@ -73,11 +73,17 @@ def test_pipelined_token_round_trips():
 
 
 # String twins of a quick-matrix slice: the same corpus keys mapped
-# through the order-preserving u64-to-string embedding, sorted as
+# through an order-preserving u64-to-string embedding, sorted as
 # variable-length records against an independent decoded sorted()
-# oracle.  (Every matrix case gets a string twin nightly via
+# oracle.  The twins cycle through the string families, so tier-1
+# exercises the synthetic hex map AND the real-workload URL / log-line
+# corpora.  (Every matrix case gets a string twin nightly via
 # `conformance --strings`.)
 STR_QUICK = differential.string_variants(QUICK[:3])
+
+
+def test_string_twins_cover_every_family():
+    assert [s.string_family for s in STR_QUICK] == ["hex", "url", "log"]
 
 
 @pytest.mark.parametrize(
@@ -101,6 +107,23 @@ def test_string_token_round_trips():
     token = spec.to_token()
     assert token.endswith(":str")
     assert differential.CaseSpec.from_token(token) == spec
+
+
+def test_string_family_token_round_trips():
+    for family in ("url", "log"):
+        spec = differential.CaseSpec(
+            "uniform", "base", n_workers=2, seed=5,
+            backends=("native",), records="string", string_family=family,
+        )
+        token = spec.to_token()
+        assert token.endswith(f":str-{family}")
+        assert differential.CaseSpec.from_token(token) == spec
+    with pytest.raises(ValueError, match="unknown string family"):
+        differential.CaseSpec.from_token(
+            "uniform:base:p2:s5:rand:sampled:native:str-csv"
+        )
+    with pytest.raises(ValueError, match='requires records="string"'):
+        differential.CaseSpec("uniform", "base", string_family="url")
 
 
 def test_string_divergence_is_actually_detected(tmp_path, monkeypatch):

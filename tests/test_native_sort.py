@@ -174,12 +174,20 @@ def test_worker_failure_surfaces_as_sort_error(tmp_path, monkeypatch):
 
     if "fork" not in mp.get_all_start_methods():
         pytest.skip("needs fork so children inherit the monkeypatch")
+    import dataclasses
+
     import repro.native.worker as worker_mod
+    from repro.native.algos import resolve_algorithm
 
     def boom(ctx):
         raise RuntimeError("injected failure")
 
-    monkeypatch.setattr(worker_mod, "run_formation", boom)
+    def resolve_boom(algo, records="fixed16"):
+        return dataclasses.replace(
+            resolve_algorithm(algo, records), run_formation=boom
+        )
+
+    monkeypatch.setattr(worker_mod, "resolve_algorithm", resolve_boom)
     job = NativeJob(
         config=native_config(), n_workers=2, spill_dir=str(tmp_path), timeout=60
     )

@@ -244,6 +244,37 @@ class TestShmTransportJobs:
                 svc.submit(dict(SMALL, transport="tcp"))
 
 
+# ------------------------------------------------------------ algo backends
+
+
+class TestAlgoSpecs:
+    @pytest.mark.parametrize("algo", ["striped", "guidesort"])
+    def test_algo_spec_round_trips_through_submit(self, tmp_path, algo):
+        """An ``algo`` spec reaches the compiled job and the warm pool
+        runs that backend to the same bytes as a cold single-shot run."""
+        spec = dict(SMALL, algo=algo, label=algo)
+        oracle = single_shot(spec, tmp_path / "oracle")
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path / "svc"), listen=None
+        ) as svc:
+            job = svc.wait(svc.submit(spec), timeout=120)
+            assert job.state == "DONE", job.error
+            assert job.job.algo == algo
+            assert job.result.validate().ok
+            assert output_bytes(job.job, job.result.outputs) == (
+                output_bytes(oracle.job, oracle.outputs)
+            )
+
+    def test_unknown_algo_is_rejected(self, tmp_path):
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path), listen=None
+        ) as svc:
+            with pytest.raises(JobRejected):
+                svc.submit(dict(SMALL, algo="quicksort"))
+            # Rejections never occupy the queue.
+            assert svc.stats_snapshot()["jobs"]["submitted"] == 0
+
+
 # ---------------------------------------------------------------- admission
 
 

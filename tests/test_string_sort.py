@@ -30,9 +30,13 @@ from repro.native.records import (
     read_varlen_file,
     records_from_bytes,
     resolve_model,
+    resolve_string_family,
     string_checksum,
     string_key_from_u64,
+    STRING_FAMILIES,
+    logline_key_from_u64,
     unembed_key,
+    url_key_from_u64,
     varlen_index_path,
     write_varlen_file,
 )
@@ -177,6 +181,28 @@ def test_string_key_map_is_order_and_duplicate_preserving():
     assert (keys[1] == keys[2]) and (keys[6] == keys[7])
     lengths = {len(k) for k in keys}
     assert len(lengths) > 1  # really variable-length
+
+
+@pytest.mark.parametrize("family", sorted(STRING_FAMILIES))
+def test_every_string_family_is_order_and_duplicate_preserving(family):
+    key_map = STRING_FAMILIES[family]
+    rng = np.random.default_rng(11)
+    values = [int(v) for v in rng.integers(0, 2**63, 500, dtype=np.uint64)]
+    values += [0, 1, 1, 2**64 - 1, 2**63, 7, 7]
+    keys = [key_map(v) for v in values]
+    assert sorted(keys) == [key_map(v) for v in sorted(values)]
+    assert key_map(7) == key_map(7)  # duplicates stay duplicates
+    assert len({len(k) for k in keys}) > 1  # really variable-length
+
+
+def test_real_workload_families_look_the_part():
+    assert url_key_from_u64(12345).startswith(b"https://")
+    assert b".example.com/" in url_key_from_u64(12345)
+    line = logline_key_from_u64(10**6 + 250)
+    assert line.startswith(b"00000000000001.000250Z ")
+    assert resolve_string_family("url") is url_key_from_u64
+    with pytest.raises(ValueError, match="unknown string family"):
+        resolve_string_family("csv")
 
 
 def test_string_checksum_order_independent():

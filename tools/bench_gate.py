@@ -119,8 +119,35 @@ def load_trajectory(path: str) -> dict:
     return doc
 
 
-def latest_entry(doc: dict) -> dict:
-    return doc["entries"][-1]
+def entry_algo(entry: dict) -> str:
+    """The backend an entry measured; entries predating the algo tag
+    are canonical by definition (the only backend that existed)."""
+    return entry.get("algo", "canonical")
+
+
+def algos_present(doc: dict) -> List[str]:
+    """Backends with at least one entry, in first-appearance order."""
+    seen: List[str] = []
+    for entry in doc["entries"]:
+        algo = entry_algo(entry)
+        if algo not in seen:
+            seen.append(algo)
+    return seen
+
+
+def latest_entry(doc: dict, algo: str = None) -> dict:
+    """The newest entry, or the newest entry for one backend.
+
+    With ``algo=None`` (legacy call shape) the file's last entry wins
+    regardless of backend; with an explicit ``algo`` the newest matching
+    entry wins, or ``None`` if the backend never appears.
+    """
+    if algo is None:
+        return doc["entries"][-1]
+    for entry in reversed(doc["entries"]):
+        if entry_algo(entry) == algo:
+            return entry
+    return None
 
 
 def compare_entries(
@@ -165,10 +192,20 @@ def compare_entries(
 def check_invariants(
     entry: dict, min_shm_speedup: float = MIN_SHM_A2A_SPEEDUP
 ) -> List[str]:
-    """Perf invariants the committed trajectory must uphold."""
+    """Perf invariants the committed trajectory must uphold.
+
+    The shm-vs-pipe all-to-all speedup only constrains the canonical
+    backend: striped's all-to-all slot is empty by design (its exchanges
+    live in run formation and merge), so the invariant would be
+    vacuously comparing zeros there.
+    """
     problems: List[str] = []
     transports = entry["transports"]
-    if "shm" in transports and "pipe" in transports:
+    if (
+        entry_algo(entry) == "canonical"
+        and "shm" in transports
+        and "pipe" in transports
+    ):
         shm_a2a = transports["shm"]["phases"].get("all_to_all", 0.0)
         pipe_a2a = transports["pipe"]["phases"].get("all_to_all", 0.0)
         if shm_a2a < min_shm_speedup * pipe_a2a:
@@ -228,7 +265,11 @@ def main(argv=None) -> int:
         base_doc = load_trajectory(args.baseline)
 
         if args.check:
-            problems = check_invariants(latest_entry(base_doc))
+            problems = []
+            for algo in algos_present(base_doc):
+                problems.extend(
+                    check_invariants(latest_entry(base_doc, algo))
+                )
             for p in problems:
                 print(f"INVARIANT FAILED: {p}", file=sys.stderr)
             if problems:
@@ -252,10 +293,24 @@ def main(argv=None) -> int:
             f"candidate sizing {cand_doc['sizing']!r} != baseline sizing "
             f"{base_doc['sizing']!r}",
         )
-        regressions = compare_entries(
-            latest_entry(base_doc), latest_entry(cand_doc),
-            threshold=args.threshold,
-        )
+        # Gate per backend: every backend in the baseline must appear in
+        # the candidate (dropping one is drift, never a silent pass); a
+        # backend only the candidate has is new and gains a baseline the
+        # moment the candidate file is committed.
+        regressions = []
+        for algo in algos_present(base_doc):
+            cand_entry = latest_entry(cand_doc, algo)
+            _require(
+                cand_entry is not None,
+                f"candidate is missing backend {algo!r} present in the "
+                "baseline",
+            )
+            regressions.extend(
+                compare_entries(
+                    latest_entry(base_doc, algo), cand_entry,
+                    threshold=args.threshold,
+                )
+            )
     except SchemaError as exc:
         print(f"SCHEMA DRIFT: {exc}", file=sys.stderr)
         return 2
@@ -264,11 +319,15 @@ def main(argv=None) -> int:
         print(f"REGRESSION: {r}", file=sys.stderr)
     if regressions:
         return 1
-    base = latest_entry(base_doc)
-    n_phases = sum(len(t["phases"]) for t in base["transports"].values())
+    algos = algos_present(base_doc)
+    n_phases = sum(
+        len(t["phases"])
+        for algo in algos
+        for t in latest_entry(base_doc, algo)["transports"].values()
+    )
     print(
         f"bench gate: {n_phases} phase throughputs across "
-        f"{len(base['transports'])} transports within "
+        f"{len(algos)} backend(s) within "
         f"{args.threshold:.0%} of the committed baseline"
     )
     return 0
