@@ -57,6 +57,18 @@ TRAJECTORY_TRANSPORTS = ("pipe", "tcp", "shm")
 #: the canonical-vs-striped rows are where the all-to-all amplification
 #: crossover lives, guidesort rides along for the merge comparison.
 TRAJECTORY_ALGOS = ("canonical", "striped", "guidesort")
+#: (algo, workload) variants measured per trajectory run.  The
+#: ``("striped", "dup")`` entry is the dedicated duplicate-heavy bench:
+#: gensort skew keys make striped's merge re-sort resend records it
+#: already placed (the amplification worst case PR 9 flagged), so the
+#: regression gate tracks that worst case per backend, not just the
+#: random-input happy path.
+TRAJECTORY_VARIANTS = (
+    ("canonical", "random"),
+    ("striped", "random"),
+    ("guidesort", "random"),
+    ("striped", "dup"),
+)
 TRAJECTORY_SCHEMA = 1
 DEFAULT_TRAJECTORY_FILE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_native.json"
@@ -88,8 +100,19 @@ def run_native_bench(
     write_behind_blocks: int = 0,
     baseline: bool = True,
     algo: str = "canonical",
+    records: str = "fixed16",
+    pending_sends: int = 4,
+    shm_ring_kib: "int | None" = None,
+    checkpoint: bool = False,
+    a2a_checkpoint_chunks: int = 8,
 ) -> dict:
-    """One native sort + the RAM baseline; returns a comparison dict."""
+    """One native sort + the RAM baseline; returns a comparison dict.
+
+    Every keyword here is a knob the ablation driver
+    (:mod:`repro.tuning`) can vary — this function is the single
+    measurement path shared by ad-hoc runs, the committed trajectory,
+    and the tuner's one-knob-off sweeps.
+    """
     config = SortConfig(
         data_per_node_bytes=data_mib * MiB,
         memory_bytes=memory_mib * MiB,
@@ -102,9 +125,14 @@ def run_native_bench(
         result = native_sort(
             config, n_workers=n_workers, spill_dir=root,
             skew=skew, timeout=timeout, transport=transport,
+            pending_sends=pending_sends,
             prefetch_blocks=prefetch_blocks,
             write_behind_blocks=write_behind_blocks,
+            checkpoint=checkpoint,
+            a2a_checkpoint_chunks=a2a_checkpoint_chunks,
+            records=records,
             algo=algo,
+            shm_ring_kib=shm_ring_kib,
         )
         report = result.validate()
         stats = result.stats
@@ -231,6 +259,7 @@ def measure_trajectory_entry(
     transports: tuple = TRAJECTORY_TRANSPORTS,
     timeout: float = 600.0,
     algo: str = "canonical",
+    workload: str = "random",
 ) -> dict:
     """One trajectory data point: per-phase MB/s for every transport.
 
@@ -242,21 +271,29 @@ def measure_trajectory_entry(
     baseline (tools/bench_gate.py).
 
     ``algo`` tags the entry with the backend it measured (the gate
-    treats a missing tag as ``"canonical"``).  Phases that move zero
+    treats a missing tag as ``"canonical"``).  ``workload`` tags the
+    input distribution: ``"random"`` (uniform keys, the default — a
+    missing tag means random) or ``"dup"`` (duplicate-heavy gensort
+    skew keys — striped's resend worst case).  Phases that move zero
     disk bytes under a backend (striped's planning-only selection and
     its empty all-to-all slot) are omitted from the phases map — the
     per-phase ``wire_volume_mib`` map alongside is where the striped
     exchange volume (and the amplification vs canonical's single
     all-to-all) is recorded.
     """
+    if workload not in ("random", "dup"):
+        raise ValueError(f"unknown trajectory workload {workload!r}")
+    skew = workload == "dup"
     sizing = dict(TRAJECTORY_SIZING if sizing is None else sizing)
     entry = {"stamp": stamp, "algo": algo, "transports": {}}
+    if workload != "random":
+        entry["workload"] = workload
     base = in_ram_baseline(
         total_records=int(
             sizing["n_workers"] * sizing["data_mib"] * MiB // RECORD_BYTES
         ),
         seed=sizing["seed"],
-        skew=False,
+        skew=skew,
     )
     entry["np_sort_mb_s"] = base["mb_s"]
     for transport in transports:
@@ -266,6 +303,7 @@ def measure_trajectory_entry(
             memory_mib=sizing["memory_mib"],
             block_kib=sizing["block_kib"],
             seed=sizing["seed"],
+            skew=skew,
             timeout=timeout,
             transport=transport,
             baseline=False,
@@ -304,16 +342,16 @@ def append_trajectory(
     sizing: dict | None = None,
     transports: tuple = TRAJECTORY_TRANSPORTS,
     timeout: float = 600.0,
-    algos: tuple = TRAJECTORY_ALGOS,
+    variants: tuple = TRAJECTORY_VARIANTS,
 ) -> list:
-    """Measure one entry per backend and append them to the trajectory.
+    """Measure one entry per (backend, workload) variant and append them.
 
     The file is schema-versioned JSON; entries accumulate so the
     committed history shows how throughput moved PR over PR.  A sizing
     mismatch with the existing file is an error — mixed sizings would
     make the trajectory meaningless.  All appended entries share one
-    stamp; the ``algo`` tag tells them apart (the regression gate
-    compares per backend).
+    stamp; the ``algo`` and ``workload`` tags tell them apart (the
+    regression gate compares per variant).
     """
     sizing = dict(TRAJECTORY_SIZING if sizing is None else sizing)
     if os.path.exists(path):
@@ -335,9 +373,9 @@ def append_trajectory(
     entries = [
         measure_trajectory_entry(
             stamp, sizing=sizing, transports=transports, timeout=timeout,
-            algo=algo,
+            algo=algo, workload=workload,
         )
-        for algo in algos
+        for algo, workload in variants
     ]
     doc["entries"].extend(entries)
     with open(path, "w") as handle:
@@ -355,7 +393,8 @@ def render_trajectory_entry(entry: dict) -> str:
                 phases.append(p)
     lines = [
         f"trajectory entry {entry['stamp']} "
-        f"[{entry.get('algo', 'canonical')}] "
+        f"[{entry.get('algo', 'canonical')}"
+        f"/{entry.get('workload', 'random')}] "
         f"(np.sort ceiling {entry['np_sort_mb_s']:.1f} MB/s)",
         f"{'phase':<16}" + "".join(f"{t:>10}" for t in transports),
     ]

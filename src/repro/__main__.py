@@ -24,6 +24,7 @@ Usage::
         --listen 127.0.0.1:7099
     python -m repro submit --connect 127.0.0.1:7099 --data-mib 8 --wait
     python -m repro jobs --connect 127.0.0.1:7099 --stats
+    python -m repro tune run --quick   # knob ablation sweep (docs/TUNING.md)
 
 Data sizes are given in MiB per node — *represented* bytes for the
 simulator, real record bytes for the native backend.  ``--json`` replaces
@@ -188,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
         "globally striped mergesort, or the guide-sequence merge "
         "(see docs/NATIVE.md)",
     )
+    parser.add_argument(
+        "--shm-ring-kib", type=int, default=None, metavar="KIB",
+        help="shm transport: data capacity of each directed ring buffer "
+        "in KiB (default 1024; rejected for pipe/tcp jobs — this is a "
+        "tuning knob, see docs/TUNING.md)",
+    )
     return parser
 
 
@@ -333,6 +340,7 @@ def run_native(args, config: SortConfig) -> int:
             cleanup_on_abort=not args.keep_spill,
             records=args.records,
             algo=args.algo,
+            shm_ring_kib=args.shm_ring_kib,
         )
     except ConfigError as exc:
         print(f"config error: {exc}", file=sys.stderr)
@@ -441,6 +449,12 @@ def main(argv=None) -> int:
         return conformance_main(argv[1:])
     if argv and argv[0] == "worker":
         return run_worker(argv[1:])
+    if argv and argv[0] == "tune":
+        # The ablation + auto-tuning harness (docs/TUNING.md):
+        # python -m repro tune plan|run|report|suggest ...
+        from .tuning.cli import main as tune_main
+
+        return tune_main(argv[1:])
     if argv and argv[0] in ("serve", "submit", "jobs"):
         # The sort service (docs/SERVICE.md): a persistent daemon plus
         # its thin submit/inspect clients, each with its own parser.

@@ -314,7 +314,8 @@ class NativeSorter:
         from .shm import create_shm_mesh
 
         mesh = create_shm_mesh(
-            self._ctx, job.n_workers, job_tag=getattr(job, "job_tag", 0)
+            self._ctx, job.n_workers, ring_bytes=job.ring_bytes,
+            job_tag=getattr(job, "job_tag", 0),
         )
         result_pipes = [self._ctx.Pipe(duplex=False) for _ in range(job.n_workers)]
 
@@ -674,6 +675,8 @@ def native_sort(
     checkpoint: bool = False,
     records: str = "fixed16",
     algo: str = "canonical",
+    shm_ring_kib: "int | None" = None,
+    a2a_checkpoint_chunks: int = 8,
 ) -> NativeSortResult:
     """Convenience one-call native sort (generate, sort, return result).
 
@@ -699,5 +702,7 @@ def native_sort(
         checkpoint=checkpoint,
         records=records,
         algo=algo,
+        shm_ring_kib=shm_ring_kib,
+        a2a_checkpoint_chunks=a2a_checkpoint_chunks,
     )
     return NativeSorter(job).run()

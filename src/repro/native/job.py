@@ -137,6 +137,13 @@ class NativeJob:
     #: guide-sequence merge).  See docs/NATIVE.md for the decision
     #: matrix; all backends produce the identical canonical output.
     algo: str = "canonical"
+    #: Shared-memory transport only: data capacity of each directed ring
+    #: in KiB.  ``None`` keeps the transport default
+    #: (:data:`~repro.native.shm.DEFAULT_RING_BYTES`).  Messages larger
+    #: than the ring stream through in pieces, so any positive size is
+    #: correct — smaller rings just park the producer more often (this is
+    #: the knob the ablation driver sweeps; see docs/TUNING.md).
+    shm_ring_kib: Optional[int] = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -162,6 +169,16 @@ class NativeJob:
             raise ConfigError(
                 f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
             )
+        if self.shm_ring_kib is not None:
+            if self.shm_ring_kib < 1:
+                raise ConfigError(
+                    f"shm_ring_kib must be >= 1, got {self.shm_ring_kib}"
+                )
+            if self.transport != "shm":
+                raise ConfigError(
+                    "shm_ring_kib only applies to transport='shm', "
+                    f"got transport={self.transport!r}"
+                )
         if self.timeout <= 0:
             raise ConfigError(f"timeout must be > 0, got {self.timeout}")
         if self.pending_sends < 1:
@@ -330,6 +347,15 @@ class NativeJob:
         return int(min(self.config.selection_cache_blocks, by_memory))
 
     @property
+    def ring_bytes(self) -> int:
+        """Shm ring data capacity in bytes (transport default when unset)."""
+        if self.shm_ring_kib is not None:
+            return self.shm_ring_kib * 1024
+        from .shm import DEFAULT_RING_BYTES
+
+        return DEFAULT_RING_BYTES
+
+    @property
     def checkpointing(self) -> bool:
         """Whether workers journal manifests for phase-boundary resume."""
         return self.checkpoint or self.max_restarts > 0
@@ -380,4 +406,5 @@ class NativeJob:
             "spill_namespace": self.spill_namespace,
             "records": self.records,
             "algo": self.algo,
+            "shm_ring_kib": self.shm_ring_kib,
         }

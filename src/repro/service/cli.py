@@ -66,6 +66,15 @@ def run_serve(argv) -> int:
         help="aggregate spill-footprint admission budget (default: unmetered)",
     )
     parser.add_argument(
+        "--tuning-file", default=None, metavar="PATH",
+        help="ablation file the auto-tuner reads "
+        "(default: the committed benchmarks/BENCH_ablations.json)",
+    )
+    parser.add_argument(
+        "--no-tuning", action="store_true",
+        help="never auto-fill knobs on submitted specs",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="announce the endpoint as one JSON line instead of prose",
     )
@@ -86,6 +95,7 @@ def run_serve(argv) -> int:
             int(args.spill_budget_mib * MiB)
             if args.spill_budget_mib is not None else None
         ),
+        tuning=False if args.no_tuning else (args.tuning_file or None),
     )
     host, port = service.addr
     if args.json:
@@ -126,7 +136,11 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--data-mib", type=float, default=1.0)
     parser.add_argument("--memory-mib", type=float, default=8.0)
-    parser.add_argument("--block-kib", type=float, default=64.0)
+    parser.add_argument(
+        "--block-kib", type=float, default=None,
+        help="block size in KiB (unset lets the service auto-tuner "
+        "pick; the service default is 64)",
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
         "--workload", choices=("random", "skewed"), default="random"
@@ -150,15 +164,23 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
         default="canonical",
         help="native sort backend (see docs/NATIVE.md)",
     )
+    parser.add_argument(
+        "--transport", choices=("pipe", "shm"), default=None,
+        help="per-job mesh substrate (default: service default, 'pipe')",
+    )
+    parser.add_argument(
+        "--shm-ring-kib", type=int, default=None, metavar="KIB",
+        help="shm transport: per-channel ring capacity "
+        "(see docs/TUNING.md)",
+    )
 
 
 def _spec_from_args(args) -> dict:
-    return {
+    spec = {
         "label": args.label,
         "n_workers": args.nodes,
         "data_mib": args.data_mib,
         "memory_mib": args.memory_mib,
-        "block_kib": args.block_kib,
         "seed": args.seed,
         "skew": args.workload == "skewed",
         "timeout": args.timeout,
@@ -167,6 +189,15 @@ def _spec_from_args(args) -> dict:
         "records": args.records,
         "algo": args.algo,
     }
+    # Knob-ish flags stay *out* of the spec when unset, so the service
+    # auto-tuner may fill them; an explicit flag always wins.
+    if args.block_kib is not None:
+        spec["block_kib"] = args.block_kib
+    if args.transport is not None:
+        spec["transport"] = args.transport
+    if args.shm_ring_kib is not None:
+        spec["shm_ring_kib"] = args.shm_ring_kib
+    return spec
 
 
 def run_submit(argv) -> int:
@@ -272,6 +303,12 @@ def run_jobs(argv) -> int:
                         f"{stats['restarts']} restarts, "
                         f"{stats['respawns']} respawns"
                     )
+                    tuning = stats.get("tuning", {})
+                    print(
+                        "auto-tuning "
+                        + ("on" if tuning.get("enabled") else "off")
+                        + f", {tuning.get('jobs_tuned', 0)} jobs tuned"
+                    )
                 return 0
             jobs = client.jobs()
     except ServiceError as exc:
@@ -289,6 +326,11 @@ def run_jobs(argv) -> int:
             )
             if job.get("label"):
                 line += f"  [{job['label']}]"
+            if job.get("tuned_knobs"):
+                line += "  tuned: " + ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(job["tuned_knobs"].items())
+                )
             if job.get("error"):
                 line += f"  error: {job['error']}"
             print(line)

@@ -43,6 +43,7 @@ __all__ = [
     "CANCELLED",
     "TERMINAL_STATES",
     "SPEC_FIELDS",
+    "SPEC_CHOICES",
     "build_native_job",
     "ServiceJob",
 ]
@@ -93,8 +94,42 @@ SPEC_FIELDS = {
     "cleanup_on_abort": (bool, False),
     "records": (str, "fixed16"),
     "algo": (str, "canonical"),
+    "shm_ring_kib": (int, None),
     "chaos": (object, None),
 }
+
+#: Choice-valued spec fields and their accepted values.  ``transport``
+#: is narrower than the native layer's because the pool's PEs live in
+#: one host: per-job meshes are pipe pairs or shm rings, never sockets.
+SPEC_CHOICES = {
+    "transport": ("pipe", "shm"),
+    "selection": ("sampled", "basic", "bisect"),
+    "records": ("fixed16", "string"),
+    "algo": ("canonical", "striped", "guidesort"),
+}
+
+#: Numeric spec fields and their floors: (minimum, or None if the field
+#: just has to be positive when present).  ``None`` values are allowed
+#: everywhere (they mean "use the resolved default").
+_SPEC_MINIMUMS = {
+    "n_workers": 1,
+    "data_mib": None,
+    "memory_mib": None,
+    "block_kib": None,
+    "timeout": None,
+    "pending_sends": 1,
+    "prefetch_blocks": 0,
+    "write_behind_blocks": 0,
+    "max_restarts": 0,
+    "a2a_checkpoint_chunks": 1,
+    "sample_every": 1,
+    "shm_ring_kib": 1,
+}
+
+
+def _reject(key: str, value, detail: str) -> JobRejected:
+    """The uniform rejection message: key, offending value, what's legal."""
+    return JobRejected(f"spec field {key!r}={value!r}: {detail}")
 
 
 def _coerce(spec: dict) -> dict:
@@ -128,24 +163,37 @@ def build_native_job(spec: dict, spill_dir: str) -> NativeJob:
     service stamps them after assigning the job id.
     """
     spec = _coerce(spec)
-    # The pool's PEs are local processes wired up by the scheduler, so
-    # only in-host transports make sense here: the per-job mesh is pipe
-    # pairs or shared-memory rings, never a rendezvous'd socket mesh.
-    if spec["transport"] not in ("pipe", "shm"):
-        raise JobRejected(
-            f"service transport must be 'pipe' or 'shm', "
-            f"got {spec['transport']!r}"
+    for key, accepted in SPEC_CHOICES.items():
+        if spec[key] not in accepted:
+            raise _reject(
+                key, spec[key],
+                "accepted values are " + ", ".join(repr(v) for v in accepted),
+            )
+    for key, floor in _SPEC_MINIMUMS.items():
+        value = spec[key]
+        if value is None:
+            continue
+        if floor is None:
+            if value <= 0:
+                raise _reject(key, value, "must be > 0")
+        elif value < floor:
+            raise _reject(key, value, f"must be >= {floor}")
+    if spec["shm_ring_kib"] is not None and spec["transport"] != "shm":
+        raise _reject(
+            "shm_ring_kib", spec["shm_ring_kib"],
+            f"only applies to transport='shm', got "
+            f"transport={spec['transport']!r}",
         )
-    config = SortConfig(
-        data_per_node_bytes=spec["data_mib"] * MiB,
-        memory_bytes=spec["memory_mib"] * MiB,
-        block_bytes=spec["block_kib"] * KiB,
-        seed=spec["seed"],
-        randomize=spec["randomize"],
-        selection=spec["selection"],
-        sample_every=spec["sample_every"],
-    )
     try:
+        config = SortConfig(
+            data_per_node_bytes=spec["data_mib"] * MiB,
+            memory_bytes=spec["memory_mib"] * MiB,
+            block_bytes=spec["block_kib"] * KiB,
+            seed=spec["seed"],
+            randomize=spec["randomize"],
+            selection=spec["selection"],
+            sample_every=spec["sample_every"],
+        )
         return NativeJob(
             config=config,
             n_workers=spec["n_workers"],
@@ -163,8 +211,13 @@ def build_native_job(spec: dict, spill_dir: str) -> NativeJob:
             cleanup_on_abort=spec["cleanup_on_abort"],
             records=spec["records"],
             algo=spec["algo"],
+            shm_ring_kib=spec["shm_ring_kib"],
         )
     except ConfigError as exc:
+        # Feasibility and cross-field constraints the native layer owns
+        # (e.g. the paper's two-pass N = O(M^2/(P B)) limit) pass
+        # through with their own wording; the uniform per-key checks
+        # above already caught single-field mistakes.
         raise JobRejected(str(exc)) from exc
 
 
@@ -186,6 +239,9 @@ class ServiceJob:
     #: The assembled NativeSortResult on DONE (library callers read the
     #: output files through it; the JSON surface carries a summary).
     result: Optional[object] = None
+    #: Knob assignments the auto-tuner filled in at admission (empty
+    #: when tuning is off or every knob was explicit in the spec).
+    tuned: dict = field(default_factory=dict)
     policy: RestartPolicy = field(default_factory=lambda: RestartPolicy(0))
     done: threading.Event = field(default_factory=threading.Event)
     created_wall: float = field(default_factory=time.time)
@@ -225,6 +281,8 @@ class ServiceJob:
             "created_at": self.created_wall,
             "error": self.error,
         }
+        if self.tuned:
+            out["tuned_knobs"] = dict(self.tuned)
         if queue_position is not None:
             out["queue_position"] = queue_position
         if self.admission_wait is not None:

@@ -268,10 +268,12 @@ class WarmPool:
         if len(handles) != P:
             raise ValueError(f"job wants {P} workers, got {len(handles)}")
         if getattr(job, "transport", "pipe") == "shm":
-            from ..native.shm import create_shm_mesh
+            from ..native.shm import DEFAULT_RING_BYTES, create_shm_mesh
 
             mesh = create_shm_mesh(
-                self._ctx, P, job_tag=getattr(job, "job_tag", 0)
+                self._ctx, P,
+                ring_bytes=getattr(job, "ring_bytes", DEFAULT_RING_BYTES),
+                job_tag=getattr(job, "job_tag", 0),
             )
             # Registered before the sends: whatever happens mid-dispatch,
             # release_mesh(seq) can always unlink the segments.

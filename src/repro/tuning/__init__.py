@@ -1,0 +1,63 @@
+"""Ablation driver + auto-tuning policy (ROADMAP item 5).
+
+Three layers:
+
+* :mod:`repro.tuning.knobs` — the tunable knob space as typed specs
+  with ``(records, algo, transport)`` applicability gates;
+* :mod:`repro.tuning.ablation` — deterministic one-knob-varied run
+  plans (content-hashed run IDs, resume-by-skip), executed through the
+  ``benchmarks/bench_native.py`` measurement path, ranked into
+  ``benchmarks/BENCH_ablations.json``;
+* :mod:`repro.tuning.policy` — ``(sizing, transport, algo, records)
+  -> knob settings`` lookup consumed by the sort service at admission.
+
+CLI: ``python -m repro tune {plan,run,report,suggest}``.
+"""
+
+from .ablation import (
+    ABLATION_SCHEMA,
+    DEFAULT_ABLATIONS_FILE,
+    FULL_CONTEXTS,
+    QUICK_CONTEXTS,
+    AblationError,
+    RunSpec,
+    load_ablations,
+    plan_sweep,
+    rank_knobs,
+    run_id,
+    run_sweep,
+    save_ablations,
+)
+from .knobs import (
+    CONTEXT_FIELDS,
+    KNOBS,
+    SUGGESTABLE_KNOBS,
+    Knob,
+    applicable_knobs,
+    knob_by_name,
+)
+from .policy import DEFAULT_MIN_GAIN, TuningPolicy, suggest_job_knobs
+
+__all__ = [
+    "ABLATION_SCHEMA",
+    "DEFAULT_ABLATIONS_FILE",
+    "FULL_CONTEXTS",
+    "QUICK_CONTEXTS",
+    "AblationError",
+    "RunSpec",
+    "load_ablations",
+    "plan_sweep",
+    "rank_knobs",
+    "run_id",
+    "run_sweep",
+    "save_ablations",
+    "CONTEXT_FIELDS",
+    "KNOBS",
+    "SUGGESTABLE_KNOBS",
+    "Knob",
+    "applicable_knobs",
+    "knob_by_name",
+    "DEFAULT_MIN_GAIN",
+    "TuningPolicy",
+    "suggest_job_knobs",
+]

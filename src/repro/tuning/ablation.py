@@ -1,0 +1,458 @@
+"""Ablation driver: baseline + one-knob-varied runs, ranked deltas.
+
+The driver turns the declared knob space (:mod:`repro.tuning.knobs`)
+into a deterministic **run plan** for a given *context* (sizing +
+transport + algo + records):
+
+* one **baseline** run with every applicable knob at its baseline value;
+* one run per ``(knob, variant)`` pair, identical to the baseline
+  except for that single knob (classic one-factor ablation — the delta
+  against the baseline is attributable to exactly one knob).
+
+Every run gets a **stable content-hashed run ID** (sha256 over the
+canonical JSON of its context + settings): re-planning is reproducible
+byte for byte, re-running *resumes* (runs already recorded in the
+output file are skipped), and two plans can never silently alias
+different settings under one ID.
+
+Execution goes through the **existing measurement path** —
+``benchmarks/bench_native.py``'s ``run_native_bench`` (imported by
+file location, since the benchmarks tree is deliberately not a
+package) — so ablation numbers and trajectory numbers come from the
+same code and are directly comparable.
+
+Results land in a schema-versioned ``benchmarks/BENCH_ablations.json``
+next to the perf trajectory, with an importance-ranked report per
+sweep: for each knob, the best variant's throughput gain over the
+baseline and the per-phase MB/s deltas behind it.  The file is gated
+by ``tools/bench_gate.py --ablations`` in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .knobs import KNOBS, applicable_knobs
+
+__all__ = [
+    "ABLATION_SCHEMA",
+    "DEFAULT_ABLATIONS_FILE",
+    "QUICK_CONTEXTS",
+    "FULL_CONTEXTS",
+    "AblationError",
+    "RunSpec",
+    "run_id",
+    "plan_sweep",
+    "load_ablations",
+    "save_ablations",
+    "run_sweep",
+    "rank_knobs",
+    "load_bench_module",
+]
+
+ABLATION_SCHEMA = 1
+
+#: Repo root relative to the installed package: src/repro/tuning/ ->
+#: src/repro -> src -> repo.  The benchmarks tree and the committed
+#: ablation file live there (same trick bench_native itself uses in
+#: reverse to find src/).
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..")
+)
+DEFAULT_ABLATIONS_FILE = os.path.join(
+    _REPO_ROOT, "benchmarks", "BENCH_ablations.json"
+)
+_BENCH_NATIVE = os.path.join(_REPO_ROOT, "benchmarks", "bench_native.py")
+
+#: The quick sweep (``tune run --quick``): tiny sizings, one context
+#: per in-host transport, finishes in a couple of minutes on a laptop.
+#: Both contexts matter: the policy looks suggestions up by transport,
+#: and the service schedules pipe and shm jobs alike.
+QUICK_CONTEXTS = (
+    {
+        "n_workers": 2, "data_mib": 2.0, "memory_mib": 1.0,
+        "block_kib": 32.0, "seed": 12345,
+        "transport": "pipe", "algo": "canonical", "records": "fixed16",
+    },
+    {
+        "n_workers": 2, "data_mib": 2.0, "memory_mib": 1.0,
+        "block_kib": 32.0, "seed": 12345,
+        "transport": "shm", "algo": "canonical", "records": "fixed16",
+    },
+)
+
+#: The full sweep: the trajectory sizing over every in-host transport
+#: plus TCP (longer; meant for nightly CI or a real tuning pass).
+FULL_CONTEXTS = (
+    {
+        "n_workers": 4, "data_mib": 8.0, "memory_mib": 4.0,
+        "block_kib": 64.0, "seed": 12345,
+        "transport": "pipe", "algo": "canonical", "records": "fixed16",
+    },
+    {
+        "n_workers": 4, "data_mib": 8.0, "memory_mib": 4.0,
+        "block_kib": 64.0, "seed": 12345,
+        "transport": "tcp", "algo": "canonical", "records": "fixed16",
+    },
+    {
+        "n_workers": 4, "data_mib": 8.0, "memory_mib": 4.0,
+        "block_kib": 64.0, "seed": 12345,
+        "transport": "shm", "algo": "canonical", "records": "fixed16",
+    },
+)
+
+
+class AblationError(RuntimeError):
+    """A plan, file, or measurement problem the caller must surface."""
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One planned measurement: its ID, the knob it varies, settings."""
+
+    id: str
+    #: None for the baseline run.
+    knob: Optional[str]
+    #: The varied value (None for the baseline run).
+    value: object = None
+    #: Full kwargs for the measurement path (context + every knob).
+    settings: dict = field(default_factory=dict)
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def run_id(context: dict, settings: dict) -> str:
+    """Stable content hash of one run: same inputs, same ID, forever."""
+    digest = hashlib.sha256(
+        _canonical({"context": context, "settings": settings}).encode()
+    ).hexdigest()
+    return digest[:12]
+
+
+def _effective_context(context: dict, overrides: dict) -> dict:
+    """The context after a varied knob's settings are applied.
+
+    Varying an identity axis (transport, algo) changes which *other*
+    knobs are applicable — a run that switches an shm context to tcp
+    must not carry ``shm_ring_kib``, which the native layer rejects.
+    """
+    out = dict(context)
+    for key, value in overrides.items():
+        if key in out:
+            out[key] = value
+    return out
+
+
+def _settings(context: dict, overrides: dict) -> dict:
+    """Full bench kwargs: context + baseline knobs + ``overrides``."""
+    effective = _effective_context(context, overrides)
+    settings = dict(effective)
+    for knob in applicable_knobs(effective):
+        settings.update(knob.settings_for(knob.baseline_in(effective)))
+    settings.update(overrides)
+    return settings
+
+
+def _feasible(settings: dict) -> bool:
+    """Would the native layer even accept this combination?
+
+    A varied knob can break a *cross-field* constraint the per-knob
+    gates cannot express — e.g. a bigger block at a small quick-sweep
+    sizing trips the paper's two-pass merge limit N = O(M²/(P B)).
+    The planner drops such runs (deterministically: this is a pure
+    function of the settings) instead of letting the sweep crash.
+    """
+    from ..core.config import ConfigError, SortConfig
+    from ..native.job import NativeJob
+
+    try:
+        NativeJob(
+            config=SortConfig(
+                data_per_node_bytes=settings["data_mib"] * 2**20,
+                memory_bytes=settings["memory_mib"] * 2**20,
+                block_bytes=settings["block_kib"] * 1024,
+                seed=settings["seed"],
+            ),
+            n_workers=settings["n_workers"],
+            spill_dir=".",
+            transport=settings.get("transport", "pipe"),
+            pending_sends=settings.get("pending_sends", 4),
+            prefetch_blocks=settings.get("prefetch_blocks", 0),
+            write_behind_blocks=settings.get("write_behind_blocks", 0),
+            checkpoint=settings.get("checkpoint", False),
+            a2a_checkpoint_chunks=settings.get("a2a_checkpoint_chunks", 8),
+            records=settings.get("records", "fixed16"),
+            algo=settings.get("algo", "canonical"),
+            shm_ring_kib=settings.get("shm_ring_kib"),
+        )
+        return True
+    except ConfigError:
+        return False
+
+
+def plan_sweep(context: dict) -> List[RunSpec]:
+    """The deterministic run plan for one context.
+
+    Baseline first, then one run per (knob, variant) in declared knob
+    order — stable across processes and platforms, so ``tune plan`` is
+    reproducible and run IDs never drift.  Variants the native layer
+    would reject at this sizing are dropped (see :func:`_feasible`);
+    an infeasible *baseline* is a bad context and raises.
+    """
+    base_settings = _settings(context, {})
+    if not _feasible(base_settings):
+        raise AblationError(
+            f"context {context!r} is infeasible at its own baseline "
+            "settings — fix the sweep sizing"
+        )
+    plan: List[RunSpec] = [
+        RunSpec(id=run_id(context, base_settings), knob=None,
+                settings=base_settings)
+    ]
+    seen = {plan[0].id}
+    for knob in applicable_knobs(context):
+        for value in knob.variants_in(context):
+            settings = _settings(context, knob.settings_for(value))
+            rid = run_id(context, settings)
+            if rid in seen:
+                # A variant that collapses to the baseline (or another
+                # variant) under this context's gates is a repeat, and
+                # repeats are never scheduled.
+                continue
+            if not _feasible(settings):
+                continue
+            seen.add(rid)
+            plan.append(
+                RunSpec(id=rid, knob=knob.name, value=value,
+                        settings=settings)
+            )
+    return plan
+
+
+# ------------------------------------------------------------ file handling
+
+
+def load_ablations(path: str) -> dict:
+    """Load (or initialize) the ablation results document."""
+    if not os.path.exists(path):
+        return {"schema": ABLATION_SCHEMA, "sweeps": []}
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise AblationError(f"{path}: not valid JSON: {exc}") from exc
+    if doc.get("schema") != ABLATION_SCHEMA:
+        raise AblationError(
+            f"{path}: schema {doc.get('schema')!r} != {ABLATION_SCHEMA}"
+        )
+    if not isinstance(doc.get("sweeps"), list):
+        raise AblationError(f"{path}: sweeps must be a list")
+    return doc
+
+
+def save_ablations(doc: dict, path: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _find_sweep(doc: dict, context: dict) -> Optional[dict]:
+    for sweep in doc["sweeps"]:
+        if sweep.get("context") == context:
+            return sweep
+    return None
+
+
+# -------------------------------------------------------------- measurement
+
+
+def load_bench_module():
+    """Import ``benchmarks/bench_native.py`` by file location.
+
+    The benchmarks tree is intentionally not a package (it carries its
+    own ``sys.path`` bootstrap for standalone use); the tuner loads it
+    from the repo checkout so both share one measurement path.
+    """
+    import importlib.util
+
+    path = os.environ.get("REPRO_BENCH_NATIVE", _BENCH_NATIVE)
+    if not os.path.exists(path):
+        raise AblationError(
+            f"measurement path {path} not found: the ablation driver "
+            "needs the repo's benchmarks/bench_native.py (set "
+            "REPRO_BENCH_NATIVE to point at it)"
+        )
+    spec = importlib.util.spec_from_file_location("_repro_bench_native", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _default_measure(settings: dict, spill_dir: Optional[str],
+                     timeout: float) -> dict:
+    from ..core.config import ConfigError
+
+    bench = load_bench_module()
+    try:
+        return bench.run_native_bench(
+            spill_dir=spill_dir, timeout=timeout, baseline=False, **settings
+        )
+    except ConfigError as exc:
+        # The planner's feasibility filter should have dropped this
+        # run; surface any residual mismatch as a sweep error, not a
+        # traceback.
+        raise AblationError(
+            f"native layer rejected run settings {settings!r}: {exc}"
+        ) from exc
+
+
+def _distill(result: dict) -> dict:
+    """The per-run record kept in the file (throughputs only)."""
+    if not result.get("ok", False):
+        raise AblationError(
+            f"ablation run failed validation: {result.get('issues')}"
+        )
+    total_mib = result["total_mib"]
+    sort_s = result["sort_phases_s"]
+    return {
+        "ok": True,
+        "sort_mb_s": (
+            total_mib * 2**20 / sort_s / 1e6 if sort_s else 0.0
+        ),
+        "phases": {
+            row["phase"]: row["mb_s"] for row in result["phases"]
+        },
+    }
+
+
+def run_sweep(
+    context: dict,
+    path: str = DEFAULT_ABLATIONS_FILE,
+    spill_dir: Optional[str] = None,
+    timeout: float = 600.0,
+    measure: Optional[Callable[[dict], dict]] = None,
+    log: Callable[[str], None] = lambda msg: None,
+) -> dict:
+    """Execute the plan for ``context``; resume, record, rank, save.
+
+    Runs whose ID already appears in the file's sweep for this context
+    are **skipped** (that is what makes reruns resume and repeats
+    free).  Every completed run is saved immediately, so an interrupted
+    sweep loses at most the run in flight.  Returns the sweep dict.
+    """
+    doc = load_ablations(path)
+    sweep = _find_sweep(doc, context)
+    if sweep is None:
+        sweep = {"context": dict(context), "runs": {}, "ranking": []}
+        doc["sweeps"].append(sweep)
+    plan = plan_sweep(context)
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    for i, spec in enumerate(plan):
+        if spec.id in sweep["runs"] and sweep["runs"][spec.id].get("ok"):
+            log(f"[{i + 1}/{len(plan)}] {spec.id} "
+                f"({spec.knob or 'baseline'}) already recorded, skipping")
+            continue
+        label = (
+            "baseline" if spec.knob is None
+            else f"{spec.knob}={spec.value!r}"
+        )
+        log(f"[{i + 1}/{len(plan)}] {spec.id} running {label} ...")
+        raw = (
+            measure(spec.settings) if measure is not None
+            else _default_measure(spec.settings, spill_dir, timeout)
+        )
+        record = _distill(raw)
+        record.update({
+            "knob": spec.knob,
+            "value": spec.value,
+            "settings": spec.settings,
+            "stamp": stamp,
+        })
+        sweep["runs"][spec.id] = record
+        sweep["ranking"] = rank_knobs(sweep, plan)
+        save_ablations(doc, path)
+    sweep["ranking"] = rank_knobs(sweep, plan)
+    save_ablations(doc, path)
+    return sweep
+
+
+# ------------------------------------------------------------------ ranking
+
+
+def rank_knobs(sweep: dict, plan: Optional[List[RunSpec]] = None) -> List[dict]:
+    """Importance-ranked knob report for one sweep.
+
+    Importance is the largest absolute relative change any variant of
+    the knob produced on end-to-end sort throughput; the per-phase
+    MB/s deltas behind it ride along so a reader can see *where* the
+    time went (e.g. shm ring size moves all_to_all, prefetch moves the
+    merge).  Knobs whose runs are not all recorded yet are omitted —
+    a partial sweep never reports a misleading rank.
+    """
+    if plan is None:
+        plan = plan_sweep(sweep["context"])
+    by_id = sweep["runs"]
+    baseline = next((s for s in plan if s.knob is None), None)
+    if baseline is None or baseline.id not in by_id:
+        return []
+    base = by_id[baseline.id]
+    base_sort = base["sort_mb_s"] or 1e-12
+    ranking: List[dict] = []
+    knobs: Dict[str, List[RunSpec]] = {}
+    for spec in plan:
+        if spec.knob is not None:
+            knobs.setdefault(spec.knob, []).append(spec)
+    for name, specs in knobs.items():
+        if not all(s.id in by_id and by_id[s.id].get("ok") for s in specs):
+            continue
+        variants = []
+        best = None
+        for spec in specs:
+            rec = by_id[spec.id]
+            delta = rec["sort_mb_s"] - base["sort_mb_s"]
+            variants.append({
+                "value": spec.value,
+                "run_id": spec.id,
+                "sort_mb_s": rec["sort_mb_s"],
+                "sort_delta_mb_s": delta,
+                "phase_deltas_mb_s": {
+                    phase: rec["phases"].get(phase, 0.0)
+                    - base["phases"].get(phase, 0.0)
+                    for phase in sorted(
+                        set(rec["phases"]) | set(base["phases"])
+                    )
+                },
+            })
+            if best is None or rec["sort_mb_s"] > best[1]:
+                best = (spec.value, rec["sort_mb_s"])
+        importance = max(
+            abs(v["sort_delta_mb_s"]) / base_sort for v in variants
+        )
+        ranking.append({
+            "knob": name,
+            "importance": importance,
+            "baseline_value": _baseline_value(name, sweep["context"]),
+            "baseline_sort_mb_s": base["sort_mb_s"],
+            "best_value": best[0],
+            "best_sort_mb_s": best[1],
+            "best_gain": (best[1] - base["sort_mb_s"]) / base_sort,
+            "variants": variants,
+        })
+    ranking.sort(key=lambda row: (-row["importance"], row["knob"]))
+    return ranking
+
+
+def _baseline_value(name: str, context: dict):
+    for knob in KNOBS:
+        if knob.name == name:
+            return knob.baseline_in(context)
+    return None

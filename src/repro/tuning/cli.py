@@ -1,0 +1,279 @@
+"""``python -m repro tune``: plan / run / report / suggest.
+
+::
+
+    python -m repro tune plan --quick            # show the run plan
+    python -m repro tune plan --quick --check    # CI: determinism + no repeats
+    python -m repro tune run --quick             # execute (resumes, skips)
+    python -m repro tune report                  # ranked knob importance
+    python -m repro tune suggest --data-mib 64 --memory-mib 8 \\
+        --transport shm                          # what would the tuner pick?
+
+``run`` writes/updates ``benchmarks/BENCH_ablations.json`` (override
+with ``--file``); re-running skips every run already recorded, so an
+interrupted sweep resumes where it stopped.  ``plan --check`` verifies
+the two invariants CI pins on every push: the plan is deterministic
+(two generations agree byte for byte) and repeat-free (no two runs
+share an ID or settings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .ablation import (
+    DEFAULT_ABLATIONS_FILE,
+    FULL_CONTEXTS,
+    QUICK_CONTEXTS,
+    AblationError,
+    load_ablations,
+    plan_sweep,
+    run_sweep,
+)
+from .policy import DEFAULT_MIN_GAIN, TuningPolicy
+
+__all__ = ["main"]
+
+
+def _contexts(args):
+    return QUICK_CONTEXTS if args.quick else FULL_CONTEXTS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="the small two-context sweep (minutes, CI-sized) instead of "
+        "the full trajectory-sized one",
+    )
+    parser.add_argument("--json", action="store_true")
+
+
+def _context_label(ctx: dict) -> str:
+    return (
+        f"{ctx['transport']}/{ctx['algo']}/{ctx['records']} "
+        f"{ctx['data_mib']:g} MiB x {ctx['n_workers']} workers, "
+        f"M={ctx['memory_mib']:g} MiB, B={ctx['block_kib']:g} KiB"
+    )
+
+
+def run_plan(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune plan",
+        description="Show (or check) the deterministic ablation run plan.",
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify plan determinism and the no-repeat invariant; "
+        "exit 1 on violation (the CI smoke)",
+    )
+    args = parser.parse_args(argv)
+    problems = []
+    plans = []
+    for ctx in _contexts(args):
+        plan = plan_sweep(ctx)
+        plans.append((ctx, plan))
+        if args.check:
+            again = plan_sweep(ctx)
+            if [(s.id, s.settings) for s in plan] != [
+                (s.id, s.settings) for s in again
+            ]:
+                problems.append(
+                    f"{_context_label(ctx)}: plan is not deterministic"
+                )
+            ids = [s.id for s in plan]
+            if len(ids) != len(set(ids)):
+                problems.append(
+                    f"{_context_label(ctx)}: duplicate run IDs in the plan"
+                )
+            settings = [
+                json.dumps(s.settings, sort_keys=True) for s in plan
+            ]
+            if len(settings) != len(set(settings)):
+                problems.append(
+                    f"{_context_label(ctx)}: two runs share identical "
+                    "settings (a repeat would be measured twice)"
+                )
+    if args.check:
+        for p in problems:
+            print(f"PLAN CHECK FAILED: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        total = sum(len(plan) for _ctx, plan in plans)
+        print(
+            f"tune plan --check: {len(plans)} context(s), {total} runs, "
+            "deterministic and repeat-free"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "context": ctx,
+                    "runs": [
+                        {"id": s.id, "knob": s.knob, "value": s.value,
+                         "settings": s.settings}
+                        for s in plan
+                    ],
+                }
+                for ctx, plan in plans
+            ],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    for ctx, plan in plans:
+        print(f"context: {_context_label(ctx)}  ({len(plan)} runs)")
+        for s in plan:
+            what = "baseline" if s.knob is None else f"{s.knob}={s.value!r}"
+            print(f"  {s.id}  {what}")
+    return 0
+
+
+def run_run(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune run",
+        description="Execute the ablation sweep (resumable; repeats skipped).",
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--file", default=DEFAULT_ABLATIONS_FILE,
+        help="ablation results JSON (default benchmarks/BENCH_ablations.json)",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None,
+        help="spill directory for the measurement sorts (default: a "
+        "temporary directory per run)",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+    say = (lambda msg: None) if args.json else print
+    sweeps = []
+    try:
+        for ctx in _contexts(args):
+            say(f"sweep: {_context_label(ctx)}")
+            sweeps.append(run_sweep(
+                ctx, path=args.file, spill_dir=args.spill_dir,
+                timeout=args.timeout, log=say,
+            ))
+    except AblationError as exc:
+        print(f"ablation failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(sweeps, indent=2, sort_keys=True))
+    else:
+        print()
+        print(_render_report(load_ablations(args.file)))
+    return 0
+
+
+def _render_report(doc: dict) -> str:
+    lines = []
+    for sweep in doc.get("sweeps", []):
+        lines.append(f"context: {_context_label(sweep['context'])}")
+        ranking = sweep.get("ranking", [])
+        if not ranking:
+            lines.append("  (no complete knob measurements yet)")
+            continue
+        lines.append(
+            f"  {'knob':<20}{'importance':>11}{'baseline':>10}"
+            f"{'best':>10}{'gain':>8}"
+        )
+        for row in ranking:
+            lines.append(
+                f"  {row['knob']:<20}{row['importance']:>10.1%} "
+                f"{row['baseline_value']!r:>9}{row['best_value']!r:>10}"
+                f"{row['best_gain']:>8.1%}"
+            )
+    return "\n".join(lines) if lines else "no sweeps recorded"
+
+
+def run_report(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune report",
+        description="Print the importance-ranked knob report.",
+    )
+    parser.add_argument("--file", default=DEFAULT_ABLATIONS_FILE)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    try:
+        doc = load_ablations(args.file)
+    except AblationError as exc:
+        print(f"bad ablation file: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(_render_report(doc))
+    return 0
+
+
+def run_suggest(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune suggest",
+        description="What knob settings would the auto-tuner pick for a "
+        "job of this shape?",
+    )
+    parser.add_argument("--data-mib", type=float, required=True)
+    parser.add_argument("--memory-mib", type=float, default=8.0)
+    parser.add_argument(
+        "--transport", choices=("pipe", "tcp", "shm"), default="pipe"
+    )
+    parser.add_argument(
+        "--algo", choices=("canonical", "striped", "guidesort"),
+        default="canonical",
+    )
+    parser.add_argument(
+        "--records", choices=("fixed16", "string"), default="fixed16"
+    )
+    parser.add_argument("--file", default=DEFAULT_ABLATIONS_FILE)
+    parser.add_argument(
+        "--min-gain", type=float, default=DEFAULT_MIN_GAIN,
+        help="minimum end-to-end gain before a knob is suggested "
+        "(default 0.05)",
+    )
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    try:
+        policy = TuningPolicy.from_file(
+            args.file, min_gain=args.min_gain, strict=True
+        )
+    except AblationError as exc:
+        print(f"bad ablation file: {exc}", file=sys.stderr)
+        return 1
+    knobs = policy.suggest(
+        data_mib=args.data_mib, memory_mib=args.memory_mib,
+        transport=args.transport, algo=args.algo, records=args.records,
+    )
+    if args.json:
+        print(json.dumps({"knobs": knobs}, indent=2, sort_keys=True))
+    elif not knobs:
+        print("no suggestions (defaults are best, or no matching sweep)")
+    else:
+        for name in sorted(knobs):
+            print(f"{name} = {knobs[name]!r}")
+    return 0
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    commands = {
+        "plan": run_plan,
+        "run": run_run,
+        "report": run_report,
+        "suggest": run_suggest,
+    }
+    if not argv or argv[0] not in commands:
+        print(
+            "usage: python -m repro tune {plan,run,report,suggest} ... "
+            "(see docs/TUNING.md)",
+            file=sys.stderr,
+        )
+        return 2
+    return commands[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

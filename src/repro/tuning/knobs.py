@@ -1,0 +1,167 @@
+"""The tunable knob space, declared as typed specs.
+
+Every constant the native backend grew over the PRs — prefetch depth,
+write-behind budget, exchange backpressure, block (all-to-all chunk)
+granularity, the transport substrate, the shm ring capacity, the
+checkpoint cadence, the algorithm backend — is declared here as one
+:class:`Knob`: a name, its baseline value, the alternative values an
+ablation tries, and the ``(records, algo, transport)`` gates under
+which the knob is applicable at all (the native layer rejects e.g.
+pipelined I/O on non-canonical backends, so the planner must never
+schedule such a run).
+
+The paper (Rahn/Sanders/Singler, ICDE 2010) tunes these constants by
+hand per machine; the ablation driver (:mod:`repro.tuning.ablation`)
+turns each into a measured per-phase MB/s delta, and the policy
+(:mod:`repro.tuning.policy`) turns the deltas into per-job suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "Knob",
+    "KNOBS",
+    "CONTEXT_FIELDS",
+    "SUGGESTABLE_KNOBS",
+    "knob_by_name",
+    "applicable_knobs",
+]
+
+#: Fields that define an ablation *context* (what stays fixed across a
+#: sweep): the sizing plus the identity axes the policy looks up by.
+CONTEXT_FIELDS = (
+    "n_workers",
+    "data_mib",
+    "memory_mib",
+    "block_kib",
+    "seed",
+    "transport",
+    "algo",
+    "records",
+)
+
+#: Knobs the service's auto-tuner may fill in on a submitted spec.
+#: Identity axes (transport, algo) are the policy's *lookup key*, never
+#: a suggestion; block_kib is suggestable because it only changes the
+#: internal chunk granularity, not the output.
+SUGGESTABLE_KNOBS = frozenset(
+    ("pending_sends", "prefetch_blocks", "write_behind_blocks",
+     "shm_ring_kib", "block_kib")
+)
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable: baseline, sweep values, and applicability gates."""
+
+    #: Bench/spec keyword the knob drives (also the plan's display name).
+    name: str
+    #: The value a run gets when this knob is *not* the one being varied.
+    baseline: object
+    #: Values the one-knob-varied runs try (baseline-equal values are
+    #: dropped at planning time, so sweeping a context whose baseline
+    #: already equals a variant never duplicates the baseline run).
+    variants: Tuple
+    #: Applicability gates: None = any value of that axis is fine.
+    transports: Optional[Tuple[str, ...]] = None
+    algos: Optional[Tuple[str, ...]] = None
+    records: Optional[Tuple[str, ...]] = None
+    #: One-line meaning, surfaced by ``tune plan`` / docs.
+    description: str = ""
+
+    def applicable(self, context: dict) -> bool:
+        """Whether this knob can be varied under ``context``'s gates."""
+        if self.transports is not None and (
+            context.get("transport", "pipe") not in self.transports
+        ):
+            return False
+        if self.algos is not None and (
+            context.get("algo", "canonical") not in self.algos
+        ):
+            return False
+        if self.records is not None and (
+            context.get("records", "fixed16") not in self.records
+        ):
+            return False
+        return True
+
+    def baseline_in(self, context: dict) -> object:
+        """The baseline value under ``context`` (context may pin it)."""
+        return context.get(self.name, self.baseline)
+
+    def variants_in(self, context: dict):
+        """Sweep values under ``context``, minus the baseline value."""
+        base = self.baseline_in(context)
+        return tuple(v for v in self.variants if v != base)
+
+    def settings_for(self, value) -> dict:
+        """Bench kwargs that set this knob to ``value``."""
+        if self.name == "checkpoint_cadence":
+            # 0 = checkpointing off (the baseline); > 0 = journal
+            # manifests with an all-to-all watermark every N chunks.
+            if not value:
+                return {"checkpoint": False}
+            return {"checkpoint": True, "a2a_checkpoint_chunks": int(value)}
+        return {self.name: value}
+
+
+#: The declared knob space, in rough order of the ROADMAP item-5 list.
+#: Gates mirror the NativeJob validation matrix: the pipelined I/O
+#: layer and the recovery journal are canonical/fixed16-only today.
+KNOBS: Tuple[Knob, ...] = (
+    Knob(
+        "prefetch_blocks", 0, (4, 16),
+        algos=("canonical",), records=("fixed16",),
+        description="read-ahead budget W in blocks (Appendix-A schedule)",
+    ),
+    Knob(
+        "write_behind_blocks", 0, (4, 16),
+        algos=("canonical",), records=("fixed16",),
+        description="write-behind budget in blocks (bounded writer thread)",
+    ),
+    Knob(
+        "pending_sends", 4, (1, 16),
+        description="exchange backpressure: max chunks parked per sender",
+    ),
+    Knob(
+        "block_kib", 64.0, (16.0, 256.0),
+        description="block size B in KiB — the all-to-all chunk and every "
+        "disk-I/O granule",
+    ),
+    Knob(
+        "transport", "pipe", ("pipe", "tcp", "shm"),
+        description="interconnect substrate (pipes, sockets, shm rings)",
+    ),
+    Knob(
+        "shm_ring_kib", 1024, (64, 4096),
+        transports=("shm",),
+        description="shm transport: per-channel ring capacity in KiB",
+    ),
+    Knob(
+        "checkpoint_cadence", 0, (4, 32),
+        algos=("canonical",), records=("fixed16",),
+        description="recovery journal: 0 = off, N = manifest watermark "
+        "every N all-to-all chunks (the insurance premium, measured)",
+    ),
+    Knob(
+        "algo", "canonical", ("canonical", "striped", "guidesort"),
+        records=("fixed16",),
+        description="sort backend (PR 9 bake-off: canonical vs striped "
+        "vs guidesort crossovers become tuner decisions)",
+    ),
+)
+
+
+def knob_by_name(name: str) -> Knob:
+    for knob in KNOBS:
+        if knob.name == name:
+            return knob
+    raise KeyError(f"unknown knob {name!r}; known: {[k.name for k in KNOBS]}")
+
+
+def applicable_knobs(context: dict):
+    """Knobs the planner may vary under ``context``, in declared order."""
+    return tuple(k for k in KNOBS if k.applicable(context))

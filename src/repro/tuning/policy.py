@@ -1,0 +1,165 @@
+"""Auto-tuner policy: distilled ablation data -> per-job knob settings.
+
+:class:`TuningPolicy` reads the ablation document
+(``benchmarks/BENCH_ablations.json``) and answers one question: *for a
+job shaped like this, which knobs should be set to what?*
+
+The lookup key is ``(data_mib, memory_mib, transport, algo, records)``:
+
+* ``transport`` / ``algo`` / ``records`` must match a sweep's context
+  **exactly** — knob gates differ across them (an shm ring size means
+  nothing to a pipe job), so interpolating across identity axes would
+  suggest invalid or meaningless settings;
+* ``data_mib`` / ``memory_mib`` pick the **nearest sweep by sizing**
+  (log-scale distance, since knob behaviour tracks ratios like N/M,
+  not absolute bytes).
+
+Suggestions are **conservative by construction**:
+
+* only knobs whose best variant beat the sweep's baseline by at least
+  ``min_gain`` (default 5%) end-to-end are suggested — noise-level
+  deltas keep the defaults;
+* only :data:`~repro.tuning.knobs.SUGGESTABLE_KNOBS` are ever
+  suggested (identity axes are the lookup key, never a suggestion);
+* no matching sweep, a missing file, or a malformed file mean **no
+  suggestions at all** — the fallback is always the defaults the
+  system has run on since PR 1, never an extrapolation.
+
+:func:`suggest_job_knobs` is the service-facing entry: given a client
+spec dict, it returns the knob assignments for keys the client left
+unset.  Explicit user values always win — the function never returns a
+key present in the spec.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from .ablation import (
+    ABLATION_SCHEMA,
+    DEFAULT_ABLATIONS_FILE,
+    AblationError,
+    load_ablations,
+)
+from .knobs import SUGGESTABLE_KNOBS
+
+__all__ = ["TuningPolicy", "suggest_job_knobs", "DEFAULT_MIN_GAIN"]
+
+#: Minimum end-to-end relative gain before a knob earns a suggestion.
+DEFAULT_MIN_GAIN = 0.05
+
+#: Spec keys whose defaults shape the lookup when the client omits them
+#: (mirrors repro.service.jobs.SPEC_FIELDS defaults).
+_LOOKUP_DEFAULTS = {
+    "data_mib": 1.0,
+    "memory_mib": 8.0,
+    "transport": "pipe",
+    "algo": "canonical",
+    "records": "fixed16",
+}
+
+
+class TuningPolicy:
+    """Nearest-sizing knob lookup over an ablation document."""
+
+    def __init__(self, doc: Optional[dict] = None,
+                 min_gain: float = DEFAULT_MIN_GAIN):
+        doc = doc or {"schema": ABLATION_SCHEMA, "sweeps": []}
+        self._sweeps = [
+            sweep for sweep in doc.get("sweeps", [])
+            if isinstance(sweep, dict)
+            and isinstance(sweep.get("context"), dict)
+            and isinstance(sweep.get("ranking"), list)
+        ]
+        self.min_gain = float(min_gain)
+
+    @classmethod
+    def from_file(cls, path: str = DEFAULT_ABLATIONS_FILE,
+                  min_gain: float = DEFAULT_MIN_GAIN,
+                  strict: bool = False) -> "TuningPolicy":
+        """Load a policy; a missing/bad file yields an *empty* policy
+        (suggesting nothing) unless ``strict``."""
+        try:
+            return cls(load_ablations(path), min_gain=min_gain)
+        except AblationError:
+            if strict:
+                raise
+            return cls(None, min_gain=min_gain)
+
+    @property
+    def n_sweeps(self) -> int:
+        return len(self._sweeps)
+
+    def _nearest_sweep(self, data_mib: float, memory_mib: float,
+                       transport: str, algo: str,
+                       records: str) -> Optional[dict]:
+        best, best_dist = None, None
+        for sweep in self._sweeps:
+            ctx = sweep["context"]
+            if (
+                ctx.get("transport") != transport
+                or ctx.get("algo") != algo
+                or ctx.get("records") != records
+            ):
+                continue
+            try:
+                dist = abs(
+                    math.log(max(data_mib, 1e-9) / ctx["data_mib"])
+                ) + abs(
+                    math.log(max(memory_mib, 1e-9) / ctx["memory_mib"])
+                )
+            except (KeyError, TypeError, ValueError, ZeroDivisionError):
+                continue
+            if best_dist is None or dist < best_dist:
+                best, best_dist = sweep, dist
+        return best
+
+    def suggest(self, data_mib: float, memory_mib: float,
+                transport: str = "pipe", algo: str = "canonical",
+                records: str = "fixed16") -> Dict[str, object]:
+        """Knob settings for a job of this shape (may be empty)."""
+        sweep = self._nearest_sweep(
+            data_mib, memory_mib, transport, algo, records
+        )
+        if sweep is None:
+            return {}
+        out: Dict[str, object] = {}
+        for row in sweep["ranking"]:
+            name = row.get("knob")
+            if name not in SUGGESTABLE_KNOBS:
+                continue
+            gain = row.get("best_gain", 0.0)
+            if not isinstance(gain, (int, float)) or gain < self.min_gain:
+                continue
+            if row.get("best_value") == row.get("baseline_value"):
+                continue
+            out[name] = row["best_value"]
+        return out
+
+
+def suggest_job_knobs(
+    spec: dict, policy: Optional[TuningPolicy]
+) -> Dict[str, object]:
+    """Fill-in knobs for a service spec: only keys the client left unset.
+
+    The lookup context is taken from the spec where present and from
+    the service defaults where not — so a client that only says
+    ``{"data_mib": 64, "transport": "shm"}`` is looked up as an shm
+    canonical fixed16 job of 64 MiB/worker.  Keys already in ``spec``
+    are never returned: explicit user values always win.
+    """
+    if policy is None:
+        return {}
+    lookup = {
+        key: spec.get(key, default)
+        for key, default in _LOOKUP_DEFAULTS.items()
+    }
+    suggested = policy.suggest(
+        data_mib=float(lookup["data_mib"]),
+        memory_mib=float(lookup["memory_mib"]),
+        transport=str(lookup["transport"]),
+        algo=str(lookup["algo"]),
+        records=str(lookup["records"]),
+    )
+    return {k: v for k, v in suggested.items() if k not in spec}

@@ -404,3 +404,205 @@ def test_shm_invariant_skipped_for_noncanonical():
     e = doc["entries"][0]["transports"]
     e["shm"]["phases"]["all_to_all"] = e["pipe"]["phases"]["all_to_all"] * 0.5
     assert bench_gate.check_invariants(doc["entries"][0]) == []
+
+
+# -- workload-tagged variants (duplicate-heavy striped entries) ---------------
+
+
+def tag_workload(doc, workload):
+    """Tag every entry of ``doc`` with a workload name, in place."""
+    for entry in doc["entries"]:
+        entry["workload"] = workload
+    return doc
+
+
+def make_variant_doc(scale=1.0):
+    """A bake-off doc plus a duplicate-heavy striped entry."""
+    doc = make_bakeoff_doc(scale=scale)
+    dup = json.loads(json.dumps(doc["entries"][-1]))
+    dup["workload"] = "dup"
+    # Skewed keys resend more: the dup entry is legitimately slower.
+    for t in dup["transports"].values():
+        for p in t["phases"]:
+            t["phases"][p] *= 0.6
+        t["sort_mb_s"] *= 0.6
+    doc["entries"].append(dup)
+    return doc
+
+
+def test_missing_workload_field_means_random():
+    """Entries predating the workload tag are uniform random — pinned."""
+    assert bench_gate.entry_workload({}) == "random"
+    assert bench_gate.entry_workload({"workload": "dup"}) == "dup"
+    doc = make_variant_doc()
+    assert bench_gate.variants_present(doc) == [
+        ("canonical", "random"), ("striped", "random"), ("striped", "dup"),
+    ]
+    assert (
+        bench_gate.latest_entry(doc, "striped", "dup")
+        is doc["entries"][2]
+    )
+    assert bench_gate.latest_entry(doc, "striped", "random") is (
+        doc["entries"][1]
+    )
+    assert bench_gate.latest_entry(doc, "canonical", "dup") is None
+
+
+def test_dup_entry_gated_against_dup_baseline_only(tmp_path):
+    # The dup entry is 40% slower than random striped; keying per
+    # (algo, workload) means that is *not* a regression.
+    baseline = write(tmp_path, "baseline.json", make_variant_doc())
+    cand = write(tmp_path, "cand.json", make_variant_doc())
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 0
+
+
+def test_dup_regression_fails_without_touching_random(tmp_path, capsys):
+    baseline = write(tmp_path, "baseline.json", make_variant_doc())
+    doc = make_variant_doc()
+    doc["entries"][2]["transports"]["pipe"]["phases"]["merge"] *= 0.5
+    cand = write(tmp_path, "cand.json", doc)
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 1
+    assert "pipe/merge" in capsys.readouterr().err
+
+
+def test_candidate_missing_dup_variant_is_drift(tmp_path, capsys):
+    baseline = write(tmp_path, "baseline.json", make_variant_doc())
+    cand = write(tmp_path, "cand.json", make_bakeoff_doc())  # no dup
+    assert bench_gate.main(["--baseline", baseline, "--candidate", cand]) == 2
+    assert "workload 'dup'" in capsys.readouterr().err
+
+
+def test_shm_invariant_skipped_for_dup_workload():
+    # A canonical dup entry (if one ever lands) is exempt from the
+    # random-workload shm speedup invariant.
+    doc = make_doc()
+    tag_workload(doc, "dup")
+    e = doc["entries"][0]["transports"]
+    e["shm"]["phases"]["all_to_all"] = e["pipe"]["phases"]["all_to_all"] * 0.5
+    assert bench_gate.check_invariants(doc["entries"][0]) == []
+
+
+# -- the ablation file gate ---------------------------------------------------
+
+
+ABL_CONTEXT = {
+    "n_workers": 2, "data_mib": 2.0, "memory_mib": 1.0,
+    "block_kib": 32.0, "seed": 12345, "transport": "pipe",
+    "algo": "canonical", "records": "fixed16",
+}
+
+
+def make_ablation_doc():
+    """A schema-1 ablation doc whose ranking matches its runs."""
+    runs = {
+        "aaaaaaaaaaaa": {
+            "ok": True, "sort_mb_s": 10.0, "phases": {"merge": 10.0},
+            "knob": None, "value": None, "settings": dict(ABL_CONTEXT),
+        },
+        "bbbbbbbbbbbb": {
+            "ok": True, "sort_mb_s": 12.0, "phases": {"merge": 12.0},
+            "knob": "pending_sends", "value": 16,
+            "settings": dict(ABL_CONTEXT, pending_sends=16),
+        },
+        "cccccccccccc": {
+            "ok": True, "sort_mb_s": 9.0, "phases": {"merge": 9.0},
+            "knob": "pending_sends", "value": 1,
+            "settings": dict(ABL_CONTEXT, pending_sends=1),
+        },
+    }
+    ranking = [{
+        "knob": "pending_sends", "importance": 0.2,
+        "baseline_value": 4, "best_value": 16, "best_gain": 0.2,
+    }]
+    return {
+        "schema": 1,
+        "sweeps": [
+            {"context": dict(ABL_CONTEXT), "runs": runs,
+             "ranking": ranking},
+        ],
+    }
+
+
+def test_ablations_valid_file_passes(tmp_path, capsys):
+    path = write(tmp_path, "abl.json", make_ablation_doc())
+    assert bench_gate.main(["--ablations", path]) == 0
+    assert "rankings agree" in capsys.readouterr().out
+
+
+def test_ablations_missing_file_exit_4(tmp_path, capsys):
+    assert bench_gate.main(["--ablations", str(tmp_path / "no.json")]) == 4
+    assert "tune run --quick" in capsys.readouterr().err
+
+
+def test_ablations_schema_drift_exit_2(tmp_path, capsys):
+    for mutate in (
+        lambda d: d.update(schema=99),
+        lambda d: d["sweeps"][0]["context"].pop("transport"),
+        lambda d: d["sweeps"][0]["runs"].update(
+            short={"ok": True, "sort_mb_s": 1.0, "phases": {"m": 1.0},
+                   "settings": {}}
+        ),
+        lambda d: d["sweeps"][0]["runs"]["aaaaaaaaaaaa"].update(
+            sort_mb_s=0.0
+        ),
+        lambda d: d["sweeps"][0]["runs"]["aaaaaaaaaaaa"].update(ok=False),
+    ):
+        doc = make_ablation_doc()
+        mutate(doc)
+        path = write(tmp_path, "drift.json", doc)
+        assert bench_gate.main(["--ablations", path]) == 2, mutate
+        assert "SCHEMA DRIFT" in capsys.readouterr().err
+
+
+def test_ablations_stale_ranking_exit_1(tmp_path, capsys):
+    doc = make_ablation_doc()
+    doc["sweeps"][0]["ranking"][0]["importance"] = 0.9  # runs say 0.2
+    path = write(tmp_path, "stale.json", doc)
+    assert bench_gate.main(["--ablations", path]) == 1
+    assert "disagrees with its runs" in capsys.readouterr().err
+
+
+def test_ablations_unsorted_ranking_exit_1(tmp_path, capsys):
+    doc = make_ablation_doc()
+    runs = doc["sweeps"][0]["runs"]
+    runs["dddddddddddd"] = {
+        "ok": True, "sort_mb_s": 10.5, "phases": {"merge": 10.5},
+        "knob": "block_kib", "value": 16.0,
+        "settings": dict(ABL_CONTEXT, block_kib=16.0),
+    }
+    doc["sweeps"][0]["ranking"] = [
+        {"knob": "block_kib", "importance": 0.05, "baseline_value": 32.0,
+         "best_value": 16.0, "best_gain": 0.05},
+        {"knob": "pending_sends", "importance": 0.2, "baseline_value": 4,
+         "best_value": 16, "best_gain": 0.2},
+    ]
+    path = write(tmp_path, "unsorted.json", doc)
+    assert bench_gate.main(["--ablations", path]) == 1
+    assert "not sorted by importance" in capsys.readouterr().err
+
+
+def test_ablations_ranked_knob_without_runs_exit_1(tmp_path, capsys):
+    doc = make_ablation_doc()
+    doc["sweeps"][0]["ranking"].append({
+        "knob": "ghost", "importance": 0.1, "baseline_value": 0,
+        "best_value": 1, "best_gain": 0.1,
+    })
+    path = write(tmp_path, "ghost.json", doc)
+    assert bench_gate.main(["--ablations", path]) == 1
+    assert "has no runs" in capsys.readouterr().err
+
+
+def test_ablations_combines_with_check(tmp_path, baseline, capsys):
+    path = write(tmp_path, "abl.json", make_ablation_doc())
+    assert bench_gate.main(
+        ["--baseline", baseline, "--check", "--ablations", path]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "ablation gate" in out and "bench gate --check" in out
+
+
+def test_committed_ablation_file_passes_the_gate():
+    """The repo's own BENCH_ablations.json must satisfy its gate."""
+    committed = os.path.normpath(bench_gate.DEFAULT_ABLATIONS)
+    assert os.path.exists(committed), "commit benchmarks/BENCH_ablations.json"
+    assert bench_gate.main(["--ablations", committed]) == 0

@@ -121,3 +121,58 @@ def test_cli_shm_json_is_valid(tmp_path, capsys):
     assert report["validation"]["ok"] is True
     n_bytes = 2 * int(0.125 * 1024 * 1024)
     assert report["phases"]["all_to_all"]["wire_volume"] == n_bytes
+
+# ---------------------------------------------------- ring-capacity knob
+
+
+def test_ring_capacity_is_tunable_and_bitwise_invisible(tmp_path):
+    """A 1 KiB ring (smaller than most messages) still sorts correctly:
+    the producer streams oversized messages through in pieces, so the
+    capacity knob can be swept freely by the ablation driver."""
+    tiny = native_sort(
+        native_config(),
+        n_workers=2,
+        spill_dir=str(tmp_path / "tiny"),
+        timeout=120,
+        transport="shm",
+        shm_ring_kib=1,
+    )
+    assert tiny.validate().ok, tiny.validate().issues
+    default = native_sort(
+        native_config(),
+        n_workers=2,
+        spill_dir=str(tmp_path / "default"),
+        timeout=120,
+        transport="shm",
+    )
+    assert [m.checksum for m in tiny.outputs] == [
+        m.checksum for m in default.outputs
+    ]
+
+
+def test_ring_capacity_validation():
+    from repro.core.config import ConfigError
+    from repro.native.job import NativeJob
+    from repro.native.shm import DEFAULT_RING_BYTES
+
+    job = NativeJob(
+        config=native_config(), n_workers=2, spill_dir="/tmp",
+        transport="shm", shm_ring_kib=64,
+    )
+    assert job.ring_bytes == 64 * KiB
+    assert job.describe()["shm_ring_kib"] == 64
+    unset = NativeJob(
+        config=native_config(), n_workers=2, spill_dir="/tmp",
+        transport="shm",
+    )
+    assert unset.ring_bytes == DEFAULT_RING_BYTES
+    with pytest.raises(ConfigError, match="shm_ring_kib must be >= 1"):
+        NativeJob(
+            config=native_config(), n_workers=2, spill_dir="/tmp",
+            transport="shm", shm_ring_kib=0,
+        )
+    with pytest.raises(ConfigError, match="only applies to transport='shm'"):
+        NativeJob(
+            config=native_config(), n_workers=2, spill_dir="/tmp",
+            transport="pipe", shm_ring_kib=64,
+        )

@@ -1,0 +1,539 @@
+"""Ablation + auto-tuning suite: plans, sweeps, rankings, the policy,
+and the service integration.
+
+The measurement path is stubbed almost everywhere (the one-knob-off
+*logic* is what's under test; the real measurement path has its own
+end-to-end smoke at the bottom), so the suite runs in seconds.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.daemon import SortService
+from repro.service.jobs import JobRejected, build_native_job
+from repro.tuning import (
+    KNOBS,
+    QUICK_CONTEXTS,
+    SUGGESTABLE_KNOBS,
+    TuningPolicy,
+    applicable_knobs,
+    knob_by_name,
+    plan_sweep,
+    rank_knobs,
+    run_id,
+    run_sweep,
+    suggest_job_knobs,
+)
+from repro.tuning.ablation import load_ablations
+
+PIPE_CTX = dict(QUICK_CONTEXTS[0])
+SHM_CTX = dict(QUICK_CONTEXTS[1])
+assert PIPE_CTX["transport"] == "pipe" and SHM_CTX["transport"] == "shm"
+
+
+def stub_measure(speed_of):
+    """A measurement stub: settings -> fake bench result at speed_of(s)."""
+
+    def measure(settings):
+        speed = speed_of(settings)
+        total_mib = settings["data_mib"] * settings["n_workers"]
+        return {
+            "ok": True,
+            "total_mib": total_mib,
+            "sort_phases_s": total_mib * 2**20 / (speed * 1e6),
+            "phases": [
+                {"phase": "run_formation", "mb_s": speed * 2},
+                {"phase": "all_to_all", "mb_s": speed * 3},
+                {"phase": "merge", "mb_s": speed * 2.5},
+            ],
+        }
+
+    return measure
+
+
+def flat_speed(_settings):
+    return 10.0
+
+
+# ------------------------------------------------------------------ planning
+
+
+class TestPlan:
+    def test_deterministic_and_repeat_free(self):
+        a = plan_sweep(PIPE_CTX)
+        b = plan_sweep(PIPE_CTX)
+        assert [(s.id, s.settings) for s in a] == [
+            (s.id, s.settings) for s in b
+        ]
+        ids = [s.id for s in a]
+        assert len(ids) == len(set(ids))
+
+    def test_baseline_first_then_declared_knob_order(self):
+        plan = plan_sweep(PIPE_CTX)
+        assert plan[0].knob is None
+        varied = [s.knob for s in plan[1:]]
+        declared = [k.name for k in KNOBS]
+        assert varied == sorted(
+            varied, key=declared.index
+        ), "plan must follow the declared knob order"
+
+    def test_run_ids_are_content_hashes(self):
+        plan = plan_sweep(PIPE_CTX)
+        for spec in plan:
+            assert spec.id == run_id(PIPE_CTX, spec.settings)
+            assert len(spec.id) == 12
+
+    def test_gates_drop_shm_ring_on_pipe_context(self):
+        assert "shm_ring_kib" not in {s.knob for s in plan_sweep(PIPE_CTX)}
+        assert "shm_ring_kib" in {s.knob for s in plan_sweep(SHM_CTX)}
+
+    def test_varying_transport_away_from_shm_drops_ring_setting(self):
+        # The shm context's baseline carries shm_ring_kib; the run that
+        # varies transport to tcp must not (the native layer rejects it).
+        plan = plan_sweep(SHM_CTX)
+        tcp = [
+            s for s in plan
+            if s.knob == "transport" and s.value == "tcp"
+        ]
+        assert tcp and "shm_ring_kib" not in tcp[0].settings
+
+    def test_infeasible_variants_are_dropped(self):
+        # At the quick sizing, block_kib=256 breaks the two-pass merge
+        # limit; the planner must drop it rather than crash the sweep.
+        plan = plan_sweep(PIPE_CTX)
+        blocks = [s.value for s in plan if s.knob == "block_kib"]
+        assert 16.0 in blocks and 256.0 not in blocks
+
+    def test_context_pinned_baseline_collapses_variant(self):
+        # A context that pins pending_sends=16 makes the 16 variant the
+        # baseline; only the 1 variant remains for that knob.
+        ctx = dict(PIPE_CTX, pending_sends=16)
+        values = [
+            s.value for s in plan_sweep(ctx) if s.knob == "pending_sends"
+        ]
+        assert values == [1]
+
+
+class TestKnobs:
+    def test_registry_lookup(self):
+        assert knob_by_name("block_kib").baseline == 64.0
+        with pytest.raises(KeyError):
+            knob_by_name("warp_factor")
+
+    def test_suggestable_is_a_strict_subset(self):
+        names = {k.name for k in KNOBS}
+        assert SUGGESTABLE_KNOBS < names
+        assert "transport" not in SUGGESTABLE_KNOBS
+        assert "algo" not in SUGGESTABLE_KNOBS
+
+    def test_applicable_respects_gates(self):
+        names = {k.name for k in applicable_knobs(dict(PIPE_CTX))}
+        assert "prefetch_blocks" in names
+        string_ctx = dict(PIPE_CTX, records="string")
+        assert "prefetch_blocks" not in {
+            k.name for k in applicable_knobs(string_ctx)
+        }
+
+    def test_checkpoint_cadence_settings_shape(self):
+        knob = knob_by_name("checkpoint_cadence")
+        assert knob.settings_for(0) == {"checkpoint": False}
+        assert knob.settings_for(4) == {
+            "checkpoint": True, "a2a_checkpoint_chunks": 4,
+        }
+
+
+# ------------------------------------------------------------------- sweeps
+
+
+class TestRunSweep:
+    def test_resume_skips_recorded_runs(self, tmp_path):
+        path = str(tmp_path / "abl.json")
+        calls = []
+
+        def counting(settings):
+            calls.append(settings)
+            return stub_measure(flat_speed)(settings)
+
+        run_sweep(PIPE_CTX, path=path, measure=counting)
+        first = len(calls)
+        assert first == len(plan_sweep(PIPE_CTX))
+        run_sweep(PIPE_CTX, path=path, measure=counting)
+        assert len(calls) == first, "a rerun must skip every recorded run"
+
+    def test_interrupted_sweep_resumes_where_it_stopped(self, tmp_path):
+        path = str(tmp_path / "abl.json")
+        n = [0]
+
+        def flaky(settings):
+            n[0] += 1
+            if n[0] == 4:
+                raise RuntimeError("simulated crash")
+            return stub_measure(flat_speed)(settings)
+
+        with pytest.raises(RuntimeError):
+            run_sweep(PIPE_CTX, path=path, measure=flaky)
+        done_before = len(load_ablations(path)["sweeps"][0]["runs"])
+        assert done_before == 3  # everything before the crash persisted
+        run_sweep(PIPE_CTX, path=path, measure=stub_measure(flat_speed))
+        doc = load_ablations(path)
+        assert len(doc["sweeps"][0]["runs"]) == len(plan_sweep(PIPE_CTX))
+
+    def test_ranking_orders_by_importance(self, tmp_path):
+        def speed(settings):
+            if settings.get("pending_sends") == 16:
+                return 13.0  # +30%
+            if settings.get("prefetch_blocks") == 4:
+                return 9.0  # -10%
+            return 10.0
+
+        sweep = run_sweep(
+            PIPE_CTX, path=str(tmp_path / "a.json"),
+            measure=stub_measure(speed),
+        )
+        ranking = sweep["ranking"]
+        assert ranking[0]["knob"] == "pending_sends"
+        assert ranking[0]["importance"] == pytest.approx(0.3)
+        assert ranking[0]["best_value"] == 16
+        assert ranking[0]["best_gain"] == pytest.approx(0.3)
+        by_name = {row["knob"]: row for row in ranking}
+        # A knob that only hurts still ranks (importance is |delta|) but
+        # its best_gain stays <= 0 so the policy never suggests it.
+        assert by_name["prefetch_blocks"]["importance"] == pytest.approx(
+            0.1
+        )
+        assert by_name["prefetch_blocks"]["best_gain"] <= 0.0
+        imps = [row["importance"] for row in ranking]
+        assert imps == sorted(imps, reverse=True)
+
+    def test_two_contexts_keep_separate_sweeps(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        run_sweep(PIPE_CTX, path=path, measure=stub_measure(flat_speed))
+        run_sweep(SHM_CTX, path=path, measure=stub_measure(flat_speed))
+        doc = load_ablations(path)
+        assert len(doc["sweeps"]) == 2
+        ctxs = [s["context"]["transport"] for s in doc["sweeps"]]
+        assert ctxs == ["pipe", "shm"]
+
+    def test_rank_omits_incomplete_knobs(self):
+        plan = plan_sweep(PIPE_CTX)
+        baseline = plan[0]
+        record = {
+            "ok": True, "sort_mb_s": 10.0,
+            "phases": {"merge": 10.0}, "knob": None, "value": None,
+        }
+        sweep = {
+            "context": PIPE_CTX,
+            "runs": {baseline.id: dict(record)},
+        }
+        assert rank_knobs(sweep, plan) == []  # no knob fully measured
+
+
+# ------------------------------------------------------------------- policy
+
+
+def make_policy_doc(ranking, context=None):
+    return {
+        "schema": 1,
+        "sweeps": [{
+            "context": dict(context or PIPE_CTX),
+            "runs": {},
+            "ranking": ranking,
+        }],
+    }
+
+
+def row(knob, gain, best, baseline_value=None, importance=None):
+    return {
+        "knob": knob,
+        "importance": abs(gain) if importance is None else importance,
+        "baseline_value": baseline_value,
+        "best_value": best,
+        "best_gain": gain,
+    }
+
+
+class TestPolicy:
+    def test_suggests_only_winning_suggestable_knobs(self):
+        policy = TuningPolicy(make_policy_doc([
+            row("pending_sends", 0.2, 16, baseline_value=4),
+            row("transport", 0.5, "shm", baseline_value="pipe"),
+            row("block_kib", 0.01, 16.0, baseline_value=32.0),
+            row("prefetch_blocks", -0.2, 0, baseline_value=0),
+        ]))
+        got = policy.suggest(
+            data_mib=PIPE_CTX["data_mib"],
+            memory_mib=PIPE_CTX["memory_mib"],
+        )
+        # transport: not suggestable; block_kib: below min gain;
+        # prefetch: best == baseline.  Only pending_sends survives.
+        assert got == {"pending_sends": 16}
+
+    def test_identity_axes_must_match_exactly(self):
+        policy = TuningPolicy(make_policy_doc(
+            [row("pending_sends", 0.2, 16, baseline_value=4)]
+        ))
+        assert policy.suggest(2.0, 1.0, transport="shm") == {}
+        assert policy.suggest(2.0, 1.0, algo="striped") == {}
+        assert policy.suggest(2.0, 1.0, records="string") == {}
+
+    def test_nearest_sizing_interpolation(self):
+        small = dict(PIPE_CTX, data_mib=2.0, memory_mib=1.0)
+        big = dict(PIPE_CTX, data_mib=256.0, memory_mib=64.0)
+        doc = {
+            "schema": 1,
+            "sweeps": [
+                {"context": small, "runs": {}, "ranking": [
+                    row("pending_sends", 0.2, 1, baseline_value=4)]},
+                {"context": big, "runs": {}, "ranking": [
+                    row("pending_sends", 0.2, 16, baseline_value=4)]},
+            ],
+        }
+        policy = TuningPolicy(doc)
+        assert policy.suggest(3.0, 1.0) == {"pending_sends": 1}
+        assert policy.suggest(200.0, 80.0) == {"pending_sends": 16}
+
+    def test_missing_file_means_no_suggestions(self, tmp_path):
+        policy = TuningPolicy.from_file(str(tmp_path / "nope.json"))
+        assert policy.suggest(2.0, 1.0) == {}
+        assert policy.n_sweeps == 0
+
+    def test_malformed_file_is_silent_unless_strict(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert TuningPolicy.from_file(str(bad)).suggest(2.0, 1.0) == {}
+        from repro.tuning import AblationError
+
+        with pytest.raises(AblationError):
+            TuningPolicy.from_file(str(bad), strict=True)
+
+    def test_suggest_job_knobs_never_overrides_explicit(self):
+        policy = TuningPolicy(make_policy_doc([
+            row("pending_sends", 0.2, 16, baseline_value=4),
+            row("block_kib", 0.2, 16.0, baseline_value=32.0),
+        ]))
+        spec = {
+            "data_mib": PIPE_CTX["data_mib"],
+            "memory_mib": PIPE_CTX["memory_mib"],
+            "pending_sends": 2,
+        }
+        assert suggest_job_knobs(spec, policy) == {"block_kib": 16.0}
+        assert suggest_job_knobs(dict(spec, block_kib=64.0), policy) == {}
+        assert suggest_job_knobs(spec, None) == {}
+
+
+# ------------------------------------------------------ service integration
+
+
+SWEEP_CTX_FOR_SERVICE = {
+    "n_workers": 2, "data_mib": 0.125, "memory_mib": 8.0,
+    "block_kib": 64.0, "seed": 42, "transport": "pipe",
+    "algo": "canonical", "records": "fixed16",
+}
+
+
+def service_policy(ranking):
+    return TuningPolicy(make_policy_doc(ranking, SWEEP_CTX_FOR_SERVICE))
+
+
+class TestServiceTuning:
+    def test_suggested_knobs_visible_in_status_and_stats(self, tmp_path):
+        policy = service_policy(
+            [row("pending_sends", 0.2, 16, baseline_value=4)]
+        )
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path), listen=None,
+            tuning=policy,
+        ) as svc:
+            jid = svc.submit(
+                {"data_mib": 0.125, "memory_mib": 8.0, "timeout": 60.0}
+            )
+            job = svc.wait(jid, timeout=90)
+            assert job.state == "DONE"
+            status = svc.status(jid)
+            assert status["tuned_knobs"] == {"pending_sends": 16}
+            assert job.job.pending_sends == 16
+            stats = svc.stats_snapshot()
+            assert stats["tuning"] == {"enabled": True, "jobs_tuned": 1}
+
+    def test_explicit_spec_value_beats_suggestion(self, tmp_path):
+        policy = service_policy(
+            [row("pending_sends", 0.2, 16, baseline_value=4)]
+        )
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path), listen=None,
+            tuning=policy,
+        ) as svc:
+            jid = svc.submit({
+                "data_mib": 0.125, "memory_mib": 8.0,
+                "pending_sends": 2, "timeout": 60.0,
+            })
+            job = svc.wait(jid, timeout=90)
+            assert job.state == "DONE"
+            assert job.job.pending_sends == 2
+            assert "tuned_knobs" not in svc.status(jid)
+            assert svc.stats_snapshot()["tuning"]["jobs_tuned"] == 0
+
+    def test_tuning_false_disables_suggestions(self, tmp_path):
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path), listen=None,
+            tuning=False,
+        ) as svc:
+            jid = svc.submit(
+                {"data_mib": 0.125, "memory_mib": 8.0, "timeout": 60.0}
+            )
+            job = svc.wait(jid, timeout=90)
+            assert job.state == "DONE"
+            assert job.job.pending_sends == 4
+            assert svc.stats_snapshot()["tuning"]["enabled"] is False
+
+    def test_bad_suggestion_falls_back_to_untuned_spec(self, tmp_path):
+        # A block size that trips the feasibility limit at this sizing
+        # must not reject the job — the suggestion is dropped instead.
+        policy = TuningPolicy(make_policy_doc(
+            [row("block_kib", 0.5, 16384.0, baseline_value=64.0)],
+            context=dict(
+                SWEEP_CTX_FOR_SERVICE, data_mib=0.25, memory_mib=8.0
+            ),
+        ))
+        with SortService(
+            pool_size=2, spill_root=str(tmp_path), listen=None,
+            tuning=policy,
+        ) as svc:
+            # The spec is feasible untuned; the suggested 16 MiB block
+            # (bigger than M) is not.  The job must still run, untuned.
+            jid = svc.submit({
+                "data_mib": 0.25, "memory_mib": 8.0, "timeout": 60.0,
+            })
+            job = svc.wait(jid, timeout=90)
+            assert "tuned_knobs" not in svc.status(jid)
+            assert job.state == "DONE"
+            assert job.job.config.block_bytes == 64 * 1024
+
+
+# --------------------------------------------------- spec rejection wording
+
+
+class TestSpecRejectionMessages:
+    """Every family of bad spec value names the key and what's legal."""
+
+    def check(self, spec, *needles):
+        with pytest.raises(JobRejected) as err:
+            build_native_job(spec, "/tmp")
+        for needle in needles:
+            assert needle in str(err.value), (spec, str(err.value))
+
+    def test_choice_fields_name_key_and_accepted_values(self):
+        self.check(
+            {"transport": "tcp"}, "spec field 'transport'='tcp'",
+            "'pipe', 'shm'",
+        )
+        self.check(
+            {"selection": "bogus"}, "spec field 'selection'='bogus'",
+            "'sampled', 'basic', 'bisect'",
+        )
+        self.check(
+            {"records": "f32"}, "spec field 'records'='f32'",
+            "'fixed16', 'string'",
+        )
+        self.check(
+            {"algo": "quantum"}, "spec field 'algo'='quantum'",
+            "'canonical', 'striped', 'guidesort'",
+        )
+
+    def test_numeric_fields_name_key_and_floor(self):
+        self.check({"n_workers": 0}, "spec field 'n_workers'=0", ">= 1")
+        self.check(
+            {"data_mib": -1.0}, "spec field 'data_mib'=-1.0", "> 0"
+        )
+        self.check(
+            {"pending_sends": 0}, "spec field 'pending_sends'=0", ">= 1"
+        )
+        self.check(
+            {"sample_every": 0}, "spec field 'sample_every'=0", ">= 1"
+        )
+
+    def test_cross_field_shm_ring_requires_shm(self):
+        self.check(
+            {"shm_ring_kib": 64}, "spec field 'shm_ring_kib'=64",
+            "transport='shm'",
+        )
+        # And on shm it passes through to the job.
+        job = build_native_job(
+            {"transport": "shm", "shm_ring_kib": 64}, "/tmp"
+        )
+        assert job.shm_ring_kib == 64
+        assert job.ring_bytes == 64 * 1024
+
+    def test_unknown_field_lists_accepted_keys(self):
+        self.check({"warp": 9}, "unknown spec field 'warp'")
+
+
+# ----------------------------------------------------------------- CLI + e2e
+
+
+def run_cli(*args):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "tune", *args],
+        capture_output=True, text=True,
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class TestTuneCLI:
+    def test_plan_check_passes(self):
+        code, out, err = run_cli("plan", "--quick", "--check")
+        assert code == 0, err
+        assert "deterministic and repeat-free" in out
+
+    def test_plan_json_lists_every_run(self):
+        code, out, _err = run_cli("plan", "--quick", "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert len(doc) == len(QUICK_CONTEXTS)
+        for sweep in doc:
+            assert sweep["runs"][0]["knob"] is None
+
+    def test_report_on_missing_file_is_calm(self, tmp_path):
+        code, out, _err = run_cli(
+            "report", "--file", str(tmp_path / "none.json")
+        )
+        assert code == 0
+        assert "no sweeps recorded" in out
+
+    def test_suggest_reads_a_real_file(self, tmp_path):
+        path = tmp_path / "abl.json"
+        path.write_text(json.dumps(make_policy_doc(
+            [row("pending_sends", 0.2, 16, baseline_value=4)]
+        )))
+        code, out, _err = run_cli(
+            "suggest", "--data-mib", str(PIPE_CTX["data_mib"]),
+            "--memory-mib", str(PIPE_CTX["memory_mib"]),
+            "--file", str(path), "--json",
+        )
+        assert code == 0, out
+        assert json.loads(out) == {"knobs": {"pending_sends": 16}}
+
+    def test_unknown_subcommand_exits_2(self):
+        code, _out, err = run_cli("frobnicate")
+        assert code == 2
+        assert "plan,run,report,suggest" in err
+
+
+def test_tiny_real_sweep_end_to_end(tmp_path):
+    """One real measured context through ``run_sweep`` (no stub)."""
+    ctx = {
+        "n_workers": 2, "data_mib": 0.25, "memory_mib": 0.125,
+        "block_kib": 8.0, "seed": 7, "transport": "pipe",
+        "algo": "canonical", "records": "fixed16",
+    }
+    path = str(tmp_path / "abl.json")
+    sweep = run_sweep(
+        ctx, path=path, spill_dir=str(tmp_path / "spill"), timeout=120.0
+    )
+    assert sweep["ranking"], "a full sweep must produce a ranking"
+    doc = load_ablations(path)
+    for run in doc["sweeps"][0]["runs"].values():
+        assert run["ok"] and run["sort_mb_s"] > 0

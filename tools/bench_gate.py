@@ -125,6 +125,12 @@ def entry_algo(entry: dict) -> str:
     return entry.get("algo", "canonical")
 
 
+def entry_workload(entry: dict) -> str:
+    """The key distribution an entry measured; entries predating the
+    workload tag are uniform random by definition."""
+    return entry.get("workload", "random")
+
+
 def algos_present(doc: dict) -> List[str]:
     """Backends with at least one entry, in first-appearance order."""
     seen: List[str] = []
@@ -135,18 +141,38 @@ def algos_present(doc: dict) -> List[str]:
     return seen
 
 
-def latest_entry(doc: dict, algo: str = None) -> dict:
-    """The newest entry, or the newest entry for one backend.
+def variants_present(doc: dict) -> List[tuple]:
+    """``(algo, workload)`` pairs with entries, in appearance order.
+
+    The gate keys comparisons on the pair — a duplicate-heavy striped
+    entry must never be judged against the random-keys striped
+    baseline (skew resend costs are the whole point of measuring it).
+    """
+    seen: List[tuple] = []
+    for entry in doc["entries"]:
+        key = (entry_algo(entry), entry_workload(entry))
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def latest_entry(doc: dict, algo: str = None,
+                 workload: str = None) -> dict:
+    """The newest entry, or the newest for one backend/workload.
 
     With ``algo=None`` (legacy call shape) the file's last entry wins
-    regardless of backend; with an explicit ``algo`` the newest matching
-    entry wins, or ``None`` if the backend never appears.
+    regardless of backend; with an explicit ``algo`` the newest
+    matching entry wins (``workload=None`` matches any), or ``None``
+    if the combination never appears.
     """
     if algo is None:
         return doc["entries"][-1]
     for entry in reversed(doc["entries"]):
-        if entry_algo(entry) == algo:
-            return entry
+        if entry_algo(entry) != algo:
+            continue
+        if workload is not None and entry_workload(entry) != workload:
+            continue
+        return entry
     return None
 
 
@@ -203,6 +229,7 @@ def check_invariants(
     transports = entry["transports"]
     if (
         entry_algo(entry) == "canonical"
+        and entry_workload(entry) == "random"
         and "shm" in transports
         and "pipe" in transports
     ):
@@ -214,6 +241,131 @@ def check_invariants(
                 f"{min_shm_speedup}x pipe ({pipe_a2a:.1f} MB/s): the "
                 "zero-copy path has lost its edge"
             )
+    return problems
+
+
+# -------------------------------------------------- ablation file gate
+
+EXPECTED_ABLATION_SCHEMA = 1
+DEFAULT_ABLATIONS = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "benchmarks", "BENCH_ablations.json",
+)
+#: Context fields every sweep must carry (mirrors
+#: repro.tuning.knobs.CONTEXT_FIELDS; duplicated here so the gate stays
+#: a standalone tool with no import path requirements).
+ABLATION_CONTEXT_FIELDS = (
+    "n_workers", "data_mib", "memory_mib", "block_kib", "seed",
+    "transport", "algo", "records",
+)
+
+
+def load_ablations_doc(path: str) -> dict:
+    """Load + validate an ablation file; raise SchemaError on drift."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON: {exc}") from exc
+    _require(isinstance(doc, dict), f"{path}: top level must be an object")
+    _require(
+        doc.get("schema") == EXPECTED_ABLATION_SCHEMA,
+        f"{path}: schema {doc.get('schema')!r} != "
+        f"{EXPECTED_ABLATION_SCHEMA}",
+    )
+    sweeps = doc.get("sweeps")
+    _require(
+        isinstance(sweeps, list) and sweeps,
+        f"{path}: sweeps must be a non-empty list",
+    )
+    for i, sweep in enumerate(sweeps):
+        where = f"{path}: sweeps[{i}]"
+        _require(isinstance(sweep, dict), f"{where} must be an object")
+        context = sweep.get("context")
+        _require(
+            isinstance(context, dict), f"{where}.context must be an object"
+        )
+        for fld in ABLATION_CONTEXT_FIELDS:
+            _require(
+                fld in context, f"{where}.context is missing {fld!r}"
+            )
+        runs = sweep.get("runs")
+        _require(
+            isinstance(runs, dict) and runs,
+            f"{where}.runs must be a non-empty object",
+        )
+        for rid, run in runs.items():
+            rwhere = f"{where}.runs[{rid!r}]"
+            _require(
+                isinstance(rid, str) and len(rid) == 12,
+                f"{rwhere}: run ids are 12-char content hashes",
+            )
+            _require(isinstance(run, dict), f"{rwhere} must be an object")
+            _require(run.get("ok") is True, f"{rwhere}.ok must be true")
+            _positive_number(run.get("sort_mb_s"), f"{rwhere}.sort_mb_s")
+            _require(
+                isinstance(run.get("phases"), dict) and run["phases"],
+                f"{rwhere}.phases must be a non-empty object",
+            )
+            _require(
+                isinstance(run.get("settings"), dict),
+                f"{rwhere}.settings must be an object",
+            )
+        _require(
+            isinstance(sweep.get("ranking"), list),
+            f"{where}.ranking must be a list",
+        )
+    return doc
+
+
+def check_ablation_consistency(doc: dict) -> List[str]:
+    """Does each sweep's committed ranking agree with its raw runs?
+
+    Recomputes every knob's importance (largest absolute relative
+    sort-throughput delta vs the sweep's baseline run) from the run
+    records and flags rankings that drifted — a hand-edited or stale
+    report fails the gate rather than steering the tuner silently.
+    """
+    problems: List[str] = []
+    for i, sweep in enumerate(doc["sweeps"]):
+        runs = sweep["runs"]
+        baseline = next(
+            (r for r in runs.values() if r.get("knob") is None), None
+        )
+        ranking = sweep.get("ranking", [])
+        if baseline is None:
+            if ranking:
+                problems.append(
+                    f"sweeps[{i}]: ranking present but no baseline run"
+                )
+            continue
+        base = baseline["sort_mb_s"]
+        order = [row.get("importance", 0.0) for row in ranking]
+        if order != sorted(order, reverse=True):
+            problems.append(
+                f"sweeps[{i}]: ranking is not sorted by importance"
+            )
+        for row in ranking:
+            name = row.get("knob")
+            deltas = [
+                run["sort_mb_s"] / base - 1.0
+                for run in runs.values()
+                if run.get("knob") == name
+            ]
+            if not deltas:
+                problems.append(
+                    f"sweeps[{i}]: ranked knob {name!r} has no runs"
+                )
+                continue
+            expect = max(abs(d) for d in deltas)
+            got = row.get("importance")
+            if not isinstance(got, (int, float)) or abs(
+                got - expect
+            ) > 1e-6 + 1e-6 * expect:
+                problems.append(
+                    f"sweeps[{i}]: knob {name!r} importance {got!r} "
+                    f"disagrees with its runs (expected {expect:.6f})"
+                )
     return problems
 
 
@@ -242,7 +394,40 @@ def main(argv=None) -> int:
         help="if the baseline is missing, install the candidate as the "
         "new baseline instead of failing with exit 4",
     )
+    parser.add_argument(
+        "--ablations", default=None, metavar="PATH",
+        help="also validate an ablation file (benchmarks/"
+        "BENCH_ablations.json): schema drift exits 2, a missing file "
+        "exits 4, a ranking that disagrees with its runs exits 1",
+    )
     args = parser.parse_args(argv)
+
+    if args.ablations is not None:
+        if not os.path.exists(args.ablations):
+            print(
+                f"error: ablation file {args.ablations} is missing "
+                "(run `python -m repro tune run --quick` and commit it)",
+                file=sys.stderr,
+            )
+            return 4
+        try:
+            abl_doc = load_ablations_doc(args.ablations)
+        except SchemaError as exc:
+            print(f"SCHEMA DRIFT: {exc}", file=sys.stderr)
+            return 2
+        problems = check_ablation_consistency(abl_doc)
+        for p in problems:
+            print(f"ABLATION INCONSISTENT: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        n_runs = sum(len(s["runs"]) for s in abl_doc["sweeps"])
+        print(
+            f"ablation gate: {args.ablations} ok "
+            f"({len(abl_doc['sweeps'])} sweep(s), {n_runs} runs, "
+            "rankings agree with their runs)"
+        )
+        if not args.check and args.candidate is None:
+            return 0
 
     if not args.check and args.candidate is None:
         print("error: --candidate is required unless --check", file=sys.stderr)
@@ -266,9 +451,9 @@ def main(argv=None) -> int:
 
         if args.check:
             problems = []
-            for algo in algos_present(base_doc):
+            for algo, workload in variants_present(base_doc):
                 problems.extend(
-                    check_invariants(latest_entry(base_doc, algo))
+                    check_invariants(latest_entry(base_doc, algo, workload))
                 )
             for p in problems:
                 print(f"INVARIANT FAILED: {p}", file=sys.stderr)
@@ -293,21 +478,21 @@ def main(argv=None) -> int:
             f"candidate sizing {cand_doc['sizing']!r} != baseline sizing "
             f"{base_doc['sizing']!r}",
         )
-        # Gate per backend: every backend in the baseline must appear in
-        # the candidate (dropping one is drift, never a silent pass); a
-        # backend only the candidate has is new and gains a baseline the
-        # moment the candidate file is committed.
+        # Gate per (backend, workload) variant: every variant in the
+        # baseline must appear in the candidate (dropping one is drift,
+        # never a silent pass); a variant only the candidate has is new
+        # and gains a baseline the moment the candidate is committed.
         regressions = []
-        for algo in algos_present(base_doc):
-            cand_entry = latest_entry(cand_doc, algo)
+        for algo, workload in variants_present(base_doc):
+            cand_entry = latest_entry(cand_doc, algo, workload)
             _require(
                 cand_entry is not None,
-                f"candidate is missing backend {algo!r} present in the "
-                "baseline",
+                f"candidate is missing backend {algo!r} (workload "
+                f"{workload!r}) present in the baseline",
             )
             regressions.extend(
                 compare_entries(
-                    latest_entry(base_doc, algo), cand_entry,
+                    latest_entry(base_doc, algo, workload), cand_entry,
                     threshold=args.threshold,
                 )
             )
@@ -319,15 +504,17 @@ def main(argv=None) -> int:
         print(f"REGRESSION: {r}", file=sys.stderr)
     if regressions:
         return 1
-    algos = algos_present(base_doc)
+    variants = variants_present(base_doc)
     n_phases = sum(
         len(t["phases"])
-        for algo in algos
-        for t in latest_entry(base_doc, algo)["transports"].values()
+        for algo, workload in variants
+        for t in latest_entry(base_doc, algo, workload)[
+            "transports"
+        ].values()
     )
     print(
         f"bench gate: {n_phases} phase throughputs across "
-        f"{len(algos)} backend(s) within "
+        f"{len(variants)} variant(s) within "
         f"{args.threshold:.0%} of the committed baseline"
     )
     return 0
